@@ -1,0 +1,319 @@
+// Benchmarks regenerating the paper's evaluation (one benchmark family
+// per table or figure). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks report, besides time, custom metrics matching the
+// paper's measured quantities:
+//
+//	checks/op        dynamic range checks executed per program run
+//	instr/op         dynamic non-check instructions per run
+//	eliminated%      checks removed relative to the naive build
+package nascent_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nascent"
+	"nascent/internal/suite"
+)
+
+func compileOrFatal(b *testing.B, src string, opts nascent.Options) *nascent.Program {
+	b.Helper()
+	p, err := nascent.Compile(src, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func runOrFatal(b *testing.B, p *nascent.Program) nascent.RunResult {
+	b.Helper()
+	res, err := p.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res.Trapped {
+		b.Fatalf("trapped: %s", res.TrapNote)
+	}
+	return res
+}
+
+// BenchmarkTable1NaiveOverhead measures each suite program executed with
+// naive (unoptimized) range checking — the paper's Table 1 dynamic
+// columns. checks/op and instr/op reproduce the table's counts.
+func BenchmarkTable1NaiveOverhead(b *testing.B) {
+	for _, prog := range suite.Programs {
+		b.Run(prog.Name, func(b *testing.B) {
+			p := compileOrFatal(b, prog.Source, nascent.Options{BoundsChecks: true})
+			var res nascent.RunResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res = runOrFatal(b, p)
+			}
+			b.ReportMetric(float64(res.Checks), "checks/op")
+			b.ReportMetric(float64(res.Instructions), "instr/op")
+			b.ReportMetric(100*float64(res.Checks)/float64(res.Instructions), "chk/instr-%")
+		})
+	}
+}
+
+// BenchmarkTable2Compile measures the compile-time cost of each placement
+// scheme over the whole suite — the paper's Table 2 "Range"/"Nascent"
+// columns (relative ordering is the claim: NI cheapest, PRE-based
+// schemes most expensive, preheader schemes in between).
+func BenchmarkTable2Compile(b *testing.B) {
+	for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
+		for _, sch := range nascent.OptimizedSchemes {
+			b.Run(fmt.Sprintf("%v_%v", kind, sch), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					for _, prog := range suite.Programs {
+						compileOrFatal(b, prog.Source, nascent.Options{
+							BoundsChecks: true, Scheme: sch, Kind: kind,
+						})
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTable2Eliminated executes each (scheme, kind) over the suite
+// and reports the aggregate elimination percentage — the paper's Table 2
+// body. Shapes to observe: LLS/ALL ~9x%+, LI between NI and LLS, SE >=
+// LNI >= CS >= NI.
+func BenchmarkTable2Eliminated(b *testing.B) {
+	naive := make(map[string]uint64, len(suite.Programs))
+	for _, prog := range suite.Programs {
+		p := compileOrFatal(b, prog.Source, nascent.Options{BoundsChecks: true})
+		naive[prog.Name] = runOrFatal(b, p).Checks
+	}
+	for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
+		for _, sch := range nascent.OptimizedSchemes {
+			b.Run(fmt.Sprintf("%v_%v", kind, sch), func(b *testing.B) {
+				var totalN, totalO uint64
+				for i := 0; i < b.N; i++ {
+					totalN, totalO = 0, 0
+					for _, prog := range suite.Programs {
+						p := compileOrFatal(b, prog.Source, nascent.Options{
+							BoundsChecks: true, Scheme: sch, Kind: kind,
+						})
+						res := runOrFatal(b, p)
+						totalN += naive[prog.Name]
+						totalO += res.Checks
+					}
+				}
+				b.ReportMetric(100*(1-float64(totalO)/float64(totalN)), "eliminated-%")
+			})
+		}
+	}
+}
+
+// BenchmarkTable3Implications measures the implication-mode ablation —
+// the paper's Table 3. The primed variants must eliminate no more checks
+// than the full-implication rows; LLS' stays within a few percent of LLS
+// (only the preheader->body implications matter).
+func BenchmarkTable3Implications(b *testing.B) {
+	naive := make(map[string]uint64, len(suite.Programs))
+	for _, prog := range suite.Programs {
+		p := compileOrFatal(b, prog.Source, nascent.Options{BoundsChecks: true})
+		naive[prog.Name] = runOrFatal(b, p).Checks
+	}
+	variants := []struct {
+		label  string
+		scheme nascent.Scheme
+		impl   nascent.Implications
+	}{
+		{"NI", nascent.NI, nascent.ImplyFull},
+		{"NIprime", nascent.NI, nascent.ImplyNone},
+		{"SE", nascent.SE, nascent.ImplyFull},
+		{"SEprime", nascent.SE, nascent.ImplyNone},
+		{"LLS", nascent.LLS, nascent.ImplyFull},
+		{"LLSprime", nascent.LLS, nascent.ImplyCross},
+	}
+	for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
+		for _, v := range variants {
+			b.Run(fmt.Sprintf("%v_%s", kind, v.label), func(b *testing.B) {
+				var totalN, totalO uint64
+				for i := 0; i < b.N; i++ {
+					totalN, totalO = 0, 0
+					for _, prog := range suite.Programs {
+						p := compileOrFatal(b, prog.Source, nascent.Options{
+							BoundsChecks: true, Scheme: v.scheme, Kind: kind, Implications: v.impl,
+						})
+						res := runOrFatal(b, p)
+						totalN += naive[prog.Name]
+						totalO += res.Checks
+					}
+				}
+				b.ReportMetric(100*(1-float64(totalO)/float64(totalN)), "eliminated-%")
+			})
+		}
+	}
+}
+
+// BenchmarkFigure1 exercises the paper's Figure 1 fragment through the
+// NI and CS pipelines (static check counts 3 and 2 respectively).
+func BenchmarkFigure1(b *testing.B) {
+	const src = `program figure1
+  integer a(5:10)
+  integer n
+  n = 3
+  a(2*n) = 0
+  a(2*n - 1) = 1
+end
+`
+	for _, cfg := range []struct {
+		label string
+		sch   nascent.Scheme
+		want  int
+	}{
+		{"NI", nascent.NI, 3},
+		{"CS", nascent.CS, 2},
+	} {
+		b.Run(cfg.label, func(b *testing.B) {
+			var got int
+			for i := 0; i < b.N; i++ {
+				p := compileOrFatal(b, src, nascent.Options{BoundsChecks: true, Scheme: cfg.sch})
+				got = p.StaticChecks()
+			}
+			if got != cfg.want {
+				b.Fatalf("static checks = %d, want %d", got, cfg.want)
+			}
+			b.ReportMetric(float64(got), "static-checks")
+		})
+	}
+}
+
+// BenchmarkFigure6 exercises the paper's Figure 6 loop through LLS:
+// 48 dynamic checks collapse to the hoisted preheader cond-checks.
+func BenchmarkFigure6(b *testing.B) {
+	const src = `program figure6
+  integer a(1:10)
+  integer j, k, n, nn, kk
+  nn = 4
+  kk = 3
+  call init()
+  do j = 1, 2*n
+    a(k) = a(k) + 1
+    a(j) = 2
+  enddo
+end
+subroutine init()
+  n = nn
+  k = kk
+end
+`
+	for _, cfg := range []struct {
+		label string
+		sch   nascent.Scheme
+	}{
+		{"naive", nascent.Naive},
+		{"LLS", nascent.LLS},
+	} {
+		b.Run(cfg.label, func(b *testing.B) {
+			p := compileOrFatal(b, src, nascent.Options{BoundsChecks: true, Scheme: cfg.sch})
+			var res nascent.RunResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res = runOrFatal(b, p)
+			}
+			b.ReportMetric(float64(res.Checks), "checks/op")
+		})
+	}
+}
+
+// BenchmarkInterp measures raw interpreter throughput on the largest
+// suite program (the substrate cost underlying every table).
+func BenchmarkInterp(b *testing.B) {
+	prog, err := suite.Get("mdg")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := compileOrFatal(b, prog.Source, nascent.Options{})
+	var res nascent.RunResult
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res = runOrFatal(b, p)
+	}
+	b.ReportMetric(float64(res.Instructions)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
+// BenchmarkAblationMCM compares the paper's §5 future-work suggestion:
+// Markstein-Cocke-Markstein restricted hoisting vs. this paper's LLS.
+// The paper conjectures the simpler algorithm may be nearly as effective;
+// the eliminated-% metrics quantify the gap on the suite.
+func BenchmarkAblationMCM(b *testing.B) {
+	naive := make(map[string]uint64, len(suite.Programs))
+	for _, prog := range suite.Programs {
+		p := compileOrFatal(b, prog.Source, nascent.Options{BoundsChecks: true})
+		naive[prog.Name] = runOrFatal(b, p).Checks
+	}
+	for _, sch := range []nascent.Scheme{nascent.MCM, nascent.LI, nascent.LLS} {
+		b.Run(sch.String(), func(b *testing.B) {
+			var totalN, totalO uint64
+			for i := 0; i < b.N; i++ {
+				totalN, totalO = 0, 0
+				for _, prog := range suite.Programs {
+					p := compileOrFatal(b, prog.Source, nascent.Options{BoundsChecks: true, Scheme: sch})
+					res := runOrFatal(b, p)
+					totalN += naive[prog.Name]
+					totalO += res.Checks
+				}
+			}
+			b.ReportMetric(100*(1-float64(totalO)/float64(totalN)), "eliminated-%")
+		})
+	}
+}
+
+// BenchmarkAblationLoopRotation measures the paper's §3.3 remark that
+// loop rotation lets safe-earliest placement hoist out of while loops:
+// a fixed-point iteration reads invariant-subscript state on every pass,
+// and SE can hoist those checks only once the while loop is rotated into
+// a guarded repeat loop.
+func BenchmarkAblationLoopRotation(b *testing.B) {
+	const src = `program relax
+  parameter n = 64
+  real a(n)
+  real w, tol
+  integer i, k, lo, hi
+  do i = 1, n
+    a(i) = float(i)
+  enddo
+  lo = 2
+  hi = n - 1
+  call f()
+  w = 1.0
+  k = 0
+  while (w > 0.0001 and k < 400)
+    w = w * 0.97
+    a(lo) = a(lo) * 0.5 + a(hi) * 0.5
+    a(hi) = a(hi) * 0.5 + w
+    k = k + 1
+  endwhile
+  print a(2), a(63)
+end
+subroutine f()
+  lo = lo + 0
+  hi = hi + 0
+end
+`
+	for _, rotate := range []bool{false, true} {
+		name := "SE"
+		if rotate {
+			name = "SE+rotate"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := compileOrFatal(b, src, nascent.Options{
+				BoundsChecks: true, Scheme: nascent.SE, RotateLoops: rotate,
+			})
+			var res nascent.RunResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res = runOrFatal(b, p)
+			}
+			b.ReportMetric(float64(res.Checks), "checks/op")
+		})
+	}
+}

@@ -1,0 +1,136 @@
+// Command nacc is the Nascent-Go compiler driver: it compiles one MF
+// source file, optionally optimizes its range checks with a selected
+// placement scheme, and runs or dumps the result.
+//
+// Usage:
+//
+//	nacc [flags] file.mf
+//
+// Flags:
+//
+//	-scheme naive|NI|CS|LNI|SE|LI|LLS|ALL   placement scheme (default naive)
+//	-kind   PRX|INX                         check construction (default PRX)
+//	-impl   full|none|cross                 implication mode (default full)
+//	-nocheck                                compile without range checks
+//	-dump                                   print the optimized IR, do not run
+//	-stats                                  print static/dynamic statistics
+//	-run                                    execute the program (default true)
+//
+// Example:
+//
+//	nacc -scheme LLS -stats examples/quickstart/saxpy.mf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nascent"
+)
+
+var schemes = map[string]nascent.Scheme{
+	"naive": nascent.Naive, "ni": nascent.NI, "cs": nascent.CS,
+	"lni": nascent.LNI, "se": nascent.SE, "li": nascent.LI,
+	"lls": nascent.LLS, "all": nascent.ALL, "mcm": nascent.MCM,
+}
+
+var kinds = map[string]nascent.CheckKind{"prx": nascent.PRX, "inx": nascent.INX}
+
+var impls = map[string]nascent.Implications{
+	"full": nascent.ImplyFull, "none": nascent.ImplyNone, "cross": nascent.ImplyCross,
+}
+
+func main() {
+	schemeFlag := flag.String("scheme", "naive", "placement scheme: naive|NI|CS|LNI|SE|LI|LLS|ALL")
+	kindFlag := flag.String("kind", "PRX", "check construction: PRX|INX")
+	implFlag := flag.String("impl", "full", "implications: full|none|cross")
+	noCheck := flag.Bool("nocheck", false, "compile without range checks")
+	dump := flag.Bool("dump", false, "print the IR instead of running")
+	cig := flag.Bool("cig", false, "print the check implication graph instead of running")
+	stats := flag.Bool("stats", false, "print static/dynamic statistics")
+	doRun := flag.Bool("run", true, "execute the program")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: nacc [flags] file.mf")
+		flag.Usage()
+		os.Exit(2)
+	}
+	file := flag.Arg(0)
+	src, err := os.ReadFile(file)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	scheme, ok := schemes[strings.ToLower(*schemeFlag)]
+	if !ok {
+		fail("unknown scheme %q", *schemeFlag)
+	}
+	kind, ok := kinds[strings.ToLower(*kindFlag)]
+	if !ok {
+		fail("unknown check kind %q", *kindFlag)
+	}
+	impl, ok := impls[strings.ToLower(*implFlag)]
+	if !ok {
+		fail("unknown implication mode %q", *implFlag)
+	}
+
+	prog, err := nascent.Compile(string(src), nascent.Options{
+		Filename:     file,
+		BoundsChecks: !*noCheck,
+		Scheme:       scheme,
+		Kind:         kind,
+		Implications: impl,
+	})
+	if err != nil {
+		fail("%v", err)
+	}
+
+	if prog.Opt != nil {
+		for _, d := range prog.Opt.Diagnostics {
+			fmt.Fprintf(os.Stderr, "nacc: warning: %s\n", d)
+		}
+	}
+
+	if *dump {
+		fmt.Print(prog.Dump())
+		return
+	}
+	if *cig {
+		fmt.Print(prog.DumpCIG())
+		return
+	}
+
+	if *stats {
+		fmt.Printf("static checks: %d\n", prog.StaticChecks())
+		if o := prog.Opt; o != nil {
+			fmt.Printf("before optimization: %d\n", o.ChecksBefore)
+			fmt.Printf("inserted: %d, eliminated: %d avail + %d covered + %d const, traps: %d\n",
+				o.Inserted, o.EliminatedAvail, o.EliminatedCover, o.EliminatedConst, o.TrapsInserted)
+		}
+	}
+
+	if !*doRun {
+		return
+	}
+	res, err := prog.Run()
+	if err != nil {
+		fail("run: %v", err)
+	}
+	fmt.Print(res.Output)
+	if *stats {
+		fmt.Printf("dynamic instructions: %d\n", res.Instructions)
+		fmt.Printf("dynamic checks: %d\n", res.Checks)
+	}
+	if res.Trapped {
+		fmt.Fprintf(os.Stderr, "nacc: range violation: %s\n", res.TrapNote)
+		os.Exit(1)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "nacc: "+format+"\n", args...)
+	os.Exit(1)
+}

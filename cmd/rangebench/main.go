@@ -1,0 +1,39 @@
+// Command rangebench regenerates the evaluation tables of Kolte & Wolfe
+// (PLDI 1995) over the built-in benchmark suite.
+//
+// Usage:
+//
+//	rangebench [-table N]
+//
+// With no flags, all three tables are printed. -table 1 prints program
+// characteristics (naive check overhead), -table 2 the seven placement
+// schemes × {PRX, INX}, -table 3 the implication ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nascent/internal/report"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to print (1, 2, or 3; 0 = all)")
+	flag.Parse()
+
+	run := func(n int, f func() (string, error)) {
+		if *table != 0 && *table != n {
+			return
+		}
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	run(1, report.Table1)
+	run(2, report.Table2)
+	run(3, report.Table3)
+}

@@ -1,0 +1,55 @@
+// Diagnose: the optimizer's step 5 (paper §3) evaluates compile-time
+// checks; violations are reported at compile time and replaced by TRAP
+// instructions — the reliability story of compiler-inserted checking.
+//
+//	go run ./examples/diagnose
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nascent"
+)
+
+const src = `program buggy
+  parameter n = 10
+  real a(n), b(2:n)
+  integer i
+
+  a(0) = 1.0          ! compile-time violation: 0 < lower bound 1
+  b(1) = 2.0          ! compile-time violation: 1 < lower bound 2
+  a(n) = 3.0          ! fine
+  a(n + 1) = 4.0      ! compile-time violation: n+1 > upper bound 10
+
+  do i = 1, n
+    a(i) = float(i)   ! fine: eliminated entirely by the optimizer
+  enddo
+  print a(1)
+end
+`
+
+func main() {
+	fmt.Println("Compile-time range diagnostics (optimizer step 5)")
+	fmt.Println()
+	prog, err := nascent.Compile(src, nascent.Options{BoundsChecks: true, Scheme: nascent.LLS})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("diagnostics (%d):\n", len(prog.Opt.Diagnostics))
+	for _, d := range prog.Opt.Diagnostics {
+		fmt.Printf("  %s\n", d)
+	}
+	fmt.Println()
+	fmt.Printf("traps inserted: %d, checks eliminated at compile time: %d\n",
+		prog.Opt.TrapsInserted, prog.Opt.EliminatedConst)
+
+	res, err := prog.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("run: trapped=%v (%s)\n", res.Trapped, res.TrapNote)
+	fmt.Println()
+	fmt.Println("The violations are caught before the program ever runs; the")
+	fmt.Println("in-range loop accesses cost zero dynamic checks under LLS.")
+}

@@ -1,0 +1,65 @@
+// Figure 6 of the paper: preheader insertion with loop-limit
+// substitution. The loop-invariant check on k and the linear check on j
+// (substituted at the loop limit 2*n) are hoisted into the preheader as
+// cond-checks guarded by the loop-entry condition (1 <= 2*n).
+//
+//	go run ./examples/preheader
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"nascent"
+)
+
+const src = `program figure6
+  integer a(1:10)
+  integer j, k, n, nn, kk
+  nn = 4
+  kk = 3
+  call init()
+  do j = 1, 2*n
+    a(k) = a(k) + 1
+    a(j) = 2
+  enddo
+  print a(3), a(8)
+end
+subroutine init()
+  n = nn
+  k = kk
+end
+`
+
+func main() {
+	fmt.Println("Paper Figure 6: preheader insertion with loop-limit substitution")
+	fmt.Println()
+
+	for _, cfg := range []struct {
+		label  string
+		scheme nascent.Scheme
+	}{
+		{"(a) naive: 6 checks per iteration", nascent.Naive},
+		{"(b)+(c) LLS: cond-checks in the preheader, loop body check-free", nascent.LLS},
+	} {
+		prog, err := nascent.Compile(src, nascent.Options{BoundsChecks: true, Scheme: cfg.scheme})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := prog.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("--- %s\n", cfg.label)
+		for _, line := range strings.Split(prog.Dump(), "\n") {
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, "check") || strings.HasPrefix(trimmed, "condcheck") {
+				fmt.Printf("  %s\n", trimmed)
+			}
+		}
+		fmt.Printf("  dynamic checks executed: %d\n\n", res.Checks)
+	}
+	fmt.Println("The hoisted form matches the paper:")
+	fmt.Println("  Cond-check ((1 <= 2*n), k <= 10)   and   Cond-check ((1 <= 2*n), 2*n <= 10)")
+}

@@ -1,0 +1,262 @@
+package nascent_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nascent"
+)
+
+// This file implements randomized differential testing of the range
+// check optimizer: generate random MF programs, run them naive and under
+// every optimizer configuration, and verify the paper's behavior
+// contract (§3):
+//
+//  1. the optimized program traps iff the unoptimized program traps;
+//  2. a violation may be detected earlier but never later — so on
+//     trapping runs the optimized output must be a prefix of the naive
+//     output, and on clean runs outputs must match exactly;
+//  3. the optimized program never executes more checks than the naive
+//     program.
+
+// progGen generates random-but-valid MF programs.
+type progGen struct {
+	r   *rand.Rand
+	b   strings.Builder
+	ind int
+	// loop variables currently in scope, usable in expressions
+	scope []string
+	depth int
+}
+
+const genN = 12 // array extent used by generated programs
+
+func (g *progGen) line(format string, args ...interface{}) {
+	g.b.WriteString(strings.Repeat("  ", g.ind))
+	fmt.Fprintf(&g.b, format, args...)
+	g.b.WriteByte('\n')
+}
+
+// intExpr produces a random integer expression over in-scope variables.
+func (g *progGen) intExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		switch g.r.Intn(3) {
+		case 0:
+			return fmt.Sprintf("%d", 1+g.r.Intn(genN))
+		case 1:
+			if len(g.scope) > 0 {
+				return g.scope[g.r.Intn(len(g.scope))]
+			}
+			return "m"
+		default:
+			return "m"
+		}
+	}
+	l := g.intExpr(depth - 1)
+	r := g.intExpr(depth - 1)
+	switch g.r.Intn(4) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", l, r)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", l, r)
+	case 2:
+		return fmt.Sprintf("(%s * %d)", l, 1+g.r.Intn(2))
+	default:
+		return fmt.Sprintf("(%s + %d)", l, g.r.Intn(3)-1)
+	}
+}
+
+// subscript produces a subscript expression; usually clamped in-bounds,
+// occasionally raw (possibly trapping).
+func (g *progGen) subscript() string {
+	e := g.intExpr(2)
+	if g.r.Intn(10) == 0 {
+		return e // may violate the bounds: the trap path
+	}
+	return fmt.Sprintf("min(max(%s, 1), %d)", e, genN)
+}
+
+func (g *progGen) stmt(depth int) {
+	switch g.r.Intn(7) {
+	case 0, 1: // array store
+		g.line("a(%s) = b(%s) + 1.0", g.subscript(), g.subscript())
+	case 2: // scalar update
+		g.line("m = %s", g.intExpr(2))
+	case 3: // 2-D access
+		g.line("c(%s, %s) = c(%s, %s) * 0.5 + a(%s)",
+			g.subscript(), g.subscript(), g.subscript(), g.subscript(), g.subscript())
+	case 4: // conditional
+		if depth > 0 {
+			g.line("if (%s < %s) then", g.intExpr(1), g.intExpr(1))
+			g.ind++
+			g.stmt(depth - 1)
+			g.ind--
+			if g.r.Intn(2) == 0 {
+				g.line("else")
+				g.ind++
+				g.stmt(depth - 1)
+				g.ind--
+			}
+			g.line("endif")
+		} else {
+			g.line("a(%s) = 0.5", g.subscript())
+		}
+	case 5: // counted loop
+		if depth > 0 && g.depth < 3 {
+			v := fmt.Sprintf("i%d", g.depth)
+			g.depth++
+			lo := 1 + g.r.Intn(3)
+			var hi string
+			if g.r.Intn(2) == 0 {
+				hi = fmt.Sprintf("%d", lo+g.r.Intn(genN-lo+1))
+			} else {
+				hi = "m"
+			}
+			step := []string{"", ", 1", ", 2", ", -1"}[g.r.Intn(4)]
+			if step == ", -1" {
+				g.line("do %s = %s, %d%s", v, hi, lo, step)
+			} else {
+				g.line("do %s = %d, %s%s", v, lo, hi, step)
+			}
+			g.ind++
+			g.scope = append(g.scope, v)
+			n := 1 + g.r.Intn(2)
+			for i := 0; i < n; i++ {
+				g.stmt(depth - 1)
+			}
+			g.scope = g.scope[:len(g.scope)-1]
+			g.ind--
+			g.line("enddo")
+			g.depth--
+		} else {
+			g.line("b(%s) = a(%s)", g.subscript(), g.subscript())
+		}
+	case 6: // while loop
+		if depth > 0 && g.depth < 2 {
+			v := fmt.Sprintf("j%d", g.depth)
+			g.depth++
+			g.line("%s = %d", v, 1+g.r.Intn(3))
+			g.line("while (%s < %d)", v, 4+g.r.Intn(genN-3))
+			g.ind++
+			g.scope = append(g.scope, v)
+			g.stmt(depth - 1)
+			g.line("%s = %s + %d", v, v, 1+g.r.Intn(2))
+			g.scope = g.scope[:len(g.scope)-1]
+			g.ind--
+			g.line("endwhile")
+			g.depth--
+		} else {
+			g.line("a(%s) = 1.5", g.subscript())
+		}
+	}
+}
+
+// generate produces one complete random MF program.
+func generate(seed int64) string {
+	g := &progGen{r: rand.New(rand.NewSource(seed))}
+	g.line("program fuzz")
+	g.line("  parameter n = %d", genN)
+	g.line("  real a(n), b(n), c(n, n)")
+	g.line("  integer m, i0, i1, i2, j0, j1")
+	g.ind = 1
+	g.line("m = %d", 1+g.r.Intn(genN))
+	g.line("do i0 = 1, n")
+	g.ind++
+	g.scope = append(g.scope, "i0")
+	g.line("a(i0) = float(i0)")
+	g.line("b(i0) = float(n - i0)")
+	g.scope = g.scope[:0]
+	g.ind--
+	g.line("enddo")
+	nStmts := 3 + g.r.Intn(5)
+	for i := 0; i < nStmts; i++ {
+		g.stmt(2)
+	}
+	g.line("print a(1), b(n), m")
+	g.ind = 0
+	g.line("end")
+	return g.b.String()
+}
+
+type fuzzConfig struct {
+	label string
+	opts  nascent.Options
+}
+
+func fuzzConfigs() []fuzzConfig {
+	var out []fuzzConfig
+	for _, sch := range []nascent.Scheme{nascent.NI, nascent.CS, nascent.LNI, nascent.SE, nascent.LI, nascent.LLS, nascent.ALL, nascent.MCM} {
+		for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
+			out = append(out, fuzzConfig{
+				label: fmt.Sprintf("%v/%v", sch, kind),
+				opts:  nascent.Options{BoundsChecks: true, Scheme: sch, Kind: kind},
+			})
+		}
+	}
+	for _, impl := range []nascent.Implications{nascent.ImplyNone, nascent.ImplyCross} {
+		out = append(out, fuzzConfig{
+			label: fmt.Sprintf("LLS/%v", impl),
+			opts:  nascent.Options{BoundsChecks: true, Scheme: nascent.LLS, Implications: impl},
+		})
+	}
+	out = append(out,
+		fuzzConfig{"SE+rotate", nascent.Options{BoundsChecks: true, Scheme: nascent.SE, RotateLoops: true}},
+		fuzzConfig{"LLS+rotate", nascent.Options{BoundsChecks: true, Scheme: nascent.LLS, RotateLoops: true}},
+	)
+	return out
+}
+
+func TestDifferentialFuzz(t *testing.T) {
+	seeds := 150
+	if testing.Short() {
+		seeds = 8
+	}
+	cfgs := fuzzConfigs()
+	trapped := 0
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		src := generate(seed)
+		naiveProg, err := nascent.Compile(src, nascent.Options{BoundsChecks: true})
+		if err != nil {
+			t.Fatalf("seed %d: naive compile: %v\n%s", seed, err, src)
+		}
+		naive, err := naiveProg.RunWith(nascent.RunConfig{MaxInstructions: 20e6})
+		if err != nil {
+			// Infinite loops or div-by-zero in generated code: skip seed.
+			continue
+		}
+		if naive.Trapped {
+			trapped++
+		}
+		for _, cfg := range cfgs {
+			prog, err := nascent.Compile(src, cfg.opts)
+			if err != nil {
+				t.Fatalf("seed %d %s: compile: %v\n%s", seed, cfg.label, err, src)
+			}
+			res, err := prog.RunWith(nascent.RunConfig{MaxInstructions: 20e6})
+			if err != nil {
+				t.Fatalf("seed %d %s: run: %v\n%s", seed, cfg.label, err, src)
+			}
+			if res.Trapped != naive.Trapped {
+				t.Fatalf("seed %d %s: trap mismatch: naive=%v optimized=%v (%s)\n%s",
+					seed, cfg.label, naive.Trapped, res.Trapped, res.TrapNote, src)
+			}
+			if naive.Trapped {
+				// Earlier detection is allowed: output must be a prefix.
+				if !strings.HasPrefix(naive.Output, res.Output) {
+					t.Fatalf("seed %d %s: trapped output not a prefix:\nnaive: %q\nopt:   %q\n%s",
+						seed, cfg.label, naive.Output, res.Output, src)
+				}
+			} else if res.Output != naive.Output {
+				t.Fatalf("seed %d %s: output mismatch:\nnaive: %q\nopt:   %q\n%s",
+					seed, cfg.label, naive.Output, res.Output, src)
+			}
+			if res.Checks > naive.Checks {
+				t.Fatalf("seed %d %s: optimized executes more checks: %d > %d\n%s",
+					seed, cfg.label, res.Checks, naive.Checks, src)
+			}
+		}
+	}
+	t.Logf("fuzzed %d seeds (%d trapping) x %d configurations", seeds, trapped, len(cfgs))
+}

@@ -1,0 +1,3 @@
+module nascent
+
+go 1.22

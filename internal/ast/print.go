@@ -1,0 +1,202 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ExprString renders an expression in MF surface syntax, fully
+// parenthesizing binary operations so the rendering is unambiguous.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e)
+	return b.String()
+}
+
+func writeExpr(b *strings.Builder, e Expr) {
+	switch e := e.(type) {
+	case *IntLit:
+		fmt.Fprintf(b, "%d", e.Value)
+	case *RealLit:
+		b.WriteString(strconv.FormatFloat(e.Value, 'g', -1, 64))
+	case *Name:
+		b.WriteString(e.Ident)
+	case *Index:
+		b.WriteString(e.Name)
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a)
+		}
+		b.WriteByte(')')
+	case *Binary:
+		b.WriteByte('(')
+		writeExpr(b, e.L)
+		b.WriteByte(' ')
+		b.WriteString(e.Op.String())
+		b.WriteByte(' ')
+		writeExpr(b, e.R)
+		b.WriteByte(')')
+	case *Unary:
+		b.WriteByte('(')
+		b.WriteString(e.Op.String())
+		if e.Op == Not {
+			b.WriteByte(' ')
+		}
+		writeExpr(b, e.X)
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "<%T>", e)
+	}
+}
+
+// Fprint renders a whole file in (normalized) MF surface syntax. It is used
+// by tests to check parser round-trips and by tooling to show programs.
+func Fprint(b *strings.Builder, f *File) {
+	for _, u := range f.Units {
+		printUnit(b, u)
+	}
+}
+
+// String renders the file via Fprint.
+func (f *File) String() string {
+	var b strings.Builder
+	Fprint(&b, f)
+	return b.String()
+}
+
+func printUnit(b *strings.Builder, u *Unit) {
+	if u.Kind == ProgramUnit {
+		fmt.Fprintf(b, "program %s\n", u.Name)
+	} else {
+		fmt.Fprintf(b, "subroutine %s(%s)\n", u.Name, strings.Join(u.Params, ", "))
+	}
+	for _, pc := range u.Consts {
+		fmt.Fprintf(b, "  parameter %s = %s\n", pc.Name, ExprString(pc.Value))
+	}
+	for _, d := range u.Decls {
+		fmt.Fprintf(b, "  %s ", d.Type)
+		for i, it := range d.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(it.Name)
+			if len(it.Dims) > 0 {
+				b.WriteByte('(')
+				for j, dim := range it.Dims {
+					if j > 0 {
+						b.WriteString(", ")
+					}
+					if dim.Lo != nil {
+						b.WriteString(ExprString(dim.Lo))
+						b.WriteByte(':')
+					}
+					b.WriteString(ExprString(dim.Hi))
+				}
+				b.WriteByte(')')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	printStmts(b, u.Body, 1)
+	b.WriteString("end\n")
+}
+
+func printStmts(b *strings.Builder, stmts []Stmt, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *AssignStmt:
+			b.WriteString(ind)
+			b.WriteString(s.Name)
+			if len(s.Indexes) > 0 {
+				b.WriteByte('(')
+				for i, ix := range s.Indexes {
+					if i > 0 {
+						b.WriteString(", ")
+					}
+					writeExpr(b, ix)
+				}
+				b.WriteByte(')')
+			}
+			b.WriteString(" = ")
+			writeExpr(b, s.Value)
+			b.WriteByte('\n')
+		case *IfStmt:
+			fmt.Fprintf(b, "%sif (%s) then\n", ind, ExprString(s.Cond))
+			printStmts(b, s.Then, depth+1)
+			if s.Else != nil {
+				fmt.Fprintf(b, "%selse\n", ind)
+				printStmts(b, s.Else, depth+1)
+			}
+			fmt.Fprintf(b, "%sendif\n", ind)
+		case *DoStmt:
+			fmt.Fprintf(b, "%sdo %s = %s, %s", ind, s.Var, ExprString(s.Lo), ExprString(s.Hi))
+			if s.Step != nil {
+				fmt.Fprintf(b, ", %s", ExprString(s.Step))
+			}
+			b.WriteByte('\n')
+			printStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%senddo\n", ind)
+		case *WhileStmt:
+			fmt.Fprintf(b, "%swhile (%s)\n", ind, ExprString(s.Cond))
+			printStmts(b, s.Body, depth+1)
+			fmt.Fprintf(b, "%sendwhile\n", ind)
+		case *CallStmt:
+			args := make([]string, len(s.Args))
+			for i, a := range s.Args {
+				args[i] = ExprString(a)
+			}
+			fmt.Fprintf(b, "%scall %s(%s)\n", ind, s.Name, strings.Join(args, ", "))
+		case *PrintStmt:
+			args := make([]string, len(s.Args))
+			for i, a := range s.Args {
+				args[i] = ExprString(a)
+			}
+			fmt.Fprintf(b, "%sprint %s\n", ind, strings.Join(args, ", "))
+		case *ReturnStmt:
+			fmt.Fprintf(b, "%sreturn\n", ind)
+		default:
+			fmt.Fprintf(b, "%s<%T>\n", ind, s)
+		}
+	}
+}
+
+// WalkExprs calls fn for every expression nested in e, pre-order.
+func WalkExprs(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch e := e.(type) {
+	case *Index:
+		for _, a := range e.Args {
+			WalkExprs(a, fn)
+		}
+	case *Binary:
+		WalkExprs(e.L, fn)
+		WalkExprs(e.R, fn)
+	case *Unary:
+		WalkExprs(e.X, fn)
+	}
+}
+
+// WalkStmts calls fn for every statement in stmts, pre-order, recursing
+// into loop and conditional bodies.
+func WalkStmts(stmts []Stmt, fn func(Stmt)) {
+	for _, s := range stmts {
+		fn(s)
+		switch s := s.(type) {
+		case *IfStmt:
+			WalkStmts(s.Then, fn)
+			WalkStmts(s.Else, fn)
+		case *DoStmt:
+			WalkStmts(s.Body, fn)
+		case *WhileStmt:
+			WalkStmts(s.Body, fn)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package core_test
+
+import (
+	"testing"
+
+	"nascent/internal/core"
+	"nascent/internal/irbuild"
+	"nascent/internal/parser"
+	"nascent/internal/rangecheck"
+	"nascent/internal/sem"
+	"nascent/internal/suite"
+)
+
+// BenchmarkOptimizePhase isolates the range check optimization phase per
+// scheme (the paper's "Range" column at micro scale): IR construction is
+// excluded by rebuilding inside the timer but reporting per-phase deltas
+// is left to the root Table 2 benchmarks; here the full per-scheme cost
+// over one representative program (arc2d) is measured.
+func BenchmarkOptimizePhase(b *testing.B) {
+	prog, err := suite.Get("arc2d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	file, err := parser.Parse("arc2d.mf", prog.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	semProg, err := sem.Analyze(file)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, sch := range append([]core.Scheme{}, core.Schemes...) {
+		b.Run(sch.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ir, err := irbuild.Build(semProg, irbuild.Options{BoundsChecks: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.Optimize(ir, core.Options{Scheme: sch}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkImplicationModes measures the cost of the three implication
+// modes under NI (the paper's Table 3 observation that the primed
+// variants have different compile costs).
+func BenchmarkImplicationModes(b *testing.B) {
+	prog, err := suite.Get("arc2d")
+	if err != nil {
+		b.Fatal(err)
+	}
+	file, _ := parser.Parse("arc2d.mf", prog.Source)
+	semProg, _ := sem.Analyze(file)
+	for _, mode := range []rangecheck.Mode{rangecheck.ImplyFull, rangecheck.ImplyNone, rangecheck.ImplyCross} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ir, err := irbuild.Build(semProg, irbuild.Options{BoundsChecks: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := core.Optimize(ir, core.Options{Scheme: core.NI, Mode: mode}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"nascent/internal/core"
+	"nascent/internal/rangecheck"
+	"nascent/internal/testutil"
+)
+
+// TestBuildCIGFigure4 reproduces the paper's Figure 4 situation from
+// source: the relation m = n + 4 induces a weight-4 edge from the family
+// of n to the family of m.
+func TestBuildCIGFigure4(t *testing.T) {
+	p := testutil.BuildIR(t, `program p
+  real a(10), b(10)
+  integer n, m
+  n = 3
+  m = n + 4
+  a(n) = 1.0
+  b(m) = 2.0
+end
+`, true)
+	g := core.BuildCIG(p.Main(), rangecheck.ImplyFull)
+
+	var nFam, mFam *rangecheck.Family
+	for _, f := range g.Registry.Families {
+		switch f.String() {
+		case "n":
+			nFam = f
+		case "m":
+			mFam = f
+		}
+	}
+	if nFam == nil || mFam == nil {
+		t.Fatalf("families missing:\n%s", g.Dump())
+	}
+	var weight int64 = -999
+	for _, e := range g.Out(nFam) {
+		if e.To == mFam {
+			weight = e.Weight
+		}
+	}
+	if weight != 4 {
+		t.Fatalf("edge n->m weight = %d, want 4\n%s", weight, g.Dump())
+	}
+	// Figure 4's inferences: Check(n<=1) is as strong as Check(m<=7)...
+	if !g.AsStrong(nFam, 1, mFam, 7) {
+		t.Error("n<=1 should imply m<=7")
+	}
+	// ...but not Check(m<=3).
+	if g.AsStrong(nFam, 1, mFam, 3) {
+		t.Error("n<=1 must not imply m<=3")
+	}
+}
+
+func TestBuildCIGSelfShift(t *testing.T) {
+	// i = i + 1 relates the family of i to itself with weight 1 — the
+	// increment implication the availability transfer exploits.
+	p := testutil.BuildIR(t, `program p
+  real a(10)
+  integer i, n
+  i = n
+  a(i) = 1.0
+  i = i + 1
+  a(i) = 2.0
+end
+`, true)
+	g := core.BuildCIG(p.Main(), rangecheck.ImplyFull)
+	// Self-edges are skipped (g2 == fam) for the same terms; the
+	// interesting edges connect +i and -i families to themselves via
+	// sign... verify the dump mentions at least the families.
+	d := g.Dump()
+	if !strings.Contains(d, "i") {
+		t.Errorf("dump missing families:\n%s", d)
+	}
+}
+
+func TestBuildCIGNegatedRelation(t *testing.T) {
+	// m = -n + 2: lower/upper families cross over (coef −1).
+	p := testutil.BuildIR(t, `program p
+  real a(10), b(10)
+  integer n, m
+  n = 1
+  m = 2 - n
+  a(n) = 1.0
+  b(m) = 2.0
+end
+`, true)
+	g := core.BuildCIG(p.Main(), rangecheck.ImplyFull)
+	var negN, mFam *rangecheck.Family
+	for _, f := range g.Registry.Families {
+		switch f.String() {
+		case "-n":
+			negN = f
+		case "m":
+			mFam = f
+		}
+	}
+	if negN == nil || mFam == nil {
+		t.Fatalf("families missing:\n%s", g.Dump())
+	}
+	// m = -n + 2 ⇒ (m ≤ k) ⇔ (-n ≤ k - 2): edge -n -> m with weight 2.
+	found := false
+	for _, e := range g.Out(negN) {
+		if e.To == mFam && e.Weight == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing edge -n -> m (weight 2):\n%s", g.Dump())
+	}
+}

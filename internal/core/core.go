@@ -1,0 +1,889 @@
+// Package core implements the range check optimization algorithm of
+// Kolte & Wolfe (PLDI 1995) — the paper's primary contribution.
+//
+// The optimizer runs the paper's five steps per function:
+//
+//  1. Build the check implication graph (families + cross-family edges).
+//  2. Compute safe insertion points (anticipatability).
+//  3. Insert checks per the selected placement scheme: NI (none), CS
+//     (check strengthening), SE (safe-earliest), LNI (latest-not-
+//     isolated), LI (preheader insertion of invariant checks), LLS
+//     (preheader insertion with loop-limit substitution), ALL (LLS+SE).
+//  4. Compute availability and eliminate redundant checks.
+//  5. Evaluate compile-time checks: true ⇒ delete, false ⇒ TRAP.
+//
+// Checks are optimized either as program-expression checks (PRX) or as
+// induction-expression checks (INX, §2.3): INX mode rewrites each in-loop
+// check into the induction expression of its subscript over the loop's
+// basic variable h, materializing h in the loop.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nascent/internal/dataflow"
+	"nascent/internal/dom"
+	"nascent/internal/induction"
+	"nascent/internal/ir"
+	"nascent/internal/linform"
+	"nascent/internal/loops"
+	"nascent/internal/rangecheck"
+	"nascent/internal/ssa"
+)
+
+// Scheme selects the check placement strategy (paper §3.3, §4.2).
+type Scheme int
+
+// Placement schemes, in the paper's Table 2 order.
+const (
+	// NI: redundancy elimination without any insertion of checks.
+	NI Scheme = iota
+	// CS: check strengthening only.
+	CS
+	// LNI: latest-not-isolated placement.
+	LNI
+	// SE: safe-earliest placement.
+	SE
+	// LI: preheader insertion of only loop-invariant checks.
+	LI
+	// LLS: preheader insertion with loop-limit substitution of linear
+	// checks.
+	LLS
+	// ALL: loop-limit substitution followed by safe-earliest placement.
+	ALL
+	// MCM: Markstein-Cocke-Markstein restricted preheader insertion —
+	// the comparison algorithm the paper's §5 proposes implementing:
+	// hoist only simple checks from articulation nodes of loop bodies.
+	MCM
+)
+
+var schemeNames = [...]string{NI: "NI", CS: "CS", LNI: "LNI", SE: "SE", LI: "LI", LLS: "LLS", ALL: "ALL", MCM: "MCM"}
+
+func (s Scheme) String() string { return schemeNames[s] }
+
+// Schemes lists the paper's placement schemes in Table 2 order (MCM, the
+// §5 comparison algorithm, is not part of Table 2).
+var Schemes = []Scheme{NI, CS, LNI, SE, LI, LLS, ALL}
+
+// CheckKind selects how checks are constructed (paper §2.3, §4.3).
+type CheckKind int
+
+// Check kinds.
+const (
+	// PRX: checks over program expressions.
+	PRX CheckKind = iota
+	// INX: checks over induction expressions.
+	INX
+)
+
+func (k CheckKind) String() string {
+	if k == INX {
+		return "INX"
+	}
+	return "PRX"
+}
+
+// Options configure one optimization run.
+type Options struct {
+	Scheme Scheme
+	Kind   CheckKind
+	Mode   rangecheck.Mode
+	// Rotate converts while loops to guarded repeat loops before
+	// optimization, enabling safe-earliest hoisting out of them
+	// (paper §3.3's loop-rotation remark).
+	Rotate bool
+}
+
+// Result reports what the optimizer did.
+type Result struct {
+	Options Options
+	// ChecksBefore/After are static check counts over the whole program.
+	ChecksBefore int
+	ChecksAfter  int
+	// Inserted counts checks added by the placement scheme (including
+	// hoisted cond-checks).
+	Inserted int
+	// EliminatedAvail counts checks removed as available-redundant.
+	EliminatedAvail int
+	// EliminatedCover counts loop-body checks covered by hoisted
+	// preheader checks.
+	EliminatedCover int
+	// EliminatedConst counts compile-time-true checks removed (step 5).
+	EliminatedConst int
+	// TrapsInserted counts compile-time-false checks replaced by TRAP.
+	TrapsInserted int
+	// Diagnostics holds messages for compile-time violations.
+	Diagnostics []string
+}
+
+// Optimize runs the range check optimizer over every function of p,
+// mutating p in place.
+func Optimize(p *ir.Program, opts Options) (*Result, error) {
+	res := &Result{Options: opts, ChecksBefore: p.CountChecks()}
+	for _, f := range p.Funcs {
+		if err := optimizeFunc(f, opts, res); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", f.Name, err)
+		}
+	}
+	res.ChecksAfter = p.CountChecks()
+	if err := p.Verify(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// funcCtx bundles the per-function analyses.
+type funcCtx struct {
+	fn     *ir.Func
+	opts   Options
+	dom    *dom.Tree
+	pdom   *dom.PostTree
+	forest *loops.Forest
+	ssa    *ssa.Info
+	ind    *induction.Analysis
+	res    *Result
+}
+
+func optimizeFunc(f *ir.Func, opts Options, res *Result) error {
+	if opts.Rotate {
+		rotateWhileLoops(f)
+	}
+	f.SplitCriticalEdges()
+	tree := dom.Compute(f)
+	forest := loops.Analyze(f, tree)
+	// Loop analysis may create preheaders; recompute dominators so SSA
+	// and the placement schemes see the final topology. The CFG topology
+	// is frozen from here on (schemes only insert/remove statements).
+	tree = dom.Compute(f)
+	info := ssa.Build(f, tree)
+	ind := induction.Analyze(f, forest, info)
+
+	c := &funcCtx{fn: f, opts: opts, dom: tree, pdom: dom.ComputePost(f), forest: forest, ssa: info, ind: ind, res: res}
+
+	if opts.Kind == INX {
+		c.rewriteINX()
+	}
+
+	switch opts.Scheme {
+	case NI:
+		// no insertion
+	case CS:
+		c.strengthen()
+	case SE:
+		c.placeEarliest()
+	case LNI:
+		c.placeLatest()
+	case LI:
+		c.preheaderInsert(false)
+	case LLS:
+		c.preheaderInsert(true)
+	case ALL:
+		c.preheaderInsert(true)
+		c.placeEarliest()
+	case MCM:
+		c.mcmHoist()
+	}
+
+	c.diagnoseCompileTime()
+	c.eliminate()
+	c.compileTime()
+	return f.Verify()
+}
+
+// diagnoseCompileTime reports every compile-time-false check before
+// elimination runs (availability may legitimately absorb duplicates of a
+// failing constant check, but the paper reports all violations to the
+// programmer).
+func (c *funcCtx) diagnoseCompileTime() {
+	c.fn.ForEachStmt(func(_ *ir.Block, _ int, s ir.Stmt) {
+		chk, ok := s.(*ir.CheckStmt)
+		if !ok || chk.Guard != nil || len(chk.Terms) != 0 || chk.Const >= 0 {
+			return
+		}
+		c.res.Diagnostics = append(c.res.Diagnostics,
+			fmt.Sprintf("%s: compile-time range violation at %s: %s [%s]",
+				c.fn.Name, chk.SrcPos, chk, chk.Note))
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Step 4: availability-based elimination
+
+func (c *funcCtx) eliminate() {
+	env := dataflow.NewEnv(c.fn, c.opts.Mode)
+	availIn, _ := env.Availability()
+	for _, b := range c.fn.ReversePostorder() {
+		st := availIn[b].Clone()
+		kept := b.Stmts[:0]
+		for _, s := range b.Stmts {
+			if chk, ok := s.(*ir.CheckStmt); ok && chk.Guard == nil {
+				f := env.FamilyOf(chk)
+				if st[f.Index] != rangecheck.AllChecks && st[f.Index] <= chk.Const {
+					c.res.EliminatedAvail++
+					continue // redundant: a check as strong is available
+				}
+			}
+			env.TransferForward(st, s)
+			kept = append(kept, s)
+		}
+		b.Stmts = kept
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Step 5: compile-time checks
+
+func (c *funcCtx) compileTime() {
+	for _, b := range c.fn.Blocks {
+		for i := 0; i < len(b.Stmts); i++ {
+			chk, ok := b.Stmts[i].(*ir.CheckStmt)
+			if !ok || len(chk.Terms) != 0 {
+				continue
+			}
+			if chk.Const >= 0 {
+				b.RemoveStmt(i)
+				i--
+				c.res.EliminatedConst++
+				continue
+			}
+			if chk.Guard == nil {
+				// Already reported by diagnoseCompileTime.
+				b.ReplaceStmt(i, &ir.TrapStmt{Note: chk.Note, SrcPos: chk.SrcPos})
+				c.res.TrapsInserted++
+			}
+			// A guarded compile-time-false check stays: it traps at run
+			// time only when its guard (loop entry) is true.
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// CS: check strengthening (Gupta), paper §3.3
+
+func (c *funcCtx) strengthen() {
+	env := dataflow.NewEnv(c.fn, c.opts.Mode)
+	_, antOut := env.Anticipatability()
+	for _, b := range c.fn.ReversePostorder() {
+		st := antOut[b].Clone()
+		for i := len(b.Stmts) - 1; i >= 0; i-- {
+			s := b.Stmts[i]
+			if chk, ok := s.(*ir.CheckStmt); ok && chk.Guard == nil {
+				// st currently holds anticipatability just AFTER this
+				// check: the strongest check that will be performed later
+				// anyway. Strengthen if it is stronger than this one.
+				f := env.FamilyOf(chk)
+				if v := st[f.Index]; v != rangecheck.None && v != rangecheck.AllChecks && v < chk.Const {
+					chk.Const = v
+				}
+			}
+			env.TransferBackward(st, s)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// SE: safe-earliest placement (Knoop-Rüthing-Steffen adapted to checks)
+
+// placement is one insertion point: before statement at of block (at may
+// equal len(block.Stmts) for end-of-block insertion).
+type placement struct {
+	block *ir.Block
+	at    int
+	value int64
+	fam   *rangecheck.Family
+}
+
+// antPoints returns the anticipatability state before each statement
+// position of b: states[i] holds just before b.Stmts[i], and
+// states[len(Stmts)] equals antOut.
+func antPoints(env *dataflow.Env, b *ir.Block, antOut dataflow.State) []dataflow.State {
+	states := make([]dataflow.State, len(b.Stmts)+1)
+	st := antOut.Clone()
+	states[len(b.Stmts)] = st.Clone()
+	for i := len(b.Stmts) - 1; i >= 0; i-- {
+		env.TransferBackward(st, b.Stmts[i])
+		states[i] = st.Clone()
+	}
+	return states
+}
+
+// kills reports whether s kills family fam.
+func kills(env *dataflow.Env, s ir.Stmt, fam *rangecheck.Family) bool {
+	switch s := s.(type) {
+	case *ir.AssignStmt:
+		return fam.KillVars[s.Dst.ID]
+	case *ir.StoreStmt:
+		return fam.KillArrays[s.Arr.ID]
+	case *ir.CallStmt:
+		return fam.KilledByCall
+	}
+	return false
+}
+
+// earliestPlacements computes the safe-earliest insertion points (KRS
+// adapted to the check lattice, at statement granularity): a check
+// (fam, v) is placed where it first becomes anticipatable — at function
+// entry, after a kill, or on an edge from a block where it is neither
+// anticipatable nor available.
+func (c *funcCtx) earliestPlacements(env *dataflow.Env) []placement {
+	_, antOut := env.Anticipatability()
+	_, availOut := env.Availability()
+
+	var out []placement
+	entry := c.fn.Entry()
+	for _, b := range c.fn.ReversePostorder() {
+		pts := antPoints(env, b, antOut[b])
+		for idx, fam := range env.Reg.Families {
+			// Block entry placement: anticipatable at entry of b and not
+			// covered from every predecessor.
+			v := pts[0][idx]
+			if v != rangecheck.None && v != rangecheck.AllChecks {
+				earliest := b == entry
+				for _, p := range b.Preds {
+					down := antOut[p][idx] != rangecheck.AllChecks && antOut[p][idx] <= v
+					up := availOut[p][idx] != rangecheck.AllChecks && availOut[p][idx] <= v
+					if !down && !up {
+						earliest = true
+					}
+				}
+				if earliest {
+					out = append(out, placement{block: b, at: 0, value: v, fam: fam})
+				}
+			}
+			// Intra-block: immediately after each kill where the family
+			// becomes anticipatable again.
+			for i, s := range b.Stmts {
+				if !kills(env, s, fam) {
+					continue
+				}
+				w := pts[i+1][idx]
+				if w != rangecheck.None && w != rangecheck.AllChecks {
+					out = append(out, placement{block: b, at: i + 1, value: w, fam: fam})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (c *funcCtx) insertCheckAt(b *ir.Block, at int, fam *rangecheck.Family, v int64, note string) {
+	chk := &ir.CheckStmt{
+		Terms: cloneTerms(fam.Terms),
+		Const: v,
+		Note:  note,
+	}
+	b.InsertStmts(at, chk)
+	c.res.Inserted++
+}
+
+func (c *funcCtx) placeEarliest() {
+	env := dataflow.NewEnv(c.fn, c.opts.Mode)
+	placements := c.earliestPlacements(env)
+	// Insert back-to-front per block so earlier positions stay valid.
+	sort.SliceStable(placements, func(i, j int) bool {
+		if placements[i].block != placements[j].block {
+			return placements[i].block.ID < placements[j].block.ID
+		}
+		return placements[i].at > placements[j].at
+	})
+	for _, pl := range placements {
+		c.insertCheckAt(pl.block, pl.at, pl.fam, pl.value, "SE placement")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// LNI: latest-not-isolated placement
+
+// placeLatest computes the earliest placements, then delays each one as
+// far down the CFG as possible (the LCM "delay" system): a placement
+// moves forward until it meets an occurrence it covers (where it becomes
+// a strengthening of that occurrence — an insertion immediately before
+// an occurrence is "isolated" and folded into it), falls off a path that
+// never uses it (no insertion there), or reaches a merge some other path
+// of which cannot delay (insert on the incoming edge).
+func (c *funcCtx) placeLatest() {
+	env := dataflow.NewEnv(c.fn, c.opts.Mode)
+	placements := c.earliestPlacements(env)
+
+	type key struct {
+		idx int
+		v   int64
+	}
+	grouped := make(map[key][]placement)
+	var orderKeys []key
+	for _, pl := range placements {
+		k := key{pl.fam.Index, pl.value}
+		if _, seen := grouped[k]; !seen {
+			orderKeys = append(orderKeys, k)
+		}
+		grouped[k] = append(grouped[k], pl)
+	}
+	sort.Slice(orderKeys, func(i, j int) bool {
+		if orderKeys[i].idx != orderKeys[j].idx {
+			return orderKeys[i].idx < orderKeys[j].idx
+		}
+		return orderKeys[i].v < orderKeys[j].v
+	})
+
+	order := c.fn.ReversePostorder()
+	for _, k := range orderKeys {
+		fam := env.Reg.Families[k.idx]
+		v := k.v
+
+		// strengthenFirstOcc delays a placement through the statements of
+		// b starting at position `at`. Returns true if the placement was
+		// absorbed (by an occurrence or a kill); false if it delayed past
+		// the block end.
+		strengthenFirstOcc := func(b *ir.Block, at int) bool {
+			for i := at; i < len(b.Stmts); i++ {
+				s := b.Stmts[i]
+				if chk, ok := s.(*ir.CheckStmt); ok && chk.Guard == nil && env.FamilyOf(chk) == fam {
+					if chk.Const >= v {
+						chk.Const = v // latest placement = strengthen the use
+						return true
+					}
+					// A stronger check: every later use is covered by it;
+					// the delayed placement is unnecessary on this path.
+					return true
+				}
+				if kills(env, s, fam) {
+					return true // path dies; ant guaranteed no use first
+				}
+			}
+			return false
+		}
+
+		earliestExit := make(map[*ir.Block]bool)
+		for _, pl := range grouped[k] {
+			if !strengthenFirstOcc(pl.block, pl.at) {
+				earliestExit[pl.block] = true
+			}
+		}
+		if len(earliestExit) == 0 {
+			continue
+		}
+
+		// occ/kill/cover summaries per block (first relevant event).
+		occ := make(map[*ir.Block]bool)  // contains a use or provider
+		kill := make(map[*ir.Block]bool) // kills the family
+		for _, b := range order {
+			for _, s := range b.Stmts {
+				if chk, ok := s.(*ir.CheckStmt); ok && chk.Guard == nil && env.FamilyOf(chk) == fam {
+					occ[b] = true
+					break
+				}
+				if kills(env, s, fam) {
+					kill[b] = true
+					break
+				}
+			}
+		}
+
+		// LATERIN(b) = AND over preds of LATER(p,b);
+		// LATER(p,b) = earliestExit(p) ∨ (LATERIN(p) ∧ ¬occ(p) ∧ ¬kill(p)).
+		laterIn := make(map[*ir.Block]bool, len(order))
+		for _, b := range order {
+			laterIn[b] = len(b.Preds) > 0
+		}
+		changed := true
+		for changed {
+			changed = false
+			for _, b := range order {
+				if len(b.Preds) == 0 {
+					continue
+				}
+				val := true
+				for _, p := range b.Preds {
+					if !(earliestExit[p] || (laterIn[p] && !occ[p] && !kill[p])) {
+						val = false
+						break
+					}
+				}
+				if laterIn[b] != val {
+					laterIn[b] = val
+					changed = true
+				}
+			}
+		}
+
+		// Materialize: a block whose entry receives the delayed check
+		// (laterIn) absorbs it at its first occurrence; edges that carry
+		// the check into a merge that cannot accept it get an insertion
+		// at the edge (end of pred, which has a single successor after
+		// critical-edge splitting).
+		for _, b := range order {
+			if laterIn[b] {
+				strengthenFirstOcc(b, 0)
+				continue
+			}
+			for _, p := range b.Preds {
+				carries := earliestExit[p] || (laterIn[p] && !occ[p] && !kill[p])
+				if carries && len(p.Succs()) == 1 {
+					c.insertCheckAt(p, len(p.Stmts), fam, v, "LNI placement")
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// LI / LLS: preheader insertion (paper §3.3, Figure 6)
+
+// preheaderInsert hoists checks out of counted loops, innermost first.
+// When lls is true, linear checks are hoisted via loop-limit substitution
+// in addition to invariant checks.
+func (c *funcCtx) preheaderInsert(lls bool) {
+	for _, l := range c.forest.Loops { // innermost first
+		c.hoistLoop(l, lls)
+		c.rehoistCondChecks(l)
+	}
+}
+
+// hoistLoop hoists anticipatable invariant (and, with lls, linear)
+// checks of loop l into its preheader as (cond-)checks.
+func (c *funcCtx) hoistLoop(l *loops.Loop, lls bool) {
+	if !c.opts.Mode.CrossFamily() {
+		// A hoisted cond-check only pays off through the preheader→body
+		// implication; with cross-family implications disabled, inserting
+		// it would strictly add checks.
+		return
+	}
+	if l.Do == nil {
+		return // while loop: no trip count, no safe guard (paper §3.3)
+	}
+	guard, gok := c.ind.GuardExpr(l)
+	if !gok {
+		return // provably zero-trip (or unavailable): nothing to hoist
+	}
+
+	env := dataflow.NewEnv(c.fn, c.opts.Mode)
+	antIn, _ := env.Anticipatability()
+	bodyAnt := antIn[l.Do.BodyEntry]
+	headerVals := c.ssa.OutValues[l.Header]
+
+	// Profitability (paper §2.1 step 3): hoisting must make some check in
+	// the loop body redundant. Record, per family terms, the weakest
+	// constant occurring on an unguarded in-loop check.
+	inLoopMax := make(map[string]int64)
+	for _, b := range l.SortedBlocks() {
+		for _, s := range b.Stmts {
+			if chk, ok := s.(*ir.CheckStmt); ok && chk.Guard == nil {
+				k := ir.FamilyKey(chk.Terms)
+				if cur, seen := inLoopMax[k]; !seen || chk.Const > cur {
+					inLoopMax[k] = chk.Const
+				}
+			}
+		}
+	}
+
+	hKey := ir.Key(&ir.VarRef{Var: c.ind.HVar(l)})
+	inserted := make(map[string]bool)
+
+	for idx, fam := range env.Reg.Families {
+		v := bodyAnt[idx]
+		if v == rangecheck.None || v == rangecheck.AllChecks {
+			continue
+		}
+		if maxC, ok := inLoopMax[ir.FamilyKey(fam.Terms)]; !ok || maxC < v {
+			continue // nothing in the loop would be covered: unprofitable
+		}
+		ie := c.ind.IEOfFormAt(fam.Terms, l, headerVals)
+		var hoisted linform.Form
+		switch {
+		case ie.Class == induction.Invariant:
+			hoisted = ie.Form
+		case lls && ie.Class == induction.Linear:
+			slope := ie.Form.CoefOf(hKey)
+			if slope > 0 {
+				lastH, ok := c.ind.LastH(l)
+				if !ok {
+					continue
+				}
+				hoisted = ie.Form.SubstAtom(hKey, lastH)
+			} else {
+				hoisted = ie.Form.SubstAtom(hKey, linform.Form{}) // h = 0
+			}
+		default:
+			continue
+		}
+
+		terms := ir.NormalizeTerms(cloneTerms(hoisted.Terms))
+		konst := v - hoisted.Const
+		dedupe := fmt.Sprintf("%s<=%d", ir.FamilyKey(terms), konst)
+		if !inserted[dedupe] {
+			inserted[dedupe] = true
+			var g ir.Expr
+			if guard != nil {
+				g = ir.CloneExpr(guard)
+			}
+			chk := &ir.CheckStmt{
+				Terms: terms,
+				Const: konst,
+				Guard: g,
+				Note:  fmt.Sprintf("hoisted from loop b%d", l.Header.ID),
+			}
+			pre := l.Preheader
+			pre.InsertStmts(len(pre.Stmts), chk)
+			c.res.Inserted++
+		}
+
+		// The hoisted check covers every iteration's instance: eliminate
+		// the loop-body checks it implies (the preheader→body CIG edge,
+		// paper §3.4 / Table 3's "only important implications").
+		c.eliminateCovered(l, env, fam, v)
+	}
+}
+
+// eliminateCovered removes unguarded checks of fam with constant ≥ v
+// from the blocks of l. The hoisted preheader check covers the value the
+// family's range-expression holds *at loop-body entry* of each iteration;
+// an occurrence downstream of an in-body definition of one of the
+// family's variables (a derived induction variable updated mid-body)
+// reads a different value and must stay. This mirrors the paper's
+// dataflow formulation, where the preheader→body cover fact is killed by
+// such a definition.
+func (c *funcCtx) eliminateCovered(l *loops.Loop, env *dataflow.Env, fam *rangecheck.Family, v int64) {
+	famTerms := ir.FamilyKey(fam.Terms)
+	unkilledIn := c.unkilledAtEntry(l, env, fam)
+	for _, b := range l.SortedBlocks() {
+		state := unkilledIn[b]
+		kept := b.Stmts[:0]
+		for _, s := range b.Stmts {
+			if chk, ok := s.(*ir.CheckStmt); ok && chk.Guard == nil && state {
+				if ir.FamilyKey(chk.Terms) == famTerms && chk.Const >= v {
+					c.res.EliminatedCover++
+					continue
+				}
+			}
+			if kills(env, s, fam) {
+				state = false
+			}
+			kept = append(kept, s)
+		}
+		b.Stmts = kept
+	}
+}
+
+// unkilledAtEntry computes, per loop block, whether the family's
+// range-expression still holds its loop-body-entry value on every path
+// to the block's entry within one iteration. The loop header resets the
+// fact (each iteration re-reads the family at body entry).
+func (c *funcCtx) unkilledAtEntry(l *loops.Loop, env *dataflow.Env, fam *rangecheck.Family) map[*ir.Block]bool {
+	blocks := l.SortedBlocks()
+	killsBlock := make(map[*ir.Block]bool, len(blocks))
+	for _, b := range blocks {
+		for _, s := range b.Stmts {
+			if kills(env, s, fam) {
+				killsBlock[b] = true
+				break
+			}
+		}
+	}
+	in := make(map[*ir.Block]bool, len(blocks))
+	for _, b := range blocks {
+		in[b] = true
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range blocks {
+			if b == l.Header {
+				continue // each iteration re-enters here: fact holds
+			}
+			val := true
+			for _, p := range b.Preds {
+				if !l.Blocks[p] {
+					continue
+				}
+				if !in[p] || killsBlock[p] {
+					val = false
+					break
+				}
+			}
+			if in[b] != val {
+				in[b] = val
+				changed = true
+			}
+		}
+	}
+	return in
+}
+
+// rehoistCondChecks moves cond-checks sitting in inner preheaders (or any
+// block executing on every iteration) of l out to l's preheader, so
+// checks migrate to the outermost loop possible (paper §3.3).
+func (c *funcCtx) rehoistCondChecks(l *loops.Loop) {
+	if l.Do == nil {
+		return
+	}
+	guard, gok := c.ind.GuardExpr(l)
+	if !gok {
+		return
+	}
+
+	// What can l modify?
+	assigned := make(map[int]bool)
+	stored := make(map[int]bool)
+	hasCall := false
+	for _, b := range l.SortedBlocks() {
+		for _, s := range b.Stmts {
+			switch s := s.(type) {
+			case *ir.AssignStmt:
+				assigned[s.Dst.ID] = true
+			case *ir.StoreStmt:
+				stored[s.Arr.ID] = true
+			case *ir.CallStmt:
+				hasCall = true
+			}
+		}
+	}
+	invariant := func(e ir.Expr) bool {
+		ok := true
+		ir.WalkExpr(e, func(x ir.Expr) {
+			switch x := x.(type) {
+			case *ir.VarRef:
+				if assigned[x.Var.ID] || (hasCall && x.Var.Global) {
+					ok = false
+				}
+			case *ir.Load:
+				if stored[x.Arr.ID] || (hasCall && x.Arr.Global) {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+
+	for _, b := range l.SortedBlocks() {
+		if b == l.Header {
+			continue
+		}
+		// The block must execute on every iteration of l.
+		domAll := c.dom.Dominates(l.Do.BodyEntry, b) || b == l.Do.BodyEntry
+		for _, latch := range l.Latches {
+			if !c.dom.Dominates(b, latch) {
+				domAll = false
+			}
+		}
+		if !domAll {
+			continue
+		}
+		kept := b.Stmts[:0]
+		for _, s := range b.Stmts {
+			chk, ok := s.(*ir.CheckStmt)
+			if !ok || chk.Guard == nil {
+				kept = append(kept, s)
+				continue
+			}
+			allInv := invariant(chk.Guard)
+			for _, t := range chk.Terms {
+				if !invariant(t.Atom) {
+					allInv = false
+				}
+			}
+			if !allInv {
+				kept = append(kept, s)
+				continue
+			}
+			// Move to l's preheader, conjoining l's entry guard.
+			if guard != nil {
+				chk.Guard = &ir.Bin{Op: ir.OpAnd, L: ir.CloneExpr(guard), R: chk.Guard, Typ: ir.Bool}
+			}
+			pre := l.Preheader
+			pre.InsertStmts(len(pre.Stmts), chk)
+		}
+		b.Stmts = kept
+	}
+}
+
+// ---------------------------------------------------------------------------
+// INX: rewrite checks over induction expressions (paper §2.3, §4.3)
+
+// rewriteINX replaces each in-loop check's range-expression with its
+// induction expression over the innermost enclosing loop's basic
+// variable h, when every atom classifies as invariant or linear. Loops
+// whose h is referenced get it materialized (h=0 in the preheader,
+// h=h+1 at each latch).
+func (c *funcCtx) rewriteINX() {
+	needH := make(map[*loops.Loop]bool)
+	for _, b := range c.fn.Blocks {
+		l := c.forest.LoopOf(b)
+		if l == nil {
+			continue
+		}
+		for _, s := range b.Stmts {
+			chk, ok := s.(*ir.CheckStmt)
+			if !ok || chk.Guard != nil {
+				continue
+			}
+			ie := c.inxForm(chk, l)
+			if ie == nil {
+				continue
+			}
+			newTerms := ir.NormalizeTerms(cloneTerms(ie.Terms))
+			// The rewritten check stays inside the loop body, so every
+			// atom it reads must hold the same value throughout the
+			// loop (h excepted).
+			if !c.ind.LoopStableTerms(l, newTerms) {
+				continue
+			}
+			chk.Terms = newTerms
+			chk.Const -= ie.Const
+			hk := ir.Key(&ir.VarRef{Var: c.ind.HVar(l)})
+			for _, t := range newTerms {
+				if ir.Key(t.Atom) == hk {
+					needH[l] = true
+				}
+			}
+		}
+	}
+	for l := range needH {
+		c.materializeH(l)
+	}
+}
+
+// inxForm returns the induction form of a check's range-expression, or
+// nil when it is not expressible (then the PRX form is kept).
+func (c *funcCtx) inxForm(chk *ir.CheckStmt, l *loops.Loop) *linform.Form {
+	acc := linform.Form{}
+	for _, t := range chk.Terms {
+		var ie induction.IE
+		if vr, ok := t.Atom.(*ir.VarRef); ok {
+			use := c.ssa.UseOf[vr]
+			if use == nil {
+				return nil
+			}
+			ie = c.ind.IEOfValue(use, l)
+		} else {
+			ie = c.ind.IEOfOpaqueAtom(t.Atom, l)
+		}
+		if ie.Class != induction.Invariant && ie.Class != induction.Linear {
+			return nil
+		}
+		acc = acc.Add(ie.Form.Scale(t.Coef))
+	}
+	return &acc
+}
+
+// materializeH gives loop l a runtime basic variable: h=0 in the
+// preheader, h=h+1 at the end of each latch.
+func (c *funcCtx) materializeH(l *loops.Loop) {
+	h := c.ind.HVar(l)
+	pre := l.Preheader
+	pre.InsertStmts(len(pre.Stmts), &ir.AssignStmt{Dst: h, Src: &ir.ConstInt{V: 0}})
+	for _, latch := range l.Latches {
+		latch.InsertStmts(len(latch.Stmts), &ir.AssignStmt{
+			Dst: h,
+			Src: &ir.Bin{Op: ir.OpAdd, L: &ir.VarRef{Var: h}, R: &ir.ConstInt{V: 1}, Typ: ir.Int},
+		})
+	}
+}
+
+func cloneTerms(terms []ir.CheckTerm) []ir.CheckTerm {
+	out := make([]ir.CheckTerm, len(terms))
+	for i, t := range terms {
+		out[i] = ir.CheckTerm{Coef: t.Coef, Atom: ir.CloneExpr(t.Atom)}
+	}
+	return out
+}

@@ -1,0 +1,898 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"nascent/internal/core"
+	"nascent/internal/interp"
+	"nascent/internal/ir"
+	"nascent/internal/rangecheck"
+	"nascent/internal/suite"
+	"nascent/internal/testutil"
+)
+
+// optimize compiles src with checks and runs the optimizer.
+func optimize(t *testing.T, src string, opts core.Options) (*ir.Program, *core.Result) {
+	t.Helper()
+	p := testutil.BuildIR(t, src, true)
+	res, err := core.Optimize(p, opts)
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	return p, res
+}
+
+func run(t *testing.T, p *ir.Program) interp.Result {
+	t.Helper()
+	res, err := interp.Run(p, interp.Config{})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func dynChecks(t *testing.T, src string, opts core.Options) (naive, optimized uint64) {
+	t.Helper()
+	pn := testutil.BuildIR(t, src, true)
+	rn := run(t, pn)
+	po, _ := optimize(t, src, opts)
+	ro := run(t, po)
+	if rn.Trapped != ro.Trapped {
+		t.Fatalf("trap behavior changed: naive=%v optimized=%v (%s)", rn.Trapped, ro.Trapped, ro.TrapNote)
+	}
+	if rn.Output != ro.Output {
+		t.Fatalf("output changed:\nnaive: %q\nopt:   %q", rn.Output, ro.Output)
+	}
+	return rn.Checks, ro.Checks
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: availability elimination and strengthening
+
+const figure1Src = `program p
+  integer a(5:10)
+  integer n
+  n = 3
+  a(2*n) = 0
+  a(2*n - 1) = 1
+end
+`
+
+func TestFigure1AvailabilityElimination(t *testing.T) {
+	// Naive: 4 checks (C1..C4). NI eliminates C4 (implied by C2): 3 left.
+	p, res := optimize(t, figure1Src, core.Options{Scheme: core.NI})
+	if res.ChecksBefore != 4 {
+		t.Fatalf("naive checks = %d, want 4", res.ChecksBefore)
+	}
+	if res.ChecksAfter != 3 {
+		t.Errorf("NI checks = %d, want 3 (Figure 1b)", res.ChecksAfter)
+	}
+	dump := p.Main().Dump()
+	// C4 (2n <= 11) must be gone; C3 (-2n <= -6) stays.
+	if strings.Contains(dump, "check (2*n <= 11)") {
+		t.Errorf("C4 not eliminated:\n%s", dump)
+	}
+	if !strings.Contains(dump, "check (-2*n <= -6)") {
+		t.Errorf("C3 missing:\n%s", dump)
+	}
+}
+
+func TestFigure1Strengthening(t *testing.T) {
+	// CS additionally replaces C1 (-2n <= -5) by the stronger C3
+	// (-2n <= -6), making C3 redundant: 2 checks left (Figure 1c).
+	p, res := optimize(t, figure1Src, core.Options{Scheme: core.CS})
+	if res.ChecksAfter != 2 {
+		t.Errorf("CS checks = %d, want 2 (Figure 1c)", res.ChecksAfter)
+	}
+	dump := p.Main().Dump()
+	if !strings.Contains(dump, "check (-2*n <= -6)") || !strings.Contains(dump, "check (2*n <= 10)") {
+		t.Errorf("expected strengthened checks C3', C2:\n%s", dump)
+	}
+}
+
+func TestFigure1SafeEarliestMatchesCS(t *testing.T) {
+	_, res := optimize(t, figure1Src, core.Options{Scheme: core.SE})
+	if res.ChecksAfter != 2 {
+		t.Errorf("SE checks = %d, want 2", res.ChecksAfter)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: safe-earliest placement can be unprofitable
+
+const figure5Src = `program p
+  integer a(1:10)
+  integer i, n
+  n = 1
+  i = 2
+  if (n > 0) then
+    a(i) = 1
+  else
+    a(i + 4) = 2
+  endif
+end
+`
+
+func TestFigure5UnprofitablePlacement(t *testing.T) {
+	// SE hoists check (i <= 10) above the branch; the else-branch then
+	// still needs (i <= 6): the else path performs 2 checks where the
+	// original performed 1 (the paper's profitability anomaly).
+	p, _ := optimize(t, figure5Src, core.Options{Scheme: core.SE})
+	dump := p.Main().Dump()
+	entry := p.Main().Entry()
+	foundHoisted := false
+	for _, s := range entry.Stmts {
+		if c, ok := s.(*ir.CheckStmt); ok && c.String() == "check (i <= 10)" {
+			foundHoisted = true
+		}
+	}
+	if !foundHoisted {
+		// The check may be placed after the last def of i in the entry
+		// block; search the whole entry block dump instead.
+		t.Errorf("SE did not hoist (i <= 10) to the entry block:\n%s", dump)
+	}
+	// The else arm keeps its stronger check.
+	if !strings.Contains(dump, "check (i <= 6)") {
+		t.Errorf("else-branch check missing:\n%s", dump)
+	}
+}
+
+func TestFigure5NoInsertionKeepsBranchChecks(t *testing.T) {
+	// NI leaves one upper check in each arm.
+	p, _ := optimize(t, figure5Src, core.Options{Scheme: core.NI})
+	dump := p.Main().Dump()
+	if !strings.Contains(dump, "check (i <= 10)") || !strings.Contains(dump, "check (i <= 6)") {
+		t.Errorf("NI should keep both branch checks:\n%s", dump)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: preheader insertion with loop-limit substitution
+
+const figure6Src = `program p
+  integer a(1:10)
+  integer j, k, n
+  n = nn
+  k = kk
+  do j = 1, 2*n
+    a(k) = a(k) + 1
+    a(j) = 2
+  enddo
+end
+subroutine dummy()
+  x = 1.0
+end
+`
+
+// figure6Setup makes n and k runtime values (read from implicit globals)
+// so their checks cannot constant-fold.
+const figure6Setup = `program p
+  integer a(1:10)
+  integer j, k, n, nn, kk
+  nn = 4
+  kk = 3
+  call init()
+  do j = 1, 2*n
+    a(k) = a(k) + 1
+    a(j) = 2
+  enddo
+end
+subroutine init()
+  n = nn
+  k = kk
+end
+`
+
+func TestFigure6PreheaderInsertion(t *testing.T) {
+	p, res := optimize(t, figure6Setup, core.Options{Scheme: core.LLS})
+	dump := p.Main().Dump()
+	// Hoisted cond-checks on k (invariant) and 2n (linear, loop-limit
+	// substituted), guarded by loop entry (1 <= 2*n).
+	for _, want := range []string{
+		"condcheck ((1 <= (2 * n)), k <= 10)",
+		"condcheck ((1 <= (2 * n)), 2*n <= 10)",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("missing %q in:\n%s", want, dump)
+		}
+	}
+	// All in-loop checks gone.
+	for _, l := range p.Main().DoLoops {
+		for _, b := range []*ir.Block{l.BodyEntry, l.Latch} {
+			for _, s := range b.Stmts {
+				if _, ok := s.(*ir.CheckStmt); ok {
+					t.Errorf("check left in loop body: %s", ir.StmtString(s))
+				}
+			}
+		}
+	}
+	if res.EliminatedCover == 0 {
+		t.Error("no checks eliminated via preheader cover")
+	}
+}
+
+func TestFigure6DynamicCounts(t *testing.T) {
+	naive, opt := dynChecks(t, figure6Setup, core.Options{Scheme: core.LLS})
+	// Loop runs 8 iterations; naive: a(k) load 2 + a(k) store 2 + a(j)
+	// store 2 = 6 checks/iter = 48, plus none outside.
+	if naive != 48 {
+		t.Errorf("naive dynamic checks = %d, want 48", naive)
+	}
+	// LLS leaves only the preheader cond-checks: -k, k, 2n upper (lower
+	// bound of j substitutes to a constant check, eliminated). Expect <=
+	// 4 dynamic checks.
+	if opt > 4 {
+		t.Errorf("LLS dynamic checks = %d, want <= 4", opt)
+	}
+}
+
+func TestLIHoistsOnlyInvariant(t *testing.T) {
+	p, _ := optimize(t, figure6Setup, core.Options{Scheme: core.LI})
+	dump := p.Main().Dump()
+	// k checks hoisted...
+	if !strings.Contains(dump, "condcheck ((1 <= (2 * n)), k <= 10)") {
+		t.Errorf("LI did not hoist invariant check:\n%s", dump)
+	}
+	// ...but the linear j check stays in the loop.
+	found := false
+	for _, l := range p.Main().DoLoops {
+		for _, s := range l.BodyEntry.Stmts {
+			if c, ok := s.(*ir.CheckStmt); ok && strings.Contains(c.String(), "j <= 10") {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("LI must keep the linear check in the loop:\n%s", dump)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Compile-time checks (step 5)
+
+func TestCompileTimeTrueChecksEliminated(t *testing.T) {
+	src := `program p
+  integer a(1:10)
+  a(5) = 1
+  a(1) = 2
+  a(10) = 3
+end
+`
+	_, res := optimize(t, src, core.Options{Scheme: core.NI})
+	if res.ChecksAfter != 0 {
+		t.Errorf("constant in-range checks not eliminated: %d left", res.ChecksAfter)
+	}
+	// Constant checks share the empty family, so availability absorbs
+	// some before step 5 sees them; together they account for all 6.
+	if res.EliminatedConst+res.EliminatedAvail != 6 {
+		t.Errorf("EliminatedConst+Avail = %d+%d, want 6", res.EliminatedConst, res.EliminatedAvail)
+	}
+}
+
+func TestCompileTimeViolationBecomesTrap(t *testing.T) {
+	src := `program p
+  integer a(1:10)
+  a(11) = 1
+end
+`
+	p, res := optimize(t, src, core.Options{Scheme: core.NI})
+	if res.TrapsInserted != 1 {
+		t.Fatalf("TrapsInserted = %d, want 1", res.TrapsInserted)
+	}
+	if len(res.Diagnostics) == 0 {
+		t.Error("no diagnostic for compile-time violation")
+	}
+	r := run(t, p)
+	if !r.Trapped {
+		t.Error("program with compile-time violation must trap at run time")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Loop-limit substitution details
+
+func TestLLSConstantBoundsFullyEliminated(t *testing.T) {
+	src := `program p
+  real a(100)
+  integer i
+  do i = 1, 100
+    a(i) = 1.0
+  enddo
+end
+`
+	p, _ := optimize(t, src, core.Options{Scheme: core.LLS})
+	if got := p.CountChecks(); got != 0 {
+		t.Errorf("constant loop over full range: %d checks left, want 0\n%s", got, p.Main().Dump())
+	}
+	r := run(t, p)
+	if r.Checks != 0 {
+		t.Errorf("dynamic checks = %d, want 0", r.Checks)
+	}
+}
+
+func TestLLSTrapPreserved(t *testing.T) {
+	// Loop overruns the array: naive traps at i=11; LLS must still trap
+	// (earlier is allowed, paper behavior condition 2).
+	src := `program p
+  real a(10)
+  integer i, n
+  n = 20
+  do i = 1, n
+    a(i) = 1.0
+  enddo
+  print 1
+end
+`
+	pn := testutil.BuildIR(t, src, true)
+	rn := run(t, pn)
+	if !rn.Trapped {
+		t.Fatal("naive must trap")
+	}
+	po, _ := optimize(t, src, core.Options{Scheme: core.LLS})
+	ro := run(t, po)
+	if !ro.Trapped {
+		t.Fatal("LLS lost the trap")
+	}
+	if strings.Contains(ro.Output, "1") {
+		t.Error("output after trap")
+	}
+}
+
+func TestLLSNoFalseTrapOnZeroTripLoop(t *testing.T) {
+	// The loop never executes, so its out-of-range body must not trap —
+	// the hoisted check is guarded by (1 <= n) = false.
+	src := `program p
+  real a(10)
+  integer i, n
+  n = 0
+  do i = 1, n
+    a(i + 100) = 1.0
+  enddo
+  print 7
+end
+`
+	p, _ := optimize(t, src, core.Options{Scheme: core.LLS})
+	r := run(t, p)
+	if r.Trapped {
+		t.Fatalf("guarded hoisted check trapped on zero-trip loop: %s", r.TrapNote)
+	}
+	if !strings.Contains(r.Output, "7") {
+		t.Error("program output lost")
+	}
+}
+
+func TestLLSNegativeStep(t *testing.T) {
+	naive, opt := dynChecks(t, `program p
+  real a(50)
+  integer i
+  do i = 50, 1, -1
+    a(i) = 1.0
+  enddo
+end
+`, core.Options{Scheme: core.LLS})
+	if naive != 100 {
+		t.Errorf("naive = %d, want 100", naive)
+	}
+	if opt != 0 {
+		t.Errorf("LLS = %d, want 0 (constant bounds fold)", opt)
+	}
+}
+
+func TestLLSNonUnitSymbolicStepNotHoisted(t *testing.T) {
+	// Symbolic bound with step 2: trip count unavailable, the check must
+	// stay in the loop (safety over profit).
+	src := `program p
+  real a(100)
+  integer i, n
+  n = 99
+  call f()
+  do i = 1, n, 2
+    a(i) = 1.0
+  enddo
+end
+subroutine f()
+  n = n + 0
+end
+`
+	p, _ := optimize(t, src, core.Options{Scheme: core.LLS})
+	r := run(t, p)
+	if r.Trapped {
+		t.Fatalf("trap: %s", r.TrapNote)
+	}
+	if r.Checks == 0 {
+		t.Error("upper check with unavailable trip count must stay dynamic")
+	}
+}
+
+func TestWhileLoopNotHoisted(t *testing.T) {
+	src := `program p
+  real a(10)
+  integer i, n
+  n = 10
+  i = 1
+  while (i <= n)
+    a(i) = 1.0
+    i = i + 1
+  endwhile
+end
+`
+	p, _ := optimize(t, src, core.Options{Scheme: core.LLS})
+	r := run(t, p)
+	// Checks remain in the while loop (2 per iteration minus dedup).
+	if r.Checks == 0 {
+		t.Error("while-loop checks must not be hoisted (paper §3.3)")
+	}
+}
+
+func TestMultiLevelHoisting(t *testing.T) {
+	// The inner loop's hoisted cond-check is re-hoisted to the outer
+	// preheader: dynamic cond-check executions drop from n_outer to 1.
+	src := `program p
+  real a(100)
+  integer i, j, n, m
+  n = 50
+  m = 80
+  call f()
+  do i = 1, n
+    do j = 1, m
+      a(j) = 1.0
+    enddo
+  enddo
+end
+subroutine f()
+  m = m + 0
+end
+`
+	p, _ := optimize(t, src, core.Options{Scheme: core.LLS})
+	r := run(t, p)
+	if r.Trapped {
+		t.Fatalf("trap: %s", r.TrapNote)
+	}
+	// Upper check on m: hoisted out of inner loop, then moved to the
+	// outer preheader => executes once, not 50 times.
+	if r.Checks > 3 {
+		t.Errorf("dynamic checks = %d, want <= 3 (cond-check hoisted to outermost level)", r.Checks)
+	}
+	// And it must reside in a block outside both loops.
+	outer := p.Main().DoLoops[0]
+	inner := p.Main().DoLoops[1]
+	_ = inner
+	found := false
+	for _, s := range outer.Preheader.Stmts {
+		if c, ok := s.(*ir.CheckStmt); ok && c.Guard != nil {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cond-check in outermost preheader:\n%s", p.Main().Dump())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Availability dedup (NI) behaviors
+
+func TestNIEliminatesRepeatedSubscripts(t *testing.T) {
+	naive, opt := dynChecks(t, `program p
+  real a(100), b(100)
+  integer i, n
+  n = 100
+  do i = 1, n
+    a(i) = b(i) + a(i) * 2.0
+  enddo
+end
+`, core.Options{Scheme: core.NI})
+	// 3 accesses/iter with the same subscript: 6 checks naive, 2 after
+	// dedup.
+	if naive != 600 {
+		t.Errorf("naive = %d, want 600", naive)
+	}
+	if opt != 200 {
+		t.Errorf("NI = %d, want 200", opt)
+	}
+}
+
+func TestIncrementShiftsAvailability(t *testing.T) {
+	// After i = i + 1, the available check (i <= 99) becomes (i <= 100):
+	// the second check is redundant via the self-shift implication.
+	src := `program p
+  real a(100)
+  integer i, n
+  n = 50
+  call f()
+  a(i) = 1.0
+  i = i + 1
+  a(i) = 2.0
+end
+subroutine f()
+  i = n
+end
+`
+	_, res := optimize(t, src, core.Options{Scheme: core.NI})
+	// a(i): -i<=-1, i<=100; i=i+1; a(i): -i<=-1 NOT redundant (shift
+	// weakens lower bound: -i <= 0), i<=100 redundant? shift: i<=101,
+	// weaker than needed 100 => NOT redundant. Hmm: increment makes
+	// upper checks weaker and lower checks stronger:
+	// old -i <= -1 shifts to -i <= -2 which IS as strong as -i <= -1.
+	// So exactly one of the two later checks is eliminated.
+	if res.ChecksAfter != 3 {
+		t.Errorf("checks after = %d, want 3 (lower bound covered via shift)", res.ChecksAfter)
+	}
+}
+
+func TestIncrementShiftDisabledWithoutImplications(t *testing.T) {
+	src := `program p
+  real a(100)
+  integer i, n
+  n = 50
+  call f()
+  a(i) = 1.0
+  i = i + 1
+  a(i) = 2.0
+end
+subroutine f()
+  i = n
+end
+`
+	_, res := optimize(t, src, core.Options{Scheme: core.NI, Mode: rangecheck.ImplyNone})
+	if res.ChecksAfter != 4 {
+		t.Errorf("NI' checks after = %d, want 4 (no implications)", res.ChecksAfter)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// INX checks
+
+func TestINXRewritesThroughTemporary(t *testing.T) {
+	// The subscript temporary m = k + 3 blocks PRX hoisting (m is
+	// defined in the loop) but INX rewrites the check to k + 3, which
+	// hoists (the paper's §4.3 trfd effect).
+	src := `program p
+  real a(100)
+  integer i, k, m, n
+  n = 50
+  k = 7
+  call f()
+  do i = 1, n
+    m = k + 3
+    a(m) = 1.0
+  enddo
+end
+subroutine f()
+  k = k + 0
+end
+`
+	// PRX LI: cannot hoist (m defined in loop kills anticipatability at
+	// the preheader? m's checks are anticipatable at body entry, but the
+	// family over m is not invariant: IE machinery classifies it via m's
+	// def... PRX keeps the check family over m, whose IE is invariant
+	// k+3, so even PRX LI hoists it here. Use INX vs PRX dynamic parity.
+	pPRX, _ := optimize(t, src, core.Options{Scheme: core.LI, Kind: core.PRX})
+	rPRX := run(t, pPRX)
+	pINX, _ := optimize(t, src, core.Options{Scheme: core.LI, Kind: core.INX})
+	rINX := run(t, pINX)
+	if rINX.Trapped || rPRX.Trapped {
+		t.Fatal("unexpected trap")
+	}
+	if rINX.Checks > rPRX.Checks {
+		t.Errorf("INX (%d) should not be worse than PRX (%d) here", rINX.Checks, rPRX.Checks)
+	}
+	if rINX.Checks > 4 {
+		t.Errorf("INX LI left %d dynamic checks, want <= 4", rINX.Checks)
+	}
+}
+
+func TestINXPreservesSemantics(t *testing.T) {
+	src := `program p
+  real a(50)
+  integer i, k
+  k = 0
+  do i = 1, 20
+    k = k + 2
+    a(k) = float(i)
+  enddo
+  print a(2), a(40)
+end
+`
+	for _, sch := range []core.Scheme{core.NI, core.SE, core.LLS, core.ALL} {
+		naive, opt := dynChecks(t, src, core.Options{Scheme: sch, Kind: core.INX})
+		if opt > naive {
+			t.Errorf("%v INX: optimized %d > naive %d", sch, opt, naive)
+		}
+	}
+}
+
+func TestINXLLSHoistsDerivedInduction(t *testing.T) {
+	// k = k + 2 is a derived linear IV: INX LLS hoists its checks via
+	// h-substitution even though k is not the DO variable.
+	src := `program p
+  real a(50)
+  integer i, k, n
+  n = 20
+  call f()
+  k = 0
+  do i = 1, n
+    k = k + 2
+    a(k) = 1.0
+  enddo
+end
+subroutine f()
+  n = n + 0
+end
+`
+	p, _ := optimize(t, src, core.Options{Scheme: core.LLS, Kind: core.INX})
+	r := run(t, p)
+	if r.Trapped {
+		t.Fatalf("trap: %s", r.TrapNote)
+	}
+	if r.Checks > 4 {
+		t.Errorf("INX LLS dynamic checks = %d, want <= 4 (hoisted)\n%s", r.Checks, p.Main().Dump())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scheme ordering invariants (paper Table 2 shape)
+
+func TestSchemeOrdering(t *testing.T) {
+	src := `program p
+  real a(100), b(100)
+  integer i, j, k, n, m
+  n = 60
+  m = 40
+  k = 5
+  call f()
+  do i = 1, n
+    a(i) = b(i) + 1.0
+    a(k) = a(k) + a(i)
+    if (i < m) then
+      b(i) = a(i + 1)
+    endif
+  enddo
+  j = 1
+  while (j < m)
+    b(j) = a(j)
+    j = j + 2
+  endwhile
+end
+subroutine f()
+  n = n + 0
+  m = m + 0
+  k = k + 0
+end
+`
+	counts := map[core.Scheme]uint64{}
+	var naive uint64
+	for _, sch := range core.Schemes {
+		n, o := dynChecks(t, src, core.Options{Scheme: sch})
+		naive = n
+		counts[sch] = o
+	}
+	// Every scheme reduces checks.
+	for sch, c := range counts {
+		if c > naive {
+			t.Errorf("%v executed %d checks, naive %d", sch, c, naive)
+		}
+	}
+	// The paper's ordering: LLS <= LI <= NI; SE <= NI; CS <= NI; ALL <= LLS.
+	if counts[core.LLS] > counts[core.LI] || counts[core.LI] > counts[core.NI] {
+		t.Errorf("preheader ordering violated: NI=%d LI=%d LLS=%d", counts[core.NI], counts[core.LI], counts[core.LLS])
+	}
+	if counts[core.SE] > counts[core.NI] || counts[core.CS] > counts[core.NI] {
+		t.Errorf("PRE ordering violated: NI=%d CS=%d SE=%d", counts[core.NI], counts[core.CS], counts[core.SE])
+	}
+	if counts[core.ALL] > counts[core.LLS] {
+		t.Errorf("ALL=%d worse than LLS=%d", counts[core.ALL], counts[core.LLS])
+	}
+	if counts[core.SE] > counts[core.LNI] {
+		t.Errorf("SE=%d should be at least as good as LNI=%d", counts[core.SE], counts[core.LNI])
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Implication modes (Table 3 shape)
+
+func TestImplicationModesOrdering(t *testing.T) {
+	src := `program p
+  real a(100)
+  integer i, n
+  n = 60
+  call f()
+  do i = 1, n
+    a(i) = a(i) * 2.0
+    a(i + 1) = a(i + 1) + 1.0
+  enddo
+end
+subroutine f()
+  n = n + 0
+end
+`
+	for _, sch := range []core.Scheme{core.NI, core.SE, core.LLS} {
+		_, full := dynChecks(t, src, core.Options{Scheme: sch, Mode: rangecheck.ImplyFull})
+		_, none := dynChecks(t, src, core.Options{Scheme: sch, Mode: rangecheck.ImplyNone})
+		if full > none {
+			t.Errorf("%v: full implications (%d) worse than none (%d)", sch, full, none)
+		}
+	}
+	// LLS' (cross only) stays close to LLS and far better than none.
+	_, lls := dynChecks(t, src, core.Options{Scheme: core.LLS, Mode: rangecheck.ImplyFull})
+	_, llsP := dynChecks(t, src, core.Options{Scheme: core.LLS, Mode: rangecheck.ImplyCross})
+	_, llsNone := dynChecks(t, src, core.Options{Scheme: core.LLS, Mode: rangecheck.ImplyNone})
+	if llsP > llsNone {
+		t.Errorf("LLS' (%d) should beat LLS-with-no-implications (%d)", llsP, llsNone)
+	}
+	if lls > llsP {
+		t.Errorf("LLS (%d) should be at least as good as LLS' (%d)", lls, llsP)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Calls and globals
+
+func TestCallKillsAvailability(t *testing.T) {
+	src := `program p
+  real a(100)
+  integer n
+  n = 5
+  call f()
+  a(n) = 1.0
+  call f()
+  a(n) = 2.0
+end
+subroutine f()
+  n = n + 1
+end
+`
+	p, _ := optimize(t, src, core.Options{Scheme: core.NI})
+	// The second a(n) checks cannot be eliminated: f modifies n.
+	if got := p.CountChecks(); got != 4 {
+		t.Errorf("checks = %d, want 4 (call kills availability)", got)
+	}
+	r := run(t, p)
+	if r.Trapped {
+		t.Fatalf("trap: %s", r.TrapNote)
+	}
+}
+
+func TestLocalUnaffectedByCall(t *testing.T) {
+	src := `program p
+  call f()
+end
+subroutine f()
+  real loc(100)
+  integer m
+  m = 5
+  loc(m) = 1.0
+  call g()
+  loc(m) = 2.0
+end
+subroutine g()
+  x = 1.0
+end
+`
+	p, _ := optimize(t, src, core.Options{Scheme: core.NI})
+	f := p.FuncByName("f")
+	if got := f.CountChecks(); got != 2 {
+		t.Errorf("checks in f = %d, want 2 (locals survive calls)", got)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Differential safety: every scheme × kind × mode preserves semantics
+
+func TestDifferentialSemantics(t *testing.T) {
+	sources := []string{
+		// triangular loop
+		`program p
+  real a(40)
+  integer i, j, n
+  n = 8
+  call f()
+  do i = 1, n
+    do j = i, n
+      a(i + j) = a(i + j) + 1.0
+    enddo
+  enddo
+  print a(2), a(16)
+end
+subroutine f()
+  n = n + 0
+end
+`,
+		// conditional access + while
+		`program p
+  real a(20)
+  integer i, n
+  n = 15
+  call f()
+  do i = 1, n
+    if (mod(i, 3) == 0) then
+      a(i) = float(i)
+    else
+      a(i + 1) = 1.0
+    endif
+  enddo
+  i = 1
+  while (i < n)
+    a(i) = a(i) + a(i + 1)
+    i = i * 2
+  endwhile
+  print a(1), a(15)
+end
+subroutine f()
+  n = n + 0
+end
+`,
+		// indirect indexing
+		`program p
+  integer idx(10)
+  real a(10)
+  integer i
+  do i = 1, 10
+    idx(i) = 11 - i
+  enddo
+  do i = 1, 10
+    a(idx(i)) = float(i)
+  enddo
+  print a(1), a(10)
+end
+`,
+		// trapping program
+		`program p
+  real a(10)
+  integer i, n
+  n = 12
+  call f()
+  do i = 1, n
+    a(i) = 1.0
+  enddo
+  print 1
+end
+subroutine f()
+  n = n + 0
+end
+`,
+		// 2D stencil
+		`program p
+  real u(12, 12)
+  integer i, j
+  do i = 2, 11
+    do j = 2, 11
+      u(i, j) = u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1)
+    enddo
+  enddo
+  print u(5, 5)
+end
+`,
+	}
+	for si, src := range sources {
+		pn := testutil.BuildIR(t, src, true)
+		rn := run(t, pn)
+		for _, sch := range core.Schemes {
+			for _, kind := range []core.CheckKind{core.PRX, core.INX} {
+				for _, mode := range []rangecheck.Mode{rangecheck.ImplyFull, rangecheck.ImplyNone, rangecheck.ImplyCross} {
+					po, _ := optimize(t, src, core.Options{Scheme: sch, Kind: kind, Mode: mode})
+					ro := run(t, po)
+					if ro.Trapped != rn.Trapped || ro.Output != rn.Output {
+						t.Errorf("src %d %v/%v/%v: semantics changed: trapped %v->%v output %q->%q",
+							si, sch, kind, mode, rn.Trapped, ro.Trapped, rn.Output, ro.Output)
+					}
+					if ro.Checks > rn.Checks {
+						t.Errorf("src %d %v/%v/%v: more dynamic checks than naive: %d > %d",
+							si, sch, kind, mode, ro.Checks, rn.Checks)
+					}
+				}
+			}
+		}
+	}
+}
+
+// suiteSource fetches a benchmark program's source for cross-package
+// tests (core cannot import suite's test helpers).
+func suiteSource(t *testing.T, name string) string {
+	t.Helper()
+	p, err := suite.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p.Source
+}

@@ -1,0 +1,143 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"nascent/internal/core"
+	"nascent/internal/testutil"
+)
+
+func TestMCMHoistsSimpleArticulationChecks(t *testing.T) {
+	// a(i) on every iteration: simple (coef 1, plain var) and in an
+	// articulation block — MCM hoists it like LLS would.
+	src := `program p
+  real a(100)
+  integer i, n
+  n = 60
+  call f()
+  do i = 1, n
+    a(i) = 1.0
+  enddo
+end
+subroutine f()
+  n = n + 0
+end
+`
+	p, res := optimize(t, src, core.Options{Scheme: core.MCM})
+	r := run(t, p)
+	if r.Trapped {
+		t.Fatalf("trap: %s", r.TrapNote)
+	}
+	if r.Checks > 2 {
+		t.Errorf("MCM left %d dynamic checks, want <= 2 (hoisted cond-checks)", r.Checks)
+	}
+	if res.Inserted == 0 {
+		t.Error("MCM inserted nothing")
+	}
+}
+
+func TestMCMSkipsConditionalChecks(t *testing.T) {
+	// The access sits under an if: its block is not an articulation node,
+	// so MCM must leave it alone (LLS also leaves it: not anticipatable).
+	src := `program p
+  real a(100)
+  integer i, n
+  n = 60
+  call f()
+  do i = 1, n
+    if (mod(i, 2) == 0) then
+      a(i) = 1.0
+    endif
+  enddo
+end
+subroutine f()
+  n = n + 0
+end
+`
+	p, _ := optimize(t, src, core.Options{Scheme: core.MCM})
+	r := run(t, p)
+	if r.Checks == 0 {
+		t.Error("MCM hoisted a conditional check (not an articulation node)")
+	}
+}
+
+func TestMCMSkipsComplexRangeExpressions(t *testing.T) {
+	// Subscript 2*i + j: not a "simple" range expression; MCM leaves its
+	// checks in the loop while LLS hoists them.
+	src := `program p
+  real a(200)
+  integer i, j, n
+  n = 40
+  j = 5
+  call f()
+  do i = 1, n
+    a(2*i + j) = 1.0
+  enddo
+end
+subroutine f()
+  n = n + 0
+  j = j + 0
+end
+`
+	pm, _ := optimize(t, src, core.Options{Scheme: core.MCM})
+	rm := run(t, pm)
+	pl, _ := optimize(t, src, core.Options{Scheme: core.LLS})
+	rl := run(t, pl)
+	if rm.Checks <= rl.Checks {
+		t.Errorf("MCM (%d checks) should be weaker than LLS (%d) on complex subscripts", rm.Checks, rl.Checks)
+	}
+	if rm.Checks == 0 {
+		t.Error("MCM should not hoist 2*i + j")
+	}
+}
+
+func TestMCMPreservesSemantics(t *testing.T) {
+	src := `program p
+  real a(30)
+  integer i, n
+  n = 35
+  call f()
+  do i = 1, n
+    a(i) = 1.0
+  enddo
+  print 1
+end
+subroutine f()
+  n = n + 0
+end
+`
+	pn := testutil.BuildIR(t, src, true)
+	rn := run(t, pn)
+	po, _ := optimize(t, src, core.Options{Scheme: core.MCM})
+	ro := run(t, po)
+	if !rn.Trapped || !ro.Trapped {
+		t.Fatalf("both must trap: naive=%v mcm=%v", rn.Trapped, ro.Trapped)
+	}
+	if strings.Contains(ro.Output, "1") {
+		t.Error("MCM program produced output after the violation point")
+	}
+}
+
+func TestMCMWeakerThanLLSOnSuiteLikeCode(t *testing.T) {
+	// Mixed loop: simple a(i) plus stencil offsets a(i+1): MCM catches
+	// only the simple one.
+	src := `program p
+  real a(100), b(100)
+  integer i, n
+  n = 50
+  call f()
+  do i = 1, n
+    b(i) = a(i) + a(i + 1)
+  enddo
+end
+subroutine f()
+  n = n + 0
+end
+`
+	naive, mcm := dynChecks(t, src, core.Options{Scheme: core.MCM})
+	_, lls := dynChecks(t, src, core.Options{Scheme: core.LLS})
+	if !(lls <= mcm && mcm < naive) {
+		t.Errorf("want LLS (%d) <= MCM (%d) < naive (%d)", lls, mcm, naive)
+	}
+}

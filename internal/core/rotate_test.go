@@ -1,0 +1,157 @@
+package core_test
+
+import (
+	"testing"
+
+	"nascent/internal/core"
+	"nascent/internal/testutil"
+)
+
+// whileInvariantSrc: an invariant subscript inside a while loop. SE
+// cannot hoist its checks (zero-trip safety) unless the loop is rotated.
+const whileInvariantSrc = `program p
+  real a(100)
+  integer i, k, n
+  n = 500
+  k = 7
+  call f()
+  i = 0
+  while (i < n)
+    a(k) = a(k) + 1.0
+    i = i + 1
+  endwhile
+end
+subroutine f()
+  k = k + 0
+  n = n + 0
+end
+`
+
+func TestRotationEnablesSEWhileHoisting(t *testing.T) {
+	// Without rotation, SE leaves the invariant checks in the loop body.
+	plain, _ := optimize(t, whileInvariantSrc, core.Options{Scheme: core.SE})
+	rPlain := run(t, plain)
+	if rPlain.Trapped {
+		t.Fatalf("trap: %s", rPlain.TrapNote)
+	}
+
+	// With rotation, the checks execute once per loop entry.
+	rot, _ := optimize(t, whileInvariantSrc, core.Options{Scheme: core.SE, Rotate: true})
+	rRot := run(t, rot)
+	if rRot.Trapped {
+		t.Fatalf("rotated trap: %s", rRot.TrapNote)
+	}
+	if rRot.Output != rPlain.Output {
+		t.Fatalf("rotation changed output: %q vs %q", rRot.Output, rPlain.Output)
+	}
+	if rRot.Checks >= rPlain.Checks {
+		t.Errorf("rotation did not help SE: %d >= %d dynamic checks", rRot.Checks, rPlain.Checks)
+	}
+	if rRot.Checks > 4 {
+		t.Errorf("rotated SE left %d dynamic checks, want <= 4 (once per entry)", rRot.Checks)
+	}
+}
+
+func TestRotationPreservesZeroTripSafety(t *testing.T) {
+	// The loop never runs and the body access is out of range: the
+	// rotated program must not trap (the guard keeps the hoisted checks
+	// on the taken-at-least-once path only).
+	src := `program p
+  real a(10)
+  integer i, n
+  n = 0
+  call f()
+  i = 0
+  while (i < n)
+    a(i + 100) = 1.0
+    i = i + 1
+  endwhile
+  print 7
+end
+subroutine f()
+  n = n + 0
+end
+`
+	p, _ := optimize(t, src, core.Options{Scheme: core.SE, Rotate: true})
+	r := run(t, p)
+	if r.Trapped {
+		t.Fatalf("rotated zero-trip loop trapped: %s", r.TrapNote)
+	}
+	if r.Output != "7\n" {
+		t.Errorf("output = %q", r.Output)
+	}
+}
+
+func TestRotationPreservesSemanticsAcrossSchemes(t *testing.T) {
+	src := `program p
+  real a(20)
+  integer i, n
+  n = 15
+  call f()
+  i = 1
+  while (i <= n)
+    a(i) = a(i) + float(i)
+    i = i + 2
+  endwhile
+  i = 1
+  while (i * i < n * 3)
+    a(i) = a(i) * 0.5
+    i = i + 1
+  endwhile
+  print a(1), a(5)
+end
+subroutine f()
+  n = n + 0
+end
+`
+	pn := testutil.BuildIR(t, src, true)
+	rn := run(t, pn)
+	for _, sch := range core.Schemes {
+		po, _ := optimize(t, src, core.Options{Scheme: sch, Rotate: true})
+		ro := run(t, po)
+		if ro.Trapped != rn.Trapped || ro.Output != rn.Output {
+			t.Errorf("%v+rotate changed semantics: trapped %v->%v output %q->%q",
+				sch, rn.Trapped, ro.Trapped, rn.Output, ro.Output)
+		}
+		if ro.Checks > rn.Checks {
+			t.Errorf("%v+rotate executed more checks than naive: %d > %d", sch, ro.Checks, rn.Checks)
+		}
+	}
+}
+
+func TestRotationLeavesDoLoopsAlone(t *testing.T) {
+	src := `program p
+  real a(50)
+  integer i
+  do i = 1, 50
+    a(i) = 1.0
+  enddo
+end
+`
+	plain, _ := optimize(t, src, core.Options{Scheme: core.LLS})
+	rot, _ := optimize(t, src, core.Options{Scheme: core.LLS, Rotate: true})
+	rp := run(t, plain)
+	rr := run(t, rot)
+	if rp.Checks != rr.Checks || rp.Instructions != rr.Instructions {
+		t.Errorf("rotation perturbed a DO-only program: checks %d vs %d, instr %d vs %d",
+			rp.Checks, rr.Checks, rp.Instructions, rr.Instructions)
+	}
+}
+
+func TestRotationOnSuitePrograms(t *testing.T) {
+	// dyfesm and simple contain while loops; rotation must preserve
+	// their outputs under SE and never increase dynamic checks.
+	for _, name := range []string{"dyfesm", "simple"} {
+		src := suiteSource(t, name)
+		pn := testutil.BuildIR(t, src, true)
+		rn := run(t, pn)
+		po, _ := optimize(t, src, core.Options{Scheme: core.SE, Rotate: true})
+		ro := run(t, po)
+		if ro.Trapped || ro.Output != rn.Output {
+			t.Errorf("%s: rotation broke semantics (trapped=%v)", name, ro.Trapped)
+		}
+		if ro.Checks > rn.Checks {
+			t.Errorf("%s: more checks than naive", name)
+		}
+	}
+}

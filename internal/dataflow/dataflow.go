@@ -1,0 +1,354 @@
+// Package dataflow computes the two analyses of paper §3.2: availability
+// of range checks (forward, must) and anticipatability of range checks
+// (backward, must).
+//
+// Both are solved per family over the lattice Z ∪ {None}: the state value
+// of a family is the constant of the strongest check available (or
+// anticipatable) — smaller is stronger, None means no check. Merge takes
+// the weakest input (max). A definition of any variable in a family's
+// range-expression kills the family (value back to None); stores kill
+// families whose range-expressions load the stored array; calls kill
+// families that read global state.
+//
+// Cross-family implications (mode permitting) are realized at affine
+// copy assignments x := ±y + c: facts about families containing y
+// transfer, shifted, into families containing x — including the
+// self-shift x := x + c, which is how a check on i survives an increment
+// as the corresponding check on i−1 (paper §3.1, Figure 4).
+package dataflow
+
+import (
+	"nascent/internal/ir"
+	"nascent/internal/linform"
+	"nascent/internal/rangecheck"
+)
+
+// State holds one lattice value per family (indexed by Family.Index).
+type State []int64
+
+// Clone copies the state.
+func (s State) Clone() State {
+	out := make(State, len(s))
+	copy(out, s)
+	return out
+}
+
+// MeetInto merges other into s with the must-meet (elementwise max).
+// Returns true if s changed.
+func (s State) MeetInto(other State) bool {
+	changed := false
+	for i, v := range other {
+		if v > s[i] {
+			s[i] = v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Env precomputes per-function family structure for the analyses.
+type Env struct {
+	Fn  *ir.Func
+	Reg *rangecheck.Registry
+
+	famsByVar map[int][]*rangecheck.Family // var ID -> families whose terms read it
+	famsByArr map[int][]*rangecheck.Family // array ID -> families whose terms load it
+	callKill  []*rangecheck.Family
+	famOf     map[*ir.CheckStmt]*rangecheck.Family
+	// byTerms indexes families by their terms-only key, for the affine
+	// transfer (several families share terms under ImplyNone/ImplyCross).
+	byTerms map[string][]*rangecheck.Family
+}
+
+// NewEnv scans every check in fn and builds the family registry for the
+// given implication mode.
+func NewEnv(fn *ir.Func, mode rangecheck.Mode) *Env {
+	e := &Env{
+		Fn:        fn,
+		Reg:       rangecheck.NewRegistry(mode),
+		famsByVar: make(map[int][]*rangecheck.Family),
+		famsByArr: make(map[int][]*rangecheck.Family),
+		famOf:     make(map[*ir.CheckStmt]*rangecheck.Family),
+		byTerms:   make(map[string][]*rangecheck.Family),
+	}
+	fn.ForEachStmt(func(_ *ir.Block, _ int, s ir.Stmt) {
+		if c, ok := s.(*ir.CheckStmt); ok {
+			f := e.Reg.FamilyOf(c)
+			if _, seen := e.famOf[c]; !seen {
+				e.famOf[c] = f
+			}
+		}
+	})
+	for _, f := range e.Reg.Families {
+		for id := range f.KillVars {
+			e.famsByVar[id] = append(e.famsByVar[id], f)
+		}
+		for id := range f.KillArrays {
+			e.famsByArr[id] = append(e.famsByArr[id], f)
+		}
+		if f.KilledByCall {
+			e.callKill = append(e.callKill, f)
+		}
+		e.byTerms[ir.FamilyKey(f.Terms)] = append(e.byTerms[ir.FamilyKey(f.Terms)], f)
+	}
+	return e
+}
+
+// FamilyOf returns the family of a check seen by NewEnv (or interns it).
+func (e *Env) FamilyOf(c *ir.CheckStmt) *rangecheck.Family {
+	if f, ok := e.famOf[c]; ok {
+		return f
+	}
+	return e.Reg.FamilyOf(c)
+}
+
+// NumFamilies returns the family count (the state width).
+func (e *Env) NumFamilies() int { return len(e.Reg.Families) }
+
+// NewState returns a state with every family at the given initial value.
+func (e *Env) NewState(init int64) State {
+	s := make(State, e.NumFamilies())
+	for i := range s {
+		s[i] = init
+	}
+	return s
+}
+
+// affineCopy matches x := s*y + c with s = ±1, returning (y, s, c).
+func affineCopy(a *ir.AssignStmt) (y *ir.Var, sign int64, c int64, ok bool) {
+	if a.Dst.Type != ir.Int {
+		return nil, 0, 0, false
+	}
+	f := linform.Decompose(a.Src)
+	if len(f.Terms) != 1 {
+		return nil, 0, 0, false
+	}
+	t := f.Terms[0]
+	vr, isVar := t.Atom.(*ir.VarRef)
+	if !isVar || (t.Coef != 1 && t.Coef != -1) {
+		return nil, 0, 0, false
+	}
+	return vr.Var, t.Coef, f.Const, true
+}
+
+// shiftedGen computes, for an assignment x := sign*y + c, the facts that
+// transfer into families containing x from the pre-assignment state.
+// For family F with term (cx, x): F.Terms with cx·x replaced by
+// (cx·sign)·y are the source terms; a source fact (src ≤ v) implies
+// (F ≤ v + cx·c) after the assignment.
+func (e *Env) shiftedGen(pre State, x, y *ir.Var, sign, c int64) map[int]int64 {
+	if !e.Reg.Mode.CrossFamily() {
+		return nil
+	}
+	var gen map[int]int64
+	for _, f := range e.famsByVar[x.ID] {
+		var cx int64
+		for _, t := range f.Terms {
+			if vr, ok := t.Atom.(*ir.VarRef); ok && vr.Var == x {
+				cx = t.Coef
+			}
+		}
+		if cx == 0 {
+			continue // x occurs only inside an opaque atom; no transfer
+		}
+		// Build source terms: replace cx·x by (cx·sign)·y.
+		src := make([]ir.CheckTerm, 0, len(f.Terms))
+		for _, t := range f.Terms {
+			if vr, ok := t.Atom.(*ir.VarRef); ok && vr.Var == x {
+				src = append(src, ir.CheckTerm{Coef: cx * sign, Atom: &ir.VarRef{Var: y}})
+			} else {
+				src = append(src, t)
+			}
+		}
+		src = ir.NormalizeTerms(src)
+		for _, g := range e.byTerms[ir.FamilyKey(src)] {
+			v := pre[g.Index]
+			if v == rangecheck.None || v == rangecheck.AllChecks {
+				continue
+			}
+			implied := v + cx*c
+			// Under exact-constant keying the fact must land on exactly
+			// this family's constant.
+			if !e.Reg.Mode.WithinFamily() && implied != f.ExactConst {
+				continue
+			}
+			if gen == nil {
+				gen = make(map[int]int64)
+			}
+			if cur, ok := gen[f.Index]; !ok || implied < cur {
+				gen[f.Index] = implied
+			}
+		}
+	}
+	return gen
+}
+
+// TransferForward updates the availability state across one statement.
+func (e *Env) TransferForward(st State, s ir.Stmt) {
+	switch s := s.(type) {
+	case *ir.AssignStmt:
+		var gen map[int]int64
+		if y, sign, c, ok := affineCopy(s); ok {
+			gen = e.shiftedGen(st, s.Dst, y, sign, c)
+		}
+		for _, f := range e.famsByVar[s.Dst.ID] {
+			st[f.Index] = rangecheck.None
+		}
+		for idx, v := range gen {
+			if v < st[idx] {
+				st[idx] = v
+			}
+		}
+	case *ir.StoreStmt:
+		for _, f := range e.famsByArr[s.Arr.ID] {
+			st[f.Index] = rangecheck.None
+		}
+	case *ir.CallStmt:
+		for _, f := range e.callKill {
+			st[f.Index] = rangecheck.None
+		}
+	case *ir.CheckStmt:
+		if s.Guard != nil {
+			return // a cond-check may not execute; it generates nothing
+		}
+		f := e.FamilyOf(s)
+		if s.Const < st[f.Index] {
+			st[f.Index] = s.Const
+		}
+	}
+}
+
+// TransferBackward updates the anticipatability state across one
+// statement (processed in reverse). Anticipatability is family-local
+// (paper §3.2): no cross-family transfer.
+func (e *Env) TransferBackward(st State, s ir.Stmt) {
+	switch s := s.(type) {
+	case *ir.AssignStmt:
+		for _, f := range e.famsByVar[s.Dst.ID] {
+			st[f.Index] = rangecheck.None
+		}
+	case *ir.StoreStmt:
+		for _, f := range e.famsByArr[s.Arr.ID] {
+			st[f.Index] = rangecheck.None
+		}
+	case *ir.CallStmt:
+		for _, f := range e.callKill {
+			st[f.Index] = rangecheck.None
+		}
+	case *ir.CheckStmt:
+		if s.Guard != nil {
+			return
+		}
+		f := e.FamilyOf(s)
+		if s.Const < st[f.Index] {
+			st[f.Index] = s.Const
+		}
+	}
+}
+
+// Availability solves the forward problem, returning the state at entry
+// and exit of every block.
+//
+// The affine-shift transfer can manufacture unboundedly ascending chains
+// around loop back edges (a check constant grows by the increment on
+// every pass), so the solver widens: a (block, family) entry value that
+// keeps weakening is forced to None after a few bumps. Widening is
+// sticky — None is final — which both guarantees termination and stays
+// sound (losing a fact only suppresses an elimination).
+func (e *Env) Availability() (in, out map[*ir.Block]State) {
+	in = make(map[*ir.Block]State, len(e.Fn.Blocks))
+	out = make(map[*ir.Block]State, len(e.Fn.Blocks))
+	order := e.Fn.ReversePostorder()
+	nf := e.NumFamilies()
+	bumps := make(map[*ir.Block][]uint8, len(order))
+	for _, b := range order {
+		in[b] = e.NewState(rangecheck.AllChecks)
+		out[b] = e.NewState(rangecheck.AllChecks)
+		bumps[b] = make([]uint8, nf)
+	}
+	entry := e.Fn.Entry()
+	in[entry] = e.NewState(rangecheck.None)
+
+	const widenAfter = 6
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range order {
+			if b != entry {
+				st := e.NewState(rangecheck.AllChecks)
+				for _, p := range b.Preds {
+					if o, ok := out[p]; ok {
+						st.MeetInto(o)
+					}
+				}
+				bmp := bumps[b]
+				for i := 0; i < nf; i++ {
+					if bmp[i] > widenAfter {
+						st[i] = rangecheck.None // widened: sticky
+						continue
+					}
+					old := in[b][i]
+					if st[i] > old {
+						if old != rangecheck.AllChecks {
+							bmp[i]++
+							if bmp[i] > widenAfter {
+								st[i] = rangecheck.None
+							}
+						}
+						changed = true
+					}
+				}
+				copy(in[b], st)
+			}
+			st := in[b].Clone()
+			for _, s := range b.Stmts {
+				e.TransferForward(st, s)
+			}
+			for i := 0; i < nf; i++ {
+				if st[i] != out[b][i] {
+					changed = true
+				}
+			}
+			copy(out[b], st)
+		}
+	}
+	return in, out
+}
+
+// Anticipatability solves the backward problem, returning the state at
+// entry and exit of every block.
+func (e *Env) Anticipatability() (in, out map[*ir.Block]State) {
+	in = make(map[*ir.Block]State, len(e.Fn.Blocks))
+	out = make(map[*ir.Block]State, len(e.Fn.Blocks))
+	order := e.Fn.ReversePostorder()
+	for _, b := range order {
+		in[b] = e.NewState(rangecheck.AllChecks)
+		out[b] = e.NewState(rangecheck.AllChecks)
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for i := len(order) - 1; i >= 0; i-- {
+			b := order[i]
+			var st State
+			if _, isRet := b.Term.(*ir.Ret); isRet || len(b.Succs()) == 0 {
+				st = e.NewState(rangecheck.None)
+			} else {
+				st = e.NewState(rangecheck.AllChecks)
+				for _, s := range b.Succs() {
+					st.MeetInto(in[s])
+				}
+			}
+			copy(out[b], st)
+			for j := len(b.Stmts) - 1; j >= 0; j-- {
+				e.TransferBackward(st, b.Stmts[j])
+			}
+			if in[b].MeetInto(st) {
+				changed = true
+			}
+			copy(in[b], st)
+		}
+	}
+	return in, out
+}

@@ -1,0 +1,129 @@
+// Package dom computes dominator trees, dominance frontiers, and
+// postdominators using the iterative algorithm of Cooper, Harvey &
+// Kennedy ("A Simple, Fast Dominance Algorithm").
+package dom
+
+import "nascent/internal/ir"
+
+// Tree is the dominator tree of a function.
+type Tree struct {
+	fn       *ir.Func
+	order    []*ir.Block       // reverse postorder
+	rpoIndex map[*ir.Block]int // block -> position in order
+	idom     map[*ir.Block]*ir.Block
+	children map[*ir.Block][]*ir.Block
+	frontier map[*ir.Block][]*ir.Block
+}
+
+// Compute builds the dominator tree of f. Unreachable blocks are ignored.
+func Compute(f *ir.Func) *Tree {
+	t := &Tree{
+		fn:       f,
+		order:    f.ReversePostorder(),
+		rpoIndex: make(map[*ir.Block]int),
+		idom:     make(map[*ir.Block]*ir.Block),
+		children: make(map[*ir.Block][]*ir.Block),
+	}
+	for i, b := range t.order {
+		t.rpoIndex[b] = i
+	}
+	entry := f.Entry()
+	t.idom[entry] = entry
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range t.order[1:] {
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if _, ok := t.idom[p]; !ok {
+					continue // unprocessed or unreachable
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = t.intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && t.idom[b] != newIdom {
+				t.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	for _, b := range t.order[1:] {
+		if id := t.idom[b]; id != nil {
+			t.children[id] = append(t.children[id], b)
+		}
+	}
+	return t
+}
+
+func (t *Tree) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for t.rpoIndex[a] > t.rpoIndex[b] {
+			a = t.idom[a]
+		}
+		for t.rpoIndex[b] > t.rpoIndex[a] {
+			b = t.idom[b]
+		}
+	}
+	return a
+}
+
+// IDom returns the immediate dominator of b (the entry's IDom is itself).
+func (t *Tree) IDom(b *ir.Block) *ir.Block { return t.idom[b] }
+
+// Children returns the dominator-tree children of b.
+func (t *Tree) Children(b *ir.Block) []*ir.Block { return t.children[b] }
+
+// Reachable reports whether b was reachable when the tree was computed.
+func (t *Tree) Reachable(b *ir.Block) bool {
+	_, ok := t.idom[b]
+	return ok
+}
+
+// Dominates reports whether a dominates b (every block dominates itself).
+func (t *Tree) Dominates(a, b *ir.Block) bool {
+	if !t.Reachable(a) || !t.Reachable(b) {
+		return false
+	}
+	entry := t.fn.Entry()
+	for {
+		if a == b {
+			return true
+		}
+		if b == entry {
+			return false
+		}
+		b = t.idom[b]
+	}
+}
+
+// Order returns the blocks in reverse postorder.
+func (t *Tree) Order() []*ir.Block { return t.order }
+
+// Frontier returns the dominance frontier of b, computing all frontiers
+// lazily on first use.
+func (t *Tree) Frontier(b *ir.Block) []*ir.Block {
+	if t.frontier == nil {
+		t.frontier = make(map[*ir.Block][]*ir.Block)
+		for _, x := range t.order {
+			if len(x.Preds) < 2 {
+				continue
+			}
+			for _, p := range x.Preds {
+				if !t.Reachable(p) {
+					continue
+				}
+				runner := p
+				for runner != t.idom[x] {
+					t.frontier[runner] = append(t.frontier[runner], x)
+					runner = t.idom[runner]
+				}
+			}
+		}
+	}
+	return t.frontier[b]
+}

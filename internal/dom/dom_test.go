@@ -1,0 +1,114 @@
+package dom_test
+
+import (
+	"testing"
+
+	"nascent/internal/dom"
+	"nascent/internal/ir"
+	"nascent/internal/testutil"
+)
+
+func TestDiamond(t *testing.T) {
+	a := testutil.BuildIR(t, `program p
+  if (i < 5) then
+    j = 1
+  else
+    j = 2
+  endif
+  k = 3
+end
+`, false)
+	f := a.Main()
+	tree := dom.Compute(f)
+	entry := f.Entry()
+	ifTerm := entry.Term.(*ir.If)
+	thenB, elseB := ifTerm.Then, ifTerm.Else
+	join := thenB.Succs()[0]
+
+	if tree.IDom(thenB) != entry || tree.IDom(elseB) != entry {
+		t.Error("branch arms not immediately dominated by entry")
+	}
+	if tree.IDom(join) != entry {
+		t.Errorf("join idom = b%d, want entry", tree.IDom(join).ID)
+	}
+	if !tree.Dominates(entry, join) || tree.Dominates(thenB, join) {
+		t.Error("dominance relation wrong at join")
+	}
+	// Frontier of each arm is the join block.
+	fr := tree.Frontier(thenB)
+	if len(fr) != 1 || fr[0] != join {
+		t.Errorf("frontier(then) = %v", fr)
+	}
+}
+
+func TestLoopDominance(t *testing.T) {
+	a := testutil.BuildIR(t, `program p
+  integer i
+  do i = 1, 10
+    j = i
+  enddo
+  k = 1
+end
+`, false)
+	f := a.Main()
+	tree := dom.Compute(f)
+	dl := f.DoLoops[0]
+	if !tree.Dominates(dl.Header, dl.BodyEntry) {
+		t.Error("header must dominate body")
+	}
+	if !tree.Dominates(dl.Header, dl.Latch) {
+		t.Error("header must dominate latch")
+	}
+	if tree.Dominates(dl.BodyEntry, dl.Header) {
+		t.Error("body must not dominate header")
+	}
+	// Back edge: latch's frontier includes the header.
+	found := false
+	for _, b := range tree.Frontier(dl.Latch) {
+		if b == dl.Header {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("frontier(latch) = %v, want to include header", tree.Frontier(dl.Latch))
+	}
+}
+
+func TestSelfDominance(t *testing.T) {
+	a := testutil.BuildIR(t, "program p\n  i = 1\nend\n", false)
+	f := a.Main()
+	tree := dom.Compute(f)
+	for _, b := range tree.Order() {
+		if !tree.Dominates(b, b) {
+			t.Errorf("block b%d does not dominate itself", b.ID)
+		}
+	}
+	if tree.IDom(f.Entry()) != f.Entry() {
+		t.Error("entry idom should be itself")
+	}
+}
+
+func TestNestedLoopsOrder(t *testing.T) {
+	a := testutil.BuildIR(t, `program p
+  integer i, j
+  do i = 1, 4
+    do j = 1, 4
+      k = i + j
+    enddo
+  enddo
+end
+`, false)
+	f := a.Main()
+	tree := dom.Compute(f)
+	outer, inner := f.DoLoops[0], f.DoLoops[1]
+	if !tree.Dominates(outer.Header, inner.Header) {
+		t.Error("outer header must dominate inner header")
+	}
+	if tree.Dominates(inner.Header, outer.Header) {
+		t.Error("inner header must not dominate outer header")
+	}
+	// RPO puts the entry first.
+	if tree.Order()[0] != f.Entry() {
+		t.Error("RPO does not start at entry")
+	}
+}

@@ -1,0 +1,100 @@
+package dom_test
+
+import (
+	"testing"
+
+	"nascent/internal/dom"
+	"nascent/internal/ir"
+	"nascent/internal/testutil"
+)
+
+func TestPostDomDiamond(t *testing.T) {
+	p := testutil.BuildIR(t, `program p
+  if (i < 5) then
+    j = 1
+  else
+    j = 2
+  endif
+  k = 3
+end
+`, false)
+	f := p.Main()
+	pt := dom.ComputePost(f)
+	entry := f.Entry()
+	ifTerm := entry.Term.(*ir.If)
+	thenB, elseB := ifTerm.Then, ifTerm.Else
+	join := thenB.Succs()[0]
+
+	if !pt.PostDominates(join, entry) {
+		t.Error("join must postdominate entry")
+	}
+	if !pt.PostDominates(join, thenB) || !pt.PostDominates(join, elseB) {
+		t.Error("join must postdominate both arms")
+	}
+	if pt.PostDominates(thenB, entry) {
+		t.Error("one arm must not postdominate entry")
+	}
+	if !pt.PostDominates(entry, entry) {
+		t.Error("self postdominance")
+	}
+}
+
+func TestPostDomLoop(t *testing.T) {
+	p := testutil.BuildIR(t, `program p
+  integer i
+  do i = 1, 10
+    if (i > 5) then
+      j = 1
+    endif
+    k = i
+  enddo
+end
+`, false)
+	f := p.Main()
+	pt := dom.ComputePost(f)
+	dl := f.DoLoops[0]
+
+	// The latch (containing k = i and the increment) postdominates the
+	// body entry: it runs on every iteration.
+	if !pt.PostDominates(dl.Latch, dl.BodyEntry) {
+		t.Error("latch must postdominate body entry")
+	}
+	// The conditional block does not postdominate the body entry.
+	ifTerm := dl.BodyEntry.Term.(*ir.If)
+	if pt.PostDominates(ifTerm.Then, dl.BodyEntry) {
+		t.Error("conditional arm must not postdominate body entry")
+	}
+	// The header postdominates everything in the loop (all paths exit
+	// through it).
+	if !pt.PostDominates(dl.Header, dl.Latch) {
+		t.Error("header must postdominate the latch")
+	}
+}
+
+func TestPostDomExitBlocks(t *testing.T) {
+	p := testutil.BuildIR(t, `program p
+  if (i > 0) then
+    return
+  endif
+  j = 1
+end
+`, false)
+	f := p.Main()
+	pt := dom.ComputePost(f)
+	// Find the single Ret block.
+	var exit *ir.Block
+	for _, b := range f.Blocks {
+		if _, ok := b.Term.(*ir.Ret); ok {
+			exit = b
+		}
+	}
+	if exit == nil {
+		t.Fatal("no exit block")
+	}
+	if got := pt.IPDom(exit); got != exit {
+		t.Errorf("exit ipdom = %v, want itself", got)
+	}
+	if !pt.PostDominates(exit, f.Entry()) {
+		t.Error("single exit must postdominate entry")
+	}
+}

@@ -1,0 +1,569 @@
+// Package interp executes IR programs and produces the dynamic counts the
+// paper's evaluation is built on: executed non-check instructions and
+// executed range checks, counted separately (Kolte & Wolfe §4, Table 1).
+//
+// # Cost model
+//
+// The interpreter charges abstract RISC-like instruction costs:
+//
+//	constant               0   (immediate)
+//	scalar read            1   (load/register move)
+//	binary/unary op        1
+//	intrinsic call         1 (+ argument costs)
+//	array load             1 + 2·(dims−1) (+ subscript costs)   address arith + load
+//	array store            1 + 2·(dims−1) (+ subscript + value costs)
+//	scalar assign          1 (+ value cost)
+//	branch                 1 (+ condition cost)
+//	goto / return          1
+//	subroutine call        2 + #params (+ argument costs)
+//	print                  1 (+ argument costs)
+//
+// A CheckStmt adds 1 to the separate check counter and nothing to the
+// instruction counter; the paper estimates each check would compile to at
+// least two instructions, which EXPERIMENTS.md applies when reproducing
+// the paper's overhead estimate.
+package interp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"nascent/internal/ir"
+)
+
+// Config controls execution limits.
+type Config struct {
+	// MaxInstructions aborts runs that exceed this many counted
+	// instructions (0 means the 2e9 default).
+	MaxInstructions uint64
+	// MaxOutputBytes truncates program output beyond this size (0 means
+	// 1 MiB).
+	MaxOutputBytes int
+}
+
+// Result is the outcome of executing a program.
+type Result struct {
+	// Instructions is the dynamic count of non-check instructions.
+	Instructions uint64
+	// Checks is the dynamic count of performed range checks. A
+	// cond-check whose guard evaluates false performs no range check;
+	// its guard test is charged as an ordinary instruction.
+	Checks uint64
+	// Trapped reports that a range check failed (or a TrapStmt executed).
+	Trapped bool
+	// TrapNote describes the failed check when Trapped.
+	TrapNote string
+	// Output is the accumulated print output.
+	Output string
+}
+
+// ErrLimit is returned when the instruction budget is exhausted.
+var ErrLimit = errors.New("interp: instruction limit exceeded")
+
+// ErrRecursion is returned on recursive subroutine calls (MF, like
+// Fortran 77, does not support recursion).
+var ErrRecursion = errors.New("interp: recursive call")
+
+type trapSignal struct{ note string }
+
+type runtimeError struct{ err error }
+
+// Run executes the program from its main function.
+func Run(p *ir.Program, cfg Config) (res Result, err error) {
+	if cfg.MaxInstructions == 0 {
+		cfg.MaxInstructions = 2e9
+	}
+	if cfg.MaxOutputBytes == 0 {
+		cfg.MaxOutputBytes = 1 << 20
+	}
+	m := &machine{
+		prog:   p,
+		cfg:    cfg,
+		ivals:  make([]int64, p.NumVars),
+		fvals:  make([]float64, p.NumVars),
+		iarrs:  make([][]int64, p.NumArrays),
+		farrs:  make([][]float64, p.NumArrays),
+		active: make(map[*ir.Func]bool),
+	}
+	alloc := func(a *ir.Array) {
+		if a.Elem == ir.Int {
+			m.iarrs[a.ID] = make([]int64, a.Len())
+		} else {
+			m.farrs[a.ID] = make([]float64, a.Len())
+		}
+	}
+	for _, a := range p.GlobalArrays {
+		alloc(a)
+	}
+	for _, f := range p.Funcs {
+		for _, a := range f.Arrays {
+			alloc(a)
+		}
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			switch sig := r.(type) {
+			case trapSignal:
+				res = m.result()
+				res.Trapped = true
+				res.TrapNote = sig.note
+			case runtimeError:
+				res = m.result()
+				err = sig.err
+			default:
+				panic(r)
+			}
+		}
+	}()
+
+	m.exec(p.Main())
+	return m.result(), nil
+}
+
+type machine struct {
+	prog    *ir.Program
+	cfg     Config
+	ivals   []int64
+	fvals   []float64
+	iarrs   [][]int64
+	farrs   [][]float64
+	instr   uint64
+	checks  uint64
+	inCheck bool
+	out     strings.Builder
+	active  map[*ir.Func]bool
+}
+
+func (m *machine) result() Result {
+	return Result{Instructions: m.instr, Checks: m.checks, Output: m.out.String()}
+}
+
+func (m *machine) fail(err error) {
+	panic(runtimeError{err})
+}
+
+func (m *machine) cost(n uint64) {
+	if m.inCheck {
+		// Work done inside a range check (guard + term evaluation) is
+		// part of the check, which is counted separately.
+		return
+	}
+	m.instr += n
+	if m.instr > m.cfg.MaxInstructions {
+		m.fail(ErrLimit)
+	}
+}
+
+func (m *machine) exec(f *ir.Func) {
+	if m.active[f] {
+		m.fail(fmt.Errorf("%w: %s", ErrRecursion, f.Name))
+	}
+	m.active[f] = true
+	defer delete(m.active, f)
+
+	b := f.Entry()
+	for {
+		for _, s := range b.Stmts {
+			m.execStmt(s)
+		}
+		switch t := b.Term.(type) {
+		case *ir.Goto:
+			m.cost(1)
+			b = t.Target
+		case *ir.If:
+			cond := m.evalBool(t.Cond)
+			m.cost(1)
+			if cond {
+				b = t.Then
+			} else {
+				b = t.Else
+			}
+		case *ir.Ret:
+			m.cost(1)
+			return
+		default:
+			m.fail(fmt.Errorf("interp: block b%d of %s has no terminator", b.ID, f.Name))
+		}
+	}
+}
+
+func (m *machine) execStmt(s ir.Stmt) {
+	switch s := s.(type) {
+	case *ir.AssignStmt:
+		if s.Dst.Type == ir.Int {
+			m.ivals[s.Dst.ID] = m.evalInt(s.Src)
+		} else {
+			m.fvals[s.Dst.ID] = m.evalFloat(s.Src)
+		}
+		m.cost(1)
+
+	case *ir.StoreStmt:
+		off := m.elemOffset(s.Arr, s.Idx)
+		if s.Arr.Elem == ir.Int {
+			v := m.evalInt(s.Val)
+			m.iarrs[s.Arr.ID][off] = v
+		} else {
+			v := m.evalFloat(s.Val)
+			m.farrs[s.Arr.ID][off] = v
+		}
+		m.cost(1 + 2*uint64(len(s.Idx)-1))
+
+	case *ir.CheckStmt:
+		if s.Guard != nil {
+			// The guard of a cond-check is an ordinary (1-instruction)
+			// test; only a performed comparison counts as a range check.
+			guardTrue := m.evalBool(s.Guard)
+			m.cost(1)
+			if !guardTrue {
+				return
+			}
+		}
+		m.checks++
+		m.inCheck = true
+		lhs := int64(0)
+		for _, t := range s.Terms {
+			lhs += t.Coef * m.evalInt(t.Atom)
+		}
+		m.inCheck = false
+		if lhs > s.Const {
+			panic(trapSignal{note: fmt.Sprintf("%s failed (lhs=%d) [%s]", s.String(), lhs, s.Note)})
+		}
+
+	case *ir.CallStmt:
+		callee := s.Callee
+		m.cost(2 + uint64(len(callee.Params)))
+		// Evaluate arguments, then copy into parameters.
+		for i, p := range callee.Params {
+			if p.Type == ir.Int {
+				m.ivals[p.ID] = m.evalInt(s.Args[i])
+			} else {
+				m.fvals[p.ID] = m.evalFloat(s.Args[i])
+			}
+		}
+		// Zero the callee's non-param locals and local arrays, Fortran
+		// SAVE-less semantics.
+		for _, v := range callee.Locals {
+			if !isParam(callee, v) {
+				m.ivals[v.ID] = 0
+				m.fvals[v.ID] = 0
+			}
+		}
+		for _, a := range callee.Arrays {
+			if a.Elem == ir.Int {
+				clearI(m.iarrs[a.ID])
+			} else {
+				clearF(m.farrs[a.ID])
+			}
+		}
+		m.exec(callee)
+
+	case *ir.PrintStmt:
+		m.cost(1)
+		if m.out.Len() >= m.cfg.MaxOutputBytes {
+			for _, a := range s.Args { // still pay evaluation costs
+				m.evalDiscard(a)
+			}
+			return
+		}
+		parts := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			if a.Type() == ir.Float {
+				parts[i] = strconv.FormatFloat(m.evalFloat(a), 'g', 10, 64)
+			} else {
+				parts[i] = strconv.FormatInt(m.evalInt(a), 10)
+			}
+		}
+		m.out.WriteString(strings.Join(parts, " "))
+		m.out.WriteByte('\n')
+
+	case *ir.TrapStmt:
+		panic(trapSignal{note: fmt.Sprintf("compile-time range violation: %s", s.Note)})
+
+	default:
+		m.fail(fmt.Errorf("interp: unknown statement %T", s))
+	}
+}
+
+func isParam(f *ir.Func, v *ir.Var) bool {
+	for _, p := range f.Params {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+func clearI(s []int64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+func clearF(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// elemOffset computes the flat row-major offset of an element, charging
+// subscript evaluation costs. Out-of-range subscripts abort execution
+// with a runtime error: with naive checking enabled a CheckStmt always
+// traps first, so reaching this error indicates a miscompiled program
+// (or an intentionally unchecked build).
+func (m *machine) elemOffset(a *ir.Array, idx []ir.Expr) int64 {
+	off := int64(0)
+	for k, e := range idx {
+		v := m.evalInt(e)
+		d := a.Dims[k]
+		if v < d.Lo || v > d.Hi {
+			m.fail(fmt.Errorf("interp: subscript %d of %s out of range [%d,%d] (dim %d): unchecked access",
+				v, a.Name, d.Lo, d.Hi, k+1))
+		}
+		off = off*d.Size() + (v - d.Lo)
+	}
+	return off
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation
+
+func (m *machine) evalDiscard(e ir.Expr) {
+	if e.Type() == ir.Float {
+		m.evalFloat(e)
+	} else if e.Type() == ir.Int {
+		m.evalInt(e)
+	} else {
+		m.evalBool(e)
+	}
+}
+
+func (m *machine) evalInt(e ir.Expr) int64 {
+	switch e := e.(type) {
+	case *ir.ConstInt:
+		return e.V
+	case *ir.VarRef:
+		m.cost(1)
+		return m.ivals[e.Var.ID]
+	case *ir.Load:
+		off := m.elemOffset(e.Arr, e.Idx)
+		m.cost(1 + 2*uint64(len(e.Idx)-1))
+		return m.iarrs[e.Arr.ID][off]
+	case *ir.Bin:
+		l := m.evalInt(e.L)
+		r := m.evalInt(e.R)
+		m.cost(1)
+		switch e.Op {
+		case ir.OpAdd:
+			return l + r
+		case ir.OpSub:
+			return l - r
+		case ir.OpMul:
+			return l * r
+		case ir.OpDiv:
+			if r == 0 {
+				m.fail(errors.New("interp: integer division by zero"))
+			}
+			return l / r
+		}
+	case *ir.Un:
+		if e.Op == ir.OpNeg {
+			v := m.evalInt(e.X)
+			m.cost(1)
+			return -v
+		}
+	case *ir.Call:
+		return m.evalIntCall(e)
+	}
+	m.fail(fmt.Errorf("interp: bad int expression %s", ir.ExprString(e)))
+	return 0
+}
+
+func (m *machine) evalIntCall(e *ir.Call) int64 {
+	m.cost(1)
+	switch e.Fn {
+	case ir.IntrMod:
+		l := m.evalInt(e.Args[0])
+		r := m.evalInt(e.Args[1])
+		if r == 0 {
+			m.fail(errors.New("interp: mod by zero"))
+		}
+		return l % r
+	case ir.IntrMin:
+		v := m.evalInt(e.Args[0])
+		for _, a := range e.Args[1:] {
+			if w := m.evalInt(a); w < v {
+				v = w
+			}
+		}
+		return v
+	case ir.IntrMax:
+		v := m.evalInt(e.Args[0])
+		for _, a := range e.Args[1:] {
+			if w := m.evalInt(a); w > v {
+				v = w
+			}
+		}
+		return v
+	case ir.IntrAbs:
+		v := m.evalInt(e.Args[0])
+		if v < 0 {
+			return -v
+		}
+		return v
+	case ir.IntrInt:
+		return int64(m.evalFloat(e.Args[0]))
+	}
+	m.fail(fmt.Errorf("interp: intrinsic %s does not yield int", e.Fn))
+	return 0
+}
+
+func (m *machine) evalFloat(e ir.Expr) float64 {
+	switch e := e.(type) {
+	case *ir.ConstFloat:
+		return e.V
+	case *ir.ConstInt:
+		return float64(e.V)
+	case *ir.VarRef:
+		m.cost(1)
+		return m.fvals[e.Var.ID]
+	case *ir.Load:
+		off := m.elemOffset(e.Arr, e.Idx)
+		m.cost(1 + 2*uint64(len(e.Idx)-1))
+		return m.farrs[e.Arr.ID][off]
+	case *ir.Bin:
+		l := m.evalFloat(e.L)
+		r := m.evalFloat(e.R)
+		m.cost(1)
+		switch e.Op {
+		case ir.OpAdd:
+			return l + r
+		case ir.OpSub:
+			return l - r
+		case ir.OpMul:
+			return l * r
+		case ir.OpDiv:
+			return l / r
+		}
+	case *ir.Un:
+		if e.Op == ir.OpNeg {
+			v := m.evalFloat(e.X)
+			m.cost(1)
+			return -v
+		}
+	case *ir.Call:
+		return m.evalFloatCall(e)
+	}
+	m.fail(fmt.Errorf("interp: bad float expression %s", ir.ExprString(e)))
+	return 0
+}
+
+func (m *machine) evalFloatCall(e *ir.Call) float64 {
+	m.cost(1)
+	switch e.Fn {
+	case ir.IntrSqrt:
+		return math.Sqrt(m.evalFloat(e.Args[0]))
+	case ir.IntrFloat:
+		if e.Args[0].Type() == ir.Int {
+			return float64(m.evalInt(e.Args[0]))
+		}
+		return m.evalFloat(e.Args[0])
+	case ir.IntrAbs:
+		return math.Abs(m.evalFloat(e.Args[0]))
+	case ir.IntrMin:
+		v := m.evalFloat(e.Args[0])
+		for _, a := range e.Args[1:] {
+			v = math.Min(v, m.evalFloat(a))
+		}
+		return v
+	case ir.IntrMax:
+		v := m.evalFloat(e.Args[0])
+		for _, a := range e.Args[1:] {
+			v = math.Max(v, m.evalFloat(a))
+		}
+		return v
+	case ir.IntrMod:
+		l := m.evalFloat(e.Args[0])
+		r := m.evalFloat(e.Args[1])
+		return math.Mod(l, r)
+	}
+	m.fail(fmt.Errorf("interp: intrinsic %s does not yield float", e.Fn))
+	return 0
+}
+
+func (m *machine) evalBool(e ir.Expr) bool {
+	switch e := e.(type) {
+	case *ir.Bin:
+		switch e.Op {
+		case ir.OpAnd:
+			l := m.evalBool(e.L)
+			r := m.evalBool(e.R)
+			m.cost(1)
+			return l && r
+		case ir.OpOr:
+			l := m.evalBool(e.L)
+			r := m.evalBool(e.R)
+			m.cost(1)
+			return l || r
+		}
+		if e.Op.IsComparison() {
+			if e.L.Type() == ir.Float || e.R.Type() == ir.Float {
+				l := m.evalFloat(e.L)
+				r := m.evalFloat(e.R)
+				m.cost(1)
+				return cmpF(e.Op, l, r)
+			}
+			l := m.evalInt(e.L)
+			r := m.evalInt(e.R)
+			m.cost(1)
+			return cmpI(e.Op, l, r)
+		}
+	case *ir.Un:
+		if e.Op == ir.OpNot {
+			v := m.evalBool(e.X)
+			m.cost(1)
+			return !v
+		}
+	}
+	m.fail(fmt.Errorf("interp: bad bool expression %s", ir.ExprString(e)))
+	return false
+}
+
+func cmpI(op ir.Op, l, r int64) bool {
+	switch op {
+	case ir.OpEq:
+		return l == r
+	case ir.OpNe:
+		return l != r
+	case ir.OpLt:
+		return l < r
+	case ir.OpLe:
+		return l <= r
+	case ir.OpGt:
+		return l > r
+	case ir.OpGe:
+		return l >= r
+	}
+	return false
+}
+
+func cmpF(op ir.Op, l, r float64) bool {
+	switch op {
+	case ir.OpEq:
+		return l == r
+	case ir.OpNe:
+		return l != r
+	case ir.OpLt:
+		return l < r
+	case ir.OpLe:
+		return l <= r
+	case ir.OpGt:
+		return l > r
+	case ir.OpGe:
+		return l >= r
+	}
+	return false
+}

@@ -1,0 +1,475 @@
+package interp
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nascent/internal/ir"
+	"nascent/internal/irbuild"
+	"nascent/internal/parser"
+	"nascent/internal/sem"
+)
+
+func run(t *testing.T, src string, checks bool) Result {
+	t.Helper()
+	res, err := runErr(t, src, checks)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func runErr(t *testing.T, src string, checks bool) (Result, error) {
+	t.Helper()
+	f, err := parser.Parse("test.mf", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sem.Analyze(f)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	p, err := irbuild.Build(sp, irbuild.Options{BoundsChecks: checks})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return Run(p, Config{})
+}
+
+func TestArithmeticAndPrint(t *testing.T) {
+	res := run(t, `program p
+  i = 7 / 2
+  j = mod(7, 3)
+  x = 1.5 * 4.0
+  print i, j, x
+end
+`, false)
+	if res.Output != "3 1 6\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestDoLoopSum(t *testing.T) {
+	res := run(t, `program p
+  integer i, s
+  s = 0
+  do i = 1, 10
+    s = s + i
+  enddo
+  print s
+end
+`, false)
+	if res.Output != "55\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestDoLoopStepAndNegative(t *testing.T) {
+	res := run(t, `program p
+  integer i, s
+  s = 0
+  do i = 1, 10, 3
+    s = s + i
+  enddo
+  print s
+  s = 0
+  do i = 10, 1, -2
+    s = s + i
+  enddo
+  print s
+end
+`, false)
+	if res.Output != "22\n30\n" { // 1+4+7+10 ; 10+8+6+4+2
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestZeroTripLoop(t *testing.T) {
+	res := run(t, `program p
+  integer i, s
+  s = 0
+  do i = 5, 1
+    s = s + 1
+  enddo
+  print s
+end
+`, false)
+	if res.Output != "0\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	res := run(t, `program p
+  integer i
+  i = 1
+  while (i < 100)
+    i = i * 2
+  endwhile
+  print i
+end
+`, false)
+	if res.Output != "128\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	res := run(t, `program p
+  do i = 1, 3
+    if (i == 1) then
+      print 10
+    elseif (i == 2) then
+      print 20
+    else
+      print 30
+    endif
+  enddo
+end
+`, false)
+	if res.Output != "10\n20\n30\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestArraysAndChecksPass(t *testing.T) {
+	res := run(t, `program p
+  real a(10)
+  integer i
+  do i = 1, 10
+    a(i) = float(i) * 2.0
+  enddo
+  print a(1), a(10)
+end
+`, true)
+	if res.Trapped {
+		t.Fatalf("unexpected trap: %s", res.TrapNote)
+	}
+	if res.Output != "2 20\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+	// 10 iterations x 2 checks (store) + 2 checks for each print load.
+	if res.Checks != 10*2+4 {
+		t.Errorf("checks = %d, want 24", res.Checks)
+	}
+}
+
+func TestCheckTrapsOnViolation(t *testing.T) {
+	res := run(t, `program p
+  real a(10)
+  i = 11
+  a(i) = 1.0
+  print 999
+end
+`, true)
+	if !res.Trapped {
+		t.Fatal("expected trap")
+	}
+	if !strings.Contains(res.TrapNote, "a dim 1 upper") {
+		t.Errorf("trap note = %q", res.TrapNote)
+	}
+	if strings.Contains(res.Output, "999") {
+		t.Error("execution continued past trap")
+	}
+}
+
+func TestLowerBoundTrap(t *testing.T) {
+	res := run(t, `program p
+  real a(5:10)
+  i = 4
+  a(i) = 1.0
+end
+`, true)
+	if !res.Trapped || !strings.Contains(res.TrapNote, "lower") {
+		t.Errorf("trapped=%v note=%q", res.Trapped, res.TrapNote)
+	}
+}
+
+func TestUncheckedAccessIsRuntimeError(t *testing.T) {
+	_, err := runErr(t, `program p
+  real a(10)
+  i = 11
+  a(i) = 1.0
+end
+`, false)
+	if err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMultiDimRowMajor(t *testing.T) {
+	res := run(t, `program p
+  integer b(3, 0:2)
+  do i = 1, 3
+    do j = 0, 2
+      b(i, j) = 10*i + j
+    enddo
+  enddo
+  print b(1, 0), b(2, 1), b(3, 2)
+end
+`, true)
+	if res.Output != "10 21 32\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestSubroutineCallByValue(t *testing.T) {
+	res := run(t, `program p
+  integer n
+  n = 5
+  call f(n)
+  print n
+end
+subroutine f(n)
+  n = n + 100
+end
+`, false)
+	// By-value: caller's n unchanged.
+	if res.Output != "5\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestSubroutineGlobalEffect(t *testing.T) {
+	res := run(t, `program p
+  integer total
+  total = 0
+  call bump(7)
+  call bump(3)
+  print total
+end
+subroutine bump(k)
+  total = total + k
+end
+`, false)
+	if res.Output != "10\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestSubroutineLocalsReset(t *testing.T) {
+	res := run(t, `program p
+  call f()
+  call f()
+end
+subroutine f()
+  integer c
+  c = c + 1
+  print c
+end
+`, false)
+	if res.Output != "1\n1\n" {
+		t.Errorf("locals not reset between calls: %q", res.Output)
+	}
+}
+
+func TestRecursionRejected(t *testing.T) {
+	_, err := runErr(t, `program p
+  call f(3)
+end
+subroutine f(n)
+  if (n > 0) then
+    call f(n - 1)
+  endif
+end
+`, false)
+	if !errors.Is(err, ErrRecursion) {
+		t.Errorf("err = %v, want ErrRecursion", err)
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	f, err := parser.Parse("t.mf", `program p
+  integer i
+  i = 0
+  while (i >= 0)
+    i = i + 1
+  endwhile
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sem.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := irbuild.Build(sp, irbuild.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(p, Config{MaxInstructions: 10000})
+	if !errors.Is(err, ErrLimit) {
+		t.Errorf("err = %v, want ErrLimit", err)
+	}
+}
+
+func TestIntrinsics(t *testing.T) {
+	res := run(t, `program p
+  print min(3, 1, 2), max(3, 1, 2)
+  print abs(-4), mod(-7, 3)
+  print int(2.9), int(-2.9)
+  x = sqrt(16.0)
+  print x
+  print min(1.5, 2.5), abs(-1.25)
+end
+`, false)
+	want := "1 3\n4 -1\n2 -2\n4\n1.5 1.25\n"
+	if res.Output != want {
+		t.Errorf("output = %q, want %q", res.Output, want)
+	}
+}
+
+func TestIntegerDivisionTruncation(t *testing.T) {
+	res := run(t, `program p
+  print 7 / 2, -7 / 2, 7 / -2
+end
+`, false)
+	if res.Output != "3 -3 -3\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	_, err := runErr(t, `program p
+  i = 0
+  j = 5 / i
+end
+`, false)
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestLogicalOperators(t *testing.T) {
+	res := run(t, `program p
+  i = 3
+  if (i > 1 and i < 5) then
+    print 1
+  endif
+  if (i > 10 or i == 3) then
+    print 2
+  endif
+  if (not (i == 4)) then
+    print 3
+  endif
+end
+`, false)
+	if res.Output != "1\n2\n3\n" {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestInstructionCountsDeterministic(t *testing.T) {
+	src := `program p
+  real a(50)
+  integer i
+  do i = 1, 50
+    a(i) = float(i)
+  enddo
+end
+`
+	r1 := run(t, src, true)
+	r2 := run(t, src, true)
+	if r1.Instructions != r2.Instructions || r1.Checks != r2.Checks {
+		t.Errorf("nondeterministic counts: %v vs %v", r1, r2)
+	}
+	if r1.Instructions == 0 || r1.Checks != 100 {
+		t.Errorf("instr=%d checks=%d, want checks=100", r1.Instructions, r1.Checks)
+	}
+}
+
+func TestChecksDoNotCountAsInstructions(t *testing.T) {
+	src := `program p
+  real a(50)
+  integer i
+  do i = 1, 50
+    a(i) = float(i)
+  enddo
+end
+`
+	withChecks := run(t, src, true)
+	noChecks := run(t, src, false)
+	if withChecks.Instructions != noChecks.Instructions {
+		t.Errorf("check insertion changed instruction count: %d vs %d",
+			withChecks.Instructions, noChecks.Instructions)
+	}
+	if noChecks.Checks != 0 {
+		t.Errorf("unchecked run counted %d checks", noChecks.Checks)
+	}
+}
+
+func TestCondCheckGuard(t *testing.T) {
+	// Build a program and manually add a guarded check whose guard is
+	// false: it must count as a check but not evaluate its terms.
+	f, err := parser.Parse("t.mf", "program p\n  i = 1\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sem.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := irbuild.Build(sp, irbuild.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := p.Main()
+	entry := main.Entry()
+	var iv *ir.Var
+	for _, v := range p.Globals {
+		if v.Name == "i" {
+			iv = v
+		}
+	}
+	if iv == nil {
+		t.Fatal("var i not found")
+	}
+	guard := &ir.Bin{Op: ir.OpLt, L: &ir.VarRef{Var: iv}, R: &ir.ConstInt{V: 0}, Typ: ir.Bool}
+	// Failing check body, but guard false -> no trap.
+	entry.Stmts = append(entry.Stmts, &ir.CheckStmt{
+		Terms: []ir.CheckTerm{{Coef: 1, Atom: &ir.VarRef{Var: iv}}},
+		Const: -100,
+		Guard: guard,
+		Note:  "guarded",
+	})
+	res, err := Run(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trapped {
+		t.Error("guarded check trapped despite false guard")
+	}
+	if res.Checks != 0 {
+		t.Errorf("checks = %d, want 0 (false guard performs no check)", res.Checks)
+	}
+}
+
+func TestTrapStmt(t *testing.T) {
+	f, err := parser.Parse("t.mf", "program p\n  i = 1\nend\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, _ := sem.Analyze(f)
+	p, _ := irbuild.Build(sp, irbuild.Options{})
+	p.Main().Entry().InsertStmts(0, &ir.TrapStmt{Note: "always"})
+	res, err := Run(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Trapped || !strings.Contains(res.TrapNote, "always") {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	res := run(t, `program p
+  x = 0.1 + 0.2
+  print x
+end
+`, false)
+	if !strings.HasPrefix(res.Output, "0.3") {
+		t.Errorf("output = %q", res.Output)
+	}
+}

@@ -1,0 +1,85 @@
+package interp
+
+import "nascent/internal/ir"
+
+// StaticCost returns the static instruction count of a program under the
+// same cost model the interpreter charges dynamically (checks excluded —
+// they are counted by ir.Program.CountChecks). This provides Table 1's
+// "static instructions" column.
+func StaticCost(p *ir.Program) uint64 {
+	var n uint64
+	for _, f := range p.Funcs {
+		n += staticFunc(f)
+	}
+	return n
+}
+
+func staticFunc(f *ir.Func) uint64 {
+	var n uint64
+	for _, b := range f.Blocks {
+		for _, s := range b.Stmts {
+			n += staticStmt(s)
+		}
+		switch t := b.Term.(type) {
+		case *ir.Goto, *ir.Ret:
+			n++
+		case *ir.If:
+			n += 1 + exprCost(t.Cond)
+		}
+	}
+	return n
+}
+
+func staticStmt(s ir.Stmt) uint64 {
+	switch s := s.(type) {
+	case *ir.AssignStmt:
+		return 1 + exprCost(s.Src)
+	case *ir.StoreStmt:
+		n := 1 + 2*uint64(len(s.Idx)-1) + exprCost(s.Val)
+		for _, ix := range s.Idx {
+			n += exprCost(ix)
+		}
+		return n
+	case *ir.CallStmt:
+		n := 2 + uint64(len(s.Callee.Params))
+		for _, a := range s.Args {
+			n += exprCost(a)
+		}
+		return n
+	case *ir.PrintStmt:
+		n := uint64(1)
+		for _, a := range s.Args {
+			n += exprCost(a)
+		}
+		return n
+	case *ir.CheckStmt, *ir.TrapStmt:
+		return 0 // counted separately
+	}
+	return 0
+}
+
+func exprCost(e ir.Expr) uint64 {
+	switch e := e.(type) {
+	case *ir.ConstInt, *ir.ConstFloat:
+		return 0
+	case *ir.VarRef:
+		return 1
+	case *ir.Load:
+		n := 1 + 2*uint64(len(e.Idx)-1)
+		for _, ix := range e.Idx {
+			n += exprCost(ix)
+		}
+		return n
+	case *ir.Bin:
+		return 1 + exprCost(e.L) + exprCost(e.R)
+	case *ir.Un:
+		return 1 + exprCost(e.X)
+	case *ir.Call:
+		n := uint64(1)
+		for _, a := range e.Args {
+			n += exprCost(a)
+		}
+		return n
+	}
+	return 0
+}

@@ -1,0 +1,141 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"nascent/internal/irbuild"
+	"nascent/internal/parser"
+	"nascent/internal/sem"
+)
+
+func mustBuild(t *testing.T, src string, checks bool) *Result {
+	t.Helper()
+	f, err := parser.Parse("t.mf", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sem.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := irbuild.Build(sp, irbuild.Options{BoundsChecks: checks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &res
+}
+
+func TestStaticCostMatchesStraightLineDynamic(t *testing.T) {
+	// A straight-line program executes each instruction exactly once, so
+	// static and dynamic counts agree.
+	src := `program p
+  integer i, j
+  real x
+  i = 1
+  j = i + 2
+  x = float(j) * 1.5
+  print x
+end
+`
+	f, err := parser.Parse("t.mf", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := sem.Analyze(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := irbuild.Build(sp, irbuild.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := StaticCost(p)
+	res, err := Run(p, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static != res.Instructions {
+		t.Errorf("static %d != dynamic %d for straight-line code", static, res.Instructions)
+	}
+}
+
+func TestStaticCostCountsChecksSeparately(t *testing.T) {
+	src := `program p
+  real a(10)
+  a(3) = 1.0
+end
+`
+	f, _ := parser.Parse("t.mf", src)
+	sp, _ := sem.Analyze(f)
+	unchecked, _ := irbuild.Build(sp, irbuild.Options{})
+	f2, _ := parser.Parse("t.mf", src)
+	sp2, _ := sem.Analyze(f2)
+	checked, _ := irbuild.Build(sp2, irbuild.Options{BoundsChecks: true})
+	if StaticCost(unchecked) != StaticCost(checked) {
+		t.Errorf("checks leaked into static instruction count: %d vs %d",
+			StaticCost(unchecked), StaticCost(checked))
+	}
+}
+
+func TestOutputTruncation(t *testing.T) {
+	src := `program p
+  integer i
+  do i = 1, 100000
+    print i
+  enddo
+end
+`
+	f, _ := parser.Parse("t.mf", src)
+	sp, _ := sem.Analyze(f)
+	p, _ := irbuild.Build(sp, irbuild.Options{})
+	res, err := Run(p, Config{MaxOutputBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) > 300 {
+		t.Errorf("output not truncated: %d bytes", len(res.Output))
+	}
+	// Execution continued (instruction counts cover the whole loop).
+	if res.Instructions < 100000 {
+		t.Errorf("execution seems to have stopped early: %d instructions", res.Instructions)
+	}
+}
+
+func TestFloatIntrinsicsEvaluation(t *testing.T) {
+	res := mustBuild(t, `program p
+  x = mod(7.5, 2.0)
+  y = min(3.5, max(1.0, 2.5))
+  print x, y
+end
+`, false)
+	if !strings.HasPrefix(res.Output, "1.5 2.5") {
+		t.Errorf("output = %q", res.Output)
+	}
+}
+
+func TestModByZero(t *testing.T) {
+	f, _ := parser.Parse("t.mf", "program p\n  i = 0\n  j = mod(5, i)\nend\n")
+	sp, _ := sem.Analyze(f)
+	p, _ := irbuild.Build(sp, irbuild.Options{})
+	if _, err := Run(p, Config{}); err == nil || !strings.Contains(err.Error(), "mod by zero") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestNegativeSqrtIsNaN(t *testing.T) {
+	res := mustBuild(t, `program p
+  x = sqrt(-1.0)
+  if (not (x == x)) then
+    print 1
+  endif
+end
+`, false)
+	if res.Output != "1\n" {
+		t.Errorf("sqrt(-1) should be NaN; output = %q", res.Output)
+	}
+}

@@ -1,0 +1,27 @@
+package ir
+
+// DoLoopInfo records the structure of a lowered counted (DO) loop. The
+// loop optimizer uses it to identify the basic loop variable, the trip
+// count, and the preheader insertion point (paper §3.3, preheader
+// insertion and loop-limit substitution).
+//
+// The lowered shape is:
+//
+//	Preheader:  Var = Lo ; ... ; goto Header
+//	Header:     if Var <= Limit goto BodyEntry else Exit   (Step > 0)
+//	BodyEntry:  ...body...
+//	Latch:      Var = Var + Step ; goto Header
+//
+// Limit is either a compile-time constant, a variable that is provably
+// not assigned inside the loop, or a compiler temp initialized in the
+// preheader; in all cases it is invariant in the loop.
+type DoLoopInfo struct {
+	Preheader *Block
+	Header    *Block
+	BodyEntry *Block
+	Latch     *Block
+	Var       *Var
+	Lo        Expr  // loop entry value of Var (evaluated at preheader)
+	Limit     Expr  // inclusive bound, invariant in the loop
+	Step      int64 // nonzero compile-time constant
+}

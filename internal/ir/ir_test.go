@@ -1,0 +1,259 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func testProgram() (*Program, *Func) {
+	p := &Program{}
+	f := &Func{Name: "t", IsMain: true}
+	p.RegisterFunc(f)
+	return p, f
+}
+
+func TestNormalizeTermsMergesAndSorts(t *testing.T) {
+	p, _ := testProgram()
+	n := p.NewVar("n", Int, false, false)
+	m := p.NewVar("m", Int, false, false)
+	terms := []CheckTerm{
+		{Coef: 2, Atom: &VarRef{Var: m}},
+		{Coef: 1, Atom: &VarRef{Var: n}},
+		{Coef: 3, Atom: &VarRef{Var: m}},
+	}
+	got := NormalizeTerms(terms)
+	if len(got) != 2 {
+		t.Fatalf("got %d terms, want 2", len(got))
+	}
+	// n has lower ID so sorts first (keys are vID).
+	if got[0].Coef != 1 || got[1].Coef != 5 {
+		t.Errorf("coefs = %d,%d want 1,5", got[0].Coef, got[1].Coef)
+	}
+}
+
+func TestNormalizeTermsDropsZero(t *testing.T) {
+	p, _ := testProgram()
+	n := p.NewVar("n", Int, false, false)
+	terms := []CheckTerm{
+		{Coef: 2, Atom: &VarRef{Var: n}},
+		{Coef: -2, Atom: &VarRef{Var: n}},
+	}
+	if got := NormalizeTerms(terms); len(got) != 0 {
+		t.Errorf("got %d terms, want 0", len(got))
+	}
+}
+
+func TestFamilyKeyStableAcrossOrder(t *testing.T) {
+	p, _ := testProgram()
+	n := p.NewVar("n", Int, false, false)
+	m := p.NewVar("m", Int, false, false)
+	a := NormalizeTerms([]CheckTerm{{Coef: 2, Atom: &VarRef{Var: n}}, {Coef: -1, Atom: &VarRef{Var: m}}})
+	b := NormalizeTerms([]CheckTerm{{Coef: -1, Atom: &VarRef{Var: m}}, {Coef: 2, Atom: &VarRef{Var: n}}})
+	if FamilyKey(a) != FamilyKey(b) {
+		t.Errorf("family keys differ: %q vs %q", FamilyKey(a), FamilyKey(b))
+	}
+}
+
+func TestFamilyKeyDistinguishesCoefs(t *testing.T) {
+	p, _ := testProgram()
+	n := p.NewVar("n", Int, false, false)
+	a := []CheckTerm{{Coef: 2, Atom: &VarRef{Var: n}}}
+	b := []CheckTerm{{Coef: 3, Atom: &VarRef{Var: n}}}
+	if FamilyKey(a) == FamilyKey(b) {
+		t.Error("2n and 3n should be different families")
+	}
+}
+
+func TestCheckStringPaperNotation(t *testing.T) {
+	p, _ := testProgram()
+	n := p.NewVar("n", Int, false, false)
+	c := &CheckStmt{Terms: []CheckTerm{{Coef: 2, Atom: &VarRef{Var: n}}}, Const: 10}
+	if got := c.String(); got != "check (2*n <= 10)" {
+		t.Errorf("got %q", got)
+	}
+	neg := &CheckStmt{Terms: []CheckTerm{{Coef: -1, Atom: &VarRef{Var: n}}}, Const: -5}
+	if got := neg.String(); got != "check (-n <= -5)" {
+		t.Errorf("got %q", got)
+	}
+	guard := &Bin{Op: OpLe, L: &ConstInt{V: 1}, R: &VarRef{Var: n}, Typ: Bool}
+	cc := &CheckStmt{Terms: []CheckTerm{{Coef: 2, Atom: &VarRef{Var: n}}}, Const: 10, Guard: guard}
+	if got := cc.String(); got != "condcheck ((1 <= n), 2*n <= 10)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestCompileTime(t *testing.T) {
+	c := &CheckStmt{Const: 3}
+	isC, pass := c.CompileTime()
+	if !isC || !pass {
+		t.Errorf("const 3: isConst=%v pass=%v", isC, pass)
+	}
+	c2 := &CheckStmt{Const: -1}
+	if _, pass := c2.CompileTime(); pass {
+		t.Error("const -1 should fail")
+	}
+	p, _ := testProgram()
+	n := p.NewVar("n", Int, false, false)
+	c3 := &CheckStmt{Terms: []CheckTerm{{Coef: 1, Atom: &VarRef{Var: n}}}, Const: 0}
+	if isC, _ := c3.CompileTime(); isC {
+		t.Error("symbolic check reported as compile-time")
+	}
+}
+
+func TestKeyStructuralEquality(t *testing.T) {
+	p, _ := testProgram()
+	n := p.NewVar("n", Int, false, false)
+	arr := p.NewArray("a", Float, []Bounds{{1, 10}}, false)
+	e1 := &Load{Arr: arr, Idx: []Expr{&Bin{Op: OpAdd, L: &VarRef{Var: n}, R: &ConstInt{V: 1}, Typ: Int}}}
+	e2 := &Load{Arr: arr, Idx: []Expr{&Bin{Op: OpAdd, L: &VarRef{Var: n}, R: &ConstInt{V: 1}, Typ: Int}}}
+	if Key(e1) != Key(e2) {
+		t.Error("structurally equal loads have different keys")
+	}
+	e3 := &Load{Arr: arr, Idx: []Expr{&Bin{Op: OpAdd, L: &VarRef{Var: n}, R: &ConstInt{V: 2}, Typ: Int}}}
+	if Key(e1) == Key(e3) {
+		t.Error("different loads share a key")
+	}
+}
+
+func TestCloneExprIndependent(t *testing.T) {
+	p, _ := testProgram()
+	n := p.NewVar("n", Int, false, false)
+	orig := &Bin{Op: OpAdd, L: &VarRef{Var: n}, R: &ConstInt{V: 1}, Typ: Int}
+	cl := CloneExpr(orig).(*Bin)
+	if Key(orig) != Key(cl) {
+		t.Fatal("clone differs structurally")
+	}
+	cl.R.(*ConstInt).V = 99
+	if orig.R.(*ConstInt).V != 1 {
+		t.Error("mutating clone affected original")
+	}
+}
+
+func TestSplitCriticalEdges(t *testing.T) {
+	p, f := testProgram()
+	n := p.NewVar("n", Int, false, false)
+	// b0 -> {b1, b2}; b1 -> b2 ; b2 has 2 preds and b0 has 2 succs:
+	// edge b0->b2 is critical.
+	b0 := f.NewBlock("entry")
+	b1 := f.NewBlock("side")
+	b2 := f.NewBlock("merge")
+	cond := &Bin{Op: OpLt, L: &VarRef{Var: n}, R: &ConstInt{V: 5}, Typ: Bool}
+	b0.Term = &If{Cond: cond, Then: b1, Else: b2}
+	b1.Term = &Goto{Target: b2}
+	b2.Term = &Ret{}
+	split := f.SplitCriticalEdges()
+	if split != 1 {
+		t.Fatalf("split %d edges, want 1", split)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify after split: %v", err)
+	}
+	// b0's else edge now goes through a fresh block.
+	ifTerm := b0.Term.(*If)
+	if ifTerm.Else == b2 {
+		t.Error("critical edge not rewired")
+	}
+	if got := ifTerm.Else.Succs(); len(got) != 1 || got[0] != b2 {
+		t.Error("split block does not jump to merge")
+	}
+	if f.SplitCriticalEdges() != 0 {
+		t.Error("second split pass found edges")
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	p, f := testProgram()
+	_ = p
+	b0 := f.NewBlock("entry")
+	b1 := f.NewBlock("a")
+	b2 := f.NewBlock("b")
+	b0.Term = &Goto{Target: b1}
+	b1.Term = &Goto{Target: b2}
+	b2.Term = &Ret{}
+	order := f.ReversePostorder()
+	if len(order) != 3 || order[0] != b0 || order[2] != b2 {
+		t.Errorf("bad RPO: %v", order)
+	}
+}
+
+func TestRemoveUnreachable(t *testing.T) {
+	_, f := testProgram()
+	b0 := f.NewBlock("entry")
+	dead := f.NewBlock("dead")
+	b0.Term = &Ret{}
+	dead.Term = &Ret{}
+	if removed := f.RemoveUnreachable(); removed != 1 {
+		t.Errorf("removed %d, want 1", removed)
+	}
+	if len(f.Blocks) != 1 {
+		t.Errorf("%d blocks left, want 1", len(f.Blocks))
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	_, f := testProgram()
+	f.NewBlock("entry")
+	err := f.Verify()
+	if err == nil || !strings.Contains(err.Error(), "no terminator") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestVerifyCatchesNonCanonicalCheck(t *testing.T) {
+	p, f := testProgram()
+	n := p.NewVar("n", Int, false, false)
+	b := f.NewBlock("entry")
+	b.Term = &Ret{}
+	b.Stmts = append(b.Stmts, &CheckStmt{Terms: []CheckTerm{{Coef: 0, Atom: &VarRef{Var: n}}}, Const: 1})
+	if err := f.Verify(); err == nil {
+		t.Error("zero coefficient not caught")
+	}
+}
+
+func TestInsertRemoveStmts(t *testing.T) {
+	p, f := testProgram()
+	n := p.NewVar("n", Int, false, false)
+	b := f.NewBlock("entry")
+	b.Term = &Ret{}
+	s1 := &AssignStmt{Dst: n, Src: &ConstInt{V: 1}}
+	s2 := &AssignStmt{Dst: n, Src: &ConstInt{V: 2}}
+	b.Stmts = []Stmt{s1, s2}
+	s3 := &AssignStmt{Dst: n, Src: &ConstInt{V: 3}}
+	b.InsertStmts(1, s3)
+	if len(b.Stmts) != 3 || b.Stmts[1] != s3 {
+		t.Fatalf("insert failed: %v", b.Stmts)
+	}
+	b.RemoveStmt(1)
+	if len(b.Stmts) != 2 || b.Stmts[1] != s2 {
+		t.Fatalf("remove failed: %v", b.Stmts)
+	}
+}
+
+func TestTermsString(t *testing.T) {
+	p, _ := testProgram()
+	n := p.NewVar("n", Int, false, false)
+	m := p.NewVar("m", Int, false, false)
+	nT := CheckTerm{Coef: 1, Atom: &VarRef{Var: n}}
+	mT := CheckTerm{Coef: -3, Atom: &VarRef{Var: m}}
+	got := TermsString([]CheckTerm{nT, mT})
+	if got != "n - 3*m" {
+		t.Errorf("got %q", got)
+	}
+	if TermsString(nil) != "0" {
+		t.Errorf("empty terms: %q", TermsString(nil))
+	}
+}
+
+func TestDumpContainsStructure(t *testing.T) {
+	p, f := testProgram()
+	n := p.NewVar("n", Int, false, false)
+	b := f.NewBlock("entry")
+	b.Stmts = append(b.Stmts, &AssignStmt{Dst: n, Src: &ConstInt{V: 4}})
+	b.Term = &Ret{}
+	out := p.Dump()
+	for _, want := range []string{"main t()", "b0 (entry):", "n = 4", "ret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the whole program as readable IR text.
+func (p *Program) Dump() string {
+	var b strings.Builder
+	for i, f := range p.Funcs {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(f.Dump())
+	}
+	return b.String()
+}
+
+// Dump renders the function as readable IR text.
+func (f *Func) Dump() string {
+	var b strings.Builder
+	kind := "func"
+	if f.IsMain {
+		kind = "main"
+	}
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %s", p.Type, p.Name)
+	}
+	fmt.Fprintf(&b, "%s %s(%s) {\n", kind, f.Name, strings.Join(params, ", "))
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d", blk.ID)
+		if blk.Label != "" {
+			fmt.Fprintf(&b, " (%s)", blk.Label)
+		}
+		if len(blk.Preds) > 0 {
+			preds := make([]string, len(blk.Preds))
+			for i, p := range blk.Preds {
+				preds[i] = fmt.Sprintf("b%d", p.ID)
+			}
+			fmt.Fprintf(&b, "  <- %s", strings.Join(preds, " "))
+		}
+		b.WriteString(":\n")
+		for _, s := range blk.Stmts {
+			fmt.Fprintf(&b, "  %s\n", StmtString(s))
+		}
+		switch t := blk.Term.(type) {
+		case *Goto:
+			fmt.Fprintf(&b, "  goto b%d\n", t.Target.ID)
+		case *If:
+			fmt.Fprintf(&b, "  if %s goto b%d else b%d\n", ExprString(t.Cond), t.Then.ID, t.Else.ID)
+		case *Ret:
+			b.WriteString("  ret\n")
+		case nil:
+			b.WriteString("  <no terminator>\n")
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// StmtString renders one statement.
+func StmtString(s Stmt) string {
+	switch s := s.(type) {
+	case *AssignStmt:
+		return fmt.Sprintf("%s = %s", s.Dst.Name, ExprString(s.Src))
+	case *StoreStmt:
+		idx := make([]string, len(s.Idx))
+		for i, e := range s.Idx {
+			idx[i] = ExprString(e)
+		}
+		return fmt.Sprintf("%s(%s) = %s", s.Arr.Name, strings.Join(idx, ", "), ExprString(s.Val))
+	case *CheckStmt:
+		return s.String()
+	case *CallStmt:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("call %s(%s)", s.Callee.Name, strings.Join(args, ", "))
+	case *PrintStmt:
+		args := make([]string, len(s.Args))
+		for i, a := range s.Args {
+			args[i] = ExprString(a)
+		}
+		return fmt.Sprintf("print %s", strings.Join(args, ", "))
+	case *TrapStmt:
+		return fmt.Sprintf("trap %q", s.Note)
+	}
+	return fmt.Sprintf("<%T>", s)
+}

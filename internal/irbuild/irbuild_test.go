@@ -1,0 +1,401 @@
+package irbuild
+
+import (
+	"strings"
+	"testing"
+
+	"nascent/internal/ir"
+	"nascent/internal/parser"
+	"nascent/internal/sem"
+)
+
+func build(t *testing.T, src string, checks bool) *ir.Program {
+	t.Helper()
+	f, err := parser.Parse("test.mf", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	sp, err := sem.Analyze(f)
+	if err != nil {
+		t.Fatalf("sem: %v", err)
+	}
+	p, err := Build(sp, Options{BoundsChecks: checks})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	if err := p.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return p
+}
+
+func TestBuildSimpleAssign(t *testing.T) {
+	p := build(t, "program p\n  i = 2 + 3\nend\n", true)
+	main := p.Main()
+	if !main.IsMain {
+		t.Error("main flag not set")
+	}
+	dump := main.Dump()
+	if !strings.Contains(dump, "i = 5") {
+		t.Errorf("missing assignment:\n%s", dump)
+	}
+}
+
+func TestNaiveCheckInsertionCounts(t *testing.T) {
+	// One store with 1 subscript -> 2 checks; one load -> 2 checks.
+	p := build(t, `program p
+  real a(10)
+  a(i) = a(j) + 1.0
+end
+`, true)
+	if got := p.CountChecks(); got != 4 {
+		t.Errorf("got %d checks, want 4\n%s", got, p.Dump())
+	}
+}
+
+func TestChecksDisabled(t *testing.T) {
+	p := build(t, `program p
+  real a(10)
+  a(i) = a(j) + 1.0
+end
+`, false)
+	if got := p.CountChecks(); got != 0 {
+		t.Errorf("got %d checks, want 0", got)
+	}
+}
+
+func TestCheckCanonicalForm(t *testing.T) {
+	// Paper Figure 1: integer A(5:10); A(2*n) and A(2*n-1).
+	p := build(t, `program p
+  integer a(5:10)
+  a(2*n) = 0
+  a(2*n - 1) = 1
+end
+`, true)
+	dump := p.Main().Dump()
+	// A(2*n): lower check -2n <= -5, upper check 2n <= 10.
+	for _, want := range []string{
+		"check (-2*n <= -5)",
+		"check (2*n <= 10)",
+		// A(2*n-1): e >= 5 => -2n+1 <= -5 => -2n <= -6; e <= 10 => 2n <= 11.
+		"check (-2*n <= -6)",
+		"check (2*n <= 11)",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestSameFamilyForShiftedSubscripts(t *testing.T) {
+	// 2*n and 2*n-1 upper checks must share a family (constants 10, 11).
+	p := build(t, `program p
+  integer a(5:10)
+  a(2*n) = 0
+  a(2*n - 1) = 1
+end
+`, true)
+	fams := make(map[string][]int64)
+	p.Main().ForEachStmt(func(_ *ir.Block, _ int, s ir.Stmt) {
+		if c, ok := s.(*ir.CheckStmt); ok {
+			fams[c.Family()] = append(fams[c.Family()], c.Const)
+		}
+	})
+	if len(fams) != 2 {
+		t.Errorf("got %d families, want 2 (one upper 2n, one lower -2n): %v", len(fams), fams)
+	}
+}
+
+func TestMultiDimChecks(t *testing.T) {
+	p := build(t, `program p
+  real a(10, 0:20)
+  a(i, j) = 1.0
+end
+`, true)
+	if got := p.CountChecks(); got != 4 {
+		t.Errorf("got %d checks, want 4 (2 dims x lower+upper)", got)
+	}
+	dump := p.Main().Dump()
+	for _, want := range []string{
+		"check (-i <= -1)", "check (i <= 10)",
+		"check (-j <= 0)", "check (j <= 20)",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestDoLoopShape(t *testing.T) {
+	p := build(t, `program p
+  integer i
+  real a(100)
+  do i = 1, 50
+    a(i) = 1.0
+  enddo
+end
+`, true)
+	main := p.Main()
+	if len(main.DoLoops) != 1 {
+		t.Fatalf("got %d do loops, want 1", len(main.DoLoops))
+	}
+	dl := main.DoLoops[0]
+	if dl.Var.Name != "i" || dl.Step != 1 {
+		t.Errorf("loop var=%s step=%d", dl.Var.Name, dl.Step)
+	}
+	if _, ok := dl.Limit.(*ir.ConstInt); !ok {
+		t.Errorf("constant limit should stay a constant, got %T", dl.Limit)
+	}
+	// Header must branch on i <= 50.
+	ifTerm, ok := dl.Header.Term.(*ir.If)
+	if !ok {
+		t.Fatalf("header terminator is %T", dl.Header.Term)
+	}
+	if ir.ExprString(ifTerm.Cond) != "(i <= 50)" {
+		t.Errorf("header cond = %s", ir.ExprString(ifTerm.Cond))
+	}
+	// Latch increments and jumps back to header.
+	if g, ok := dl.Latch.Term.(*ir.Goto); !ok || g.Target != dl.Header {
+		t.Error("latch does not jump to header")
+	}
+}
+
+func TestDoLoopSimpleVarBoundNotCopied(t *testing.T) {
+	p := build(t, `program p
+  integer i, n
+  real a(100)
+  n = 50
+  do i = 1, n
+    a(i) = 1.0
+  enddo
+end
+`, true)
+	dl := p.Main().DoLoops[0]
+	vr, ok := dl.Limit.(*ir.VarRef)
+	if !ok || vr.Var.Name != "n" {
+		t.Errorf("limit should be the variable n, got %s", ir.ExprString(dl.Limit))
+	}
+}
+
+func TestDoLoopModifiedBoundCopied(t *testing.T) {
+	p := build(t, `program p
+  integer i, n
+  n = 50
+  do i = 1, n
+    n = n - 1
+  enddo
+end
+`, true)
+	dl := p.Main().DoLoops[0]
+	vr, ok := dl.Limit.(*ir.VarRef)
+	if !ok || !vr.Var.Temp {
+		t.Errorf("modified bound must be copied to a temp, got %s", ir.ExprString(dl.Limit))
+	}
+}
+
+func TestDoLoopInvariantExprBoundKept(t *testing.T) {
+	// Paper Figure 6: "do j = 1, 2*n" keeps 2*n so hoisted checks share
+	// the family of n and constant-fold.
+	p := build(t, `program p
+  integer i, n
+  do i = 1, 2*n
+    j = i
+  enddo
+end
+`, true)
+	dl := p.Main().DoLoops[0]
+	if ir.ExprString(dl.Limit) != "(2 * n)" {
+		t.Errorf("invariant expression bound should be kept, got %s", ir.ExprString(dl.Limit))
+	}
+}
+
+func TestDoLoopExprBoundOverModifiedVarCopied(t *testing.T) {
+	p := build(t, `program p
+  integer i, n
+  do i = 1, 2*n
+    n = n - 1
+  enddo
+end
+`, true)
+	dl := p.Main().DoLoops[0]
+	vr, ok := dl.Limit.(*ir.VarRef)
+	if !ok || !vr.Var.Temp {
+		t.Errorf("bound over a modified variable must be copied, got %s", ir.ExprString(dl.Limit))
+	}
+}
+
+func TestNegativeStep(t *testing.T) {
+	p := build(t, `program p
+  integer i
+  do i = 10, 1, -1
+    j = i
+  enddo
+end
+`, true)
+	dl := p.Main().DoLoops[0]
+	if dl.Step != -1 {
+		t.Fatalf("step = %d", dl.Step)
+	}
+	cond := dl.Header.Term.(*ir.If).Cond
+	if ir.ExprString(cond) != "(i >= 1)" {
+		t.Errorf("negative-step cond = %s", ir.ExprString(cond))
+	}
+}
+
+func TestWhileShape(t *testing.T) {
+	p := build(t, `program p
+  integer i
+  while (i < 10)
+    i = i + 1
+  endwhile
+end
+`, true)
+	dump := p.Main().Dump()
+	if !strings.Contains(dump, "if (i < 10) goto") {
+		t.Errorf("missing while header:\n%s", dump)
+	}
+	if len(p.Main().DoLoops) != 0 {
+		t.Error("while loop recorded as do loop")
+	}
+}
+
+func TestIfLowering(t *testing.T) {
+	p := build(t, `program p
+  if (i < 5) then
+    j = 1
+  else
+    j = 2
+  endif
+  k = 3
+end
+`, true)
+	main := p.Main()
+	// entry branches; both arms converge on a join block assigning k.
+	ifTerm, ok := main.Entry().Term.(*ir.If)
+	if !ok {
+		t.Fatalf("entry terminator %T", main.Entry().Term)
+	}
+	if ifTerm.Then == ifTerm.Else {
+		t.Error("then and else identical")
+	}
+}
+
+func TestCallLoweringConvertsArgs(t *testing.T) {
+	p := build(t, `program p
+  call f(1, 2.5)
+end
+subroutine f(n, x)
+  real x
+  y = x + float(n)
+end
+`, true)
+	f := p.FuncByName("f")
+	if f == nil || len(f.Params) != 2 {
+		t.Fatalf("subroutine f: %+v", f)
+	}
+	if f.Params[0].Type != ir.Int || f.Params[1].Type != ir.Float {
+		t.Errorf("param types: %v %v", f.Params[0].Type, f.Params[1].Type)
+	}
+}
+
+func TestImplicitConversionOnAssign(t *testing.T) {
+	p := build(t, `program p
+  x = 1
+  i = 2.5
+end
+`, true)
+	dump := p.Main().Dump()
+	if !strings.Contains(dump, "x = float(1)") {
+		t.Errorf("int->real conversion missing:\n%s", dump)
+	}
+	if !strings.Contains(dump, "i = int(2.5)") {
+		t.Errorf("real->int conversion missing:\n%s", dump)
+	}
+}
+
+func TestReturnLowering(t *testing.T) {
+	p := build(t, `program p
+  i = 1
+  return
+  i = 2
+end
+`, true)
+	// The statement after return is unreachable and removed.
+	dump := p.Main().Dump()
+	if strings.Contains(dump, "i = 2") {
+		t.Errorf("unreachable code survived:\n%s", dump)
+	}
+}
+
+func TestChecksInConditions(t *testing.T) {
+	p := build(t, `program p
+  real a(10)
+  if (a(i) > 0.0) then
+    j = 1
+  endif
+end
+`, true)
+	if got := p.CountChecks(); got != 2 {
+		t.Errorf("got %d checks for condition load, want 2", got)
+	}
+}
+
+func TestNestedSubscriptChecksOrder(t *testing.T) {
+	// a(b(i)): checks for b(i) must precede checks for a(...).
+	p := build(t, `program p
+  integer b(5)
+  real a(10)
+  x = a(b(i))
+end
+`, true)
+	var notes []string
+	p.Main().ForEachStmt(func(_ *ir.Block, _ int, s ir.Stmt) {
+		if c, ok := s.(*ir.CheckStmt); ok {
+			notes = append(notes, c.Note)
+		}
+	})
+	if len(notes) != 4 {
+		t.Fatalf("got %d checks, want 4: %v", len(notes), notes)
+	}
+	if !strings.HasPrefix(notes[0], "b") || !strings.HasPrefix(notes[2], "a") {
+		t.Errorf("check order wrong: %v", notes)
+	}
+}
+
+func TestGlobalsSharedAcrossFuncs(t *testing.T) {
+	p := build(t, `program p
+  integer total
+  total = 0
+  call bump()
+end
+subroutine bump()
+  total = total + 1
+end
+`, true)
+	var mainVar, subVar *ir.Var
+	p.Main().ForEachStmt(func(_ *ir.Block, _ int, s ir.Stmt) {
+		if a, ok := s.(*ir.AssignStmt); ok && a.Dst.Name == "total" {
+			mainVar = a.Dst
+		}
+	})
+	p.FuncByName("bump").ForEachStmt(func(_ *ir.Block, _ int, s ir.Stmt) {
+		if a, ok := s.(*ir.AssignStmt); ok && a.Dst.Name == "total" {
+			subVar = a.Dst
+		}
+	})
+	if mainVar == nil || subVar == nil || mainVar != subVar {
+		t.Errorf("global total not shared: %p vs %p", mainVar, subVar)
+	}
+}
+
+func TestParameterConstantInlined(t *testing.T) {
+	p := build(t, `program p
+  parameter n = 42
+  i = n + 1
+end
+`, true)
+	dump := p.Main().Dump()
+	if !strings.Contains(dump, "i = 43") {
+		t.Errorf("parameter not inlined and folded:\n%s", dump)
+	}
+}

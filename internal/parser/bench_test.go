@@ -1,0 +1,19 @@
+package parser
+
+import (
+	"testing"
+
+	"nascent/internal/suite"
+)
+
+// BenchmarkParseSuite parses every benchmark program (the front-end cost
+// component of the paper's "Nascent" compile-time column).
+func BenchmarkParseSuite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range suite.Programs {
+			if _, err := Parse(p.Name+".mf", p.Source); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

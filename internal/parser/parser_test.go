@@ -1,0 +1,319 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"nascent/internal/ast"
+)
+
+func mustParse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := Parse("test.mf", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return f
+}
+
+func TestParseMinimalProgram(t *testing.T) {
+	f := mustParse(t, "program p\nend\n")
+	if len(f.Units) != 1 {
+		t.Fatalf("got %d units, want 1", len(f.Units))
+	}
+	u := f.Units[0]
+	if u.Kind != ast.ProgramUnit || u.Name != "p" {
+		t.Errorf("unit = %v %q", u.Kind, u.Name)
+	}
+}
+
+func TestParseDeclarations(t *testing.T) {
+	src := `program p
+  parameter n = 100
+  integer i, j, k
+  real a(n), b(0:n-1), c(1:10, 1:20)
+end
+`
+	f := mustParse(t, src)
+	u := f.Units[0]
+	if len(u.Consts) != 1 || u.Consts[0].Name != "n" {
+		t.Fatalf("consts = %v", u.Consts)
+	}
+	if len(u.Decls) != 2 {
+		t.Fatalf("got %d decls, want 2", len(u.Decls))
+	}
+	if u.Decls[0].Type != ast.Integer || len(u.Decls[0].Items) != 3 {
+		t.Errorf("first decl wrong: %+v", u.Decls[0])
+	}
+	reals := u.Decls[1]
+	if reals.Type != ast.Real {
+		t.Errorf("second decl type = %v", reals.Type)
+	}
+	if len(reals.Items[2].Dims) != 2 {
+		t.Errorf("c should have 2 dims, got %d", len(reals.Items[2].Dims))
+	}
+	if reals.Items[1].Dims[0].Lo == nil {
+		t.Errorf("b should have explicit lower bound")
+	}
+	if reals.Items[0].Dims[0].Lo != nil {
+		t.Errorf("a should have default lower bound")
+	}
+}
+
+func TestParseSubroutineParams(t *testing.T) {
+	src := `program p
+  call f(1, 2)
+end
+subroutine f(x, n)
+  y = x + n
+end
+`
+	f := mustParse(t, src)
+	if len(f.Units) != 2 {
+		t.Fatalf("got %d units", len(f.Units))
+	}
+	sub := f.Units[1]
+	if sub.Kind != ast.SubroutineUnit || len(sub.Params) != 2 || sub.Params[0] != "x" {
+		t.Errorf("subroutine params = %v", sub.Params)
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `program p
+  integer i
+  do i = 1, 10, 2
+    if (i > 5) then
+      x = 1.0
+    else
+      x = 2.0
+    endif
+  enddo
+  while (x < 100.0)
+    x = x * 2.0
+  endwhile
+end
+`
+	f := mustParse(t, src)
+	body := f.Units[0].Body
+	if len(body) != 2 {
+		t.Fatalf("got %d stmts, want 2", len(body))
+	}
+	do, ok := body[0].(*ast.DoStmt)
+	if !ok {
+		t.Fatalf("stmt 0 is %T, want DoStmt", body[0])
+	}
+	if do.Var != "i" || do.Step == nil {
+		t.Errorf("do loop: var=%q step=%v", do.Var, do.Step)
+	}
+	ifs, ok := do.Body[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("do body stmt is %T, want IfStmt", do.Body[0])
+	}
+	if len(ifs.Then) != 1 || len(ifs.Else) != 1 {
+		t.Errorf("if arms: then=%d else=%d", len(ifs.Then), len(ifs.Else))
+	}
+	if _, ok := body[1].(*ast.WhileStmt); !ok {
+		t.Errorf("stmt 1 is %T, want WhileStmt", body[1])
+	}
+}
+
+func TestParseElseifChain(t *testing.T) {
+	src := `program p
+  if (i == 1) then
+    x = 1.0
+  elseif (i == 2) then
+    x = 2.0
+  elseif (i == 3) then
+    x = 3.0
+  else
+    x = 4.0
+  endif
+end
+`
+	f := mustParse(t, src)
+	ifs := f.Units[0].Body[0].(*ast.IfStmt)
+	depth := 0
+	for ifs != nil {
+		depth++
+		if len(ifs.Else) == 1 {
+			if inner, ok := ifs.Else[0].(*ast.IfStmt); ok {
+				ifs = inner
+				continue
+			}
+		}
+		break
+	}
+	if depth != 3 {
+		t.Errorf("elseif chain depth = %d, want 3", depth)
+	}
+}
+
+func TestParseOneLineIf(t *testing.T) {
+	src := `program p
+  if (i > 0) i = i - 1
+end
+`
+	f := mustParse(t, src)
+	ifs, ok := f.Units[0].Body[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("stmt is %T", f.Units[0].Body[0])
+	}
+	if len(ifs.Then) != 1 || ifs.Else != nil {
+		t.Errorf("one-line if: then=%d else=%v", len(ifs.Then), ifs.Else)
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"a + b * c", "(a + (b * c))"},
+		{"a * b + c", "((a * b) + c)"},
+		{"a - b - c", "((a - b) - c)"},
+		{"-a + b", "((-a) + b)"},
+		{"a + b < c * 2", "((a + b) < (c * 2))"},
+		{"i < n and j < m", "((i < n) and (j < m))"},
+		{"not p or q", "((not p) or q)"},
+		{"a / b / c", "((a / b) / c)"},
+		{"-(a + b)", "(-(a + b))"},
+		{"a(i + 1, j)", "a((i + 1), j)"},
+		{"max(a, b, c)", "max(a, b, c)"},
+	}
+	for _, c := range cases {
+		f := mustParse(t, "program p\n  zz = "+c.src+"\n  if (zz > 0.0) then\n  endif\nend\n")
+		assign := f.Units[0].Body[0].(*ast.AssignStmt)
+		got := ast.ExprString(assign.Value)
+		if got != c.want {
+			t.Errorf("%q: got %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseArrayAssignment(t *testing.T) {
+	src := `program p
+  real a(10, 20)
+  a(i, j+1) = a(i, j) + 1.0
+end
+`
+	f := mustParse(t, src)
+	assign := f.Units[0].Body[0].(*ast.AssignStmt)
+	if assign.Name != "a" || len(assign.Indexes) != 2 {
+		t.Fatalf("assign = %+v", assign)
+	}
+	if ast.ExprString(assign.Indexes[1]) != "(j + 1)" {
+		t.Errorf("index 1 = %s", ast.ExprString(assign.Indexes[1]))
+	}
+}
+
+func TestParseErrorsRecover(t *testing.T) {
+	src := `program p
+  x = = 1
+  y = 2
+end
+`
+	f, err := Parse("test.mf", src)
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	// The good statement after the bad line must still be parsed.
+	found := false
+	ast.WalkStmts(f.Units[0].Body, func(s ast.Stmt) {
+		if a, ok := s.(*ast.AssignStmt); ok && a.Name == "y" {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("parser did not recover to parse the following statement")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `program roundtrip
+  parameter n = 8
+  integer i
+  real a(n)
+  do i = 1, n
+    a(i) = float(i) * 2.0
+  enddo
+  call shift(1)
+  print a(1), a(n)
+end
+subroutine shift(k)
+  integer k
+  i = k
+end
+`
+	f := mustParse(t, src)
+	printed := f.String()
+	f2, err := Parse("rt.mf", printed)
+	if err != nil {
+		t.Fatalf("re-parse of printed form failed: %v\n%s", err, printed)
+	}
+	again := f2.String()
+	if printed != again {
+		t.Errorf("print→parse→print not stable:\nfirst:\n%s\nsecond:\n%s", printed, again)
+	}
+}
+
+func TestParseMultipleStatementsBlankLines(t *testing.T) {
+	src := "program p\n\n\n  x = 1.0\n\n  y = 2.0\n\nend\n"
+	f := mustParse(t, src)
+	if n := len(f.Units[0].Body); n != 2 {
+		t.Errorf("got %d statements, want 2", n)
+	}
+}
+
+func TestParseNoUnits(t *testing.T) {
+	_, err := Parse("empty.mf", "x = 1\n")
+	if err == nil {
+		t.Error("expected error for statement outside a unit")
+	}
+}
+
+func TestParseNestedLoops(t *testing.T) {
+	src := `program p
+  integer i, j, k
+  do i = 1, 10
+    do j = 1, 10
+      do k = 1, 10
+        s = s + 1.0
+      enddo
+    enddo
+  enddo
+end
+`
+	f := mustParse(t, src)
+	var depth, maxDepth int
+	var walk func(stmts []ast.Stmt)
+	walk = func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			if do, ok := s.(*ast.DoStmt); ok {
+				depth++
+				if depth > maxDepth {
+					maxDepth = depth
+				}
+				walk(do.Body)
+				depth--
+			}
+		}
+	}
+	walk(f.Units[0].Body)
+	if maxDepth != 3 {
+		t.Errorf("max loop depth = %d, want 3", maxDepth)
+	}
+}
+
+func TestParseNormalizedOutputContainsConstructs(t *testing.T) {
+	src := `program p
+  integer i
+  while (i < 10)
+    i = i + 1
+  endwhile
+end
+`
+	f := mustParse(t, src)
+	out := f.String()
+	for _, want := range []string{"program p", "while ((i < 10))", "endwhile", "end"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed output missing %q:\n%s", want, out)
+		}
+	}
+}

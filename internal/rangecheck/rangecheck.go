@@ -1,0 +1,276 @@
+// Package rangecheck defines check families and the Check Implication
+// Graph (CIG) of paper §3.1.
+//
+// A family is the set of range checks sharing a canonical
+// range-expression; within a family, a smaller range-constant is a
+// stronger check. The CIG has one node per family and weighted edges:
+// an edge (F → G, w) means Check(F ≤ k) implies Check(G ≤ k + w) for
+// every k (paper Figure 4). Implications within a family need no edges —
+// they follow from the constant ordering.
+//
+// The implication Mode reproduces the paper's Table 3 ablation: with
+// ImplyNone, every (range-expression, constant) pair is its own family,
+// so no check implies any other; with ImplyCross, within-family
+// implications are disabled but cross-family edges (notably the
+// preheader → loop-body implications of §3.3) are kept.
+package rangecheck
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"nascent/internal/ir"
+)
+
+// Mode selects which check implications the optimizer may exploit.
+type Mode int
+
+// Implication modes (Table 3).
+const (
+	// ImplyFull uses all implications, within and across families.
+	ImplyFull Mode = iota
+	// ImplyNone uses no implications between distinct checks.
+	ImplyNone
+	// ImplyCross disables within-family implications but keeps
+	// cross-family ones (paper's NI′/SE′ use ImplyNone; LLS′ uses
+	// ImplyCross).
+	ImplyCross
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ImplyFull:
+		return "full"
+	case ImplyNone:
+		return "none"
+	case ImplyCross:
+		return "cross-family-only"
+	}
+	return "?"
+}
+
+// WithinFamily reports whether within-family implications are usable.
+func (m Mode) WithinFamily() bool { return m == ImplyFull }
+
+// CrossFamily reports whether cross-family implications are usable.
+func (m Mode) CrossFamily() bool { return m == ImplyFull || m == ImplyCross }
+
+// None is the lattice value "no check available/anticipatable".
+const None int64 = math.MaxInt64
+
+// AllChecks is the lattice top "every check available" used to initialize
+// optimistic dataflow iteration.
+const AllChecks int64 = math.MinInt64
+
+// Family is one CIG node.
+type Family struct {
+	Index int
+	Key   string
+	// Terms is a representative copy of the canonical range-expression.
+	Terms []ir.CheckTerm
+	// ExactConst is the single constant of the family under ImplyNone /
+	// ImplyCross keying (where the constant is part of the identity);
+	// unused (0) under ImplyFull.
+	ExactConst int64
+	// Kill sets: definitions of these variables / stores to these arrays
+	// invalidate facts about the family (paper §3.2).
+	KillVars   map[int]bool
+	KillArrays map[int]bool
+	// KilledByCall: the range-expression reads a global scalar or loads a
+	// global array, either of which a subroutine call may modify.
+	KilledByCall bool
+}
+
+// String renders the family as its range-expression.
+func (f *Family) String() string { return ir.TermsString(f.Terms) }
+
+// Registry interns the families of one function.
+type Registry struct {
+	Mode     Mode
+	Families []*Family
+	byKey    map[string]*Family
+}
+
+// NewRegistry creates an empty registry for the given mode.
+func NewRegistry(mode Mode) *Registry {
+	return &Registry{Mode: mode, byKey: make(map[string]*Family)}
+}
+
+// keyFor computes the registry key of a check: the canonical family key,
+// extended with the constant when within-family implications are off.
+func (r *Registry) keyFor(terms []ir.CheckTerm, konst int64) string {
+	k := ir.FamilyKey(terms)
+	if !r.Mode.WithinFamily() {
+		return fmt.Sprintf("%s#%d", k, konst)
+	}
+	return k
+}
+
+// Intern returns the family for the given canonical terms (and constant,
+// relevant under ImplyNone/ImplyCross), creating it on first use.
+func (r *Registry) Intern(terms []ir.CheckTerm, konst int64) *Family {
+	key := r.keyFor(terms, konst)
+	if f, ok := r.byKey[key]; ok {
+		return f
+	}
+	f := &Family{
+		Index:      len(r.Families),
+		Key:        key,
+		Terms:      cloneTerms(terms),
+		KillVars:   make(map[int]bool),
+		KillArrays: make(map[int]bool),
+	}
+	if !r.Mode.WithinFamily() {
+		f.ExactConst = konst
+	}
+	vars := make(map[int]bool)
+	arrs := make(map[int]bool)
+	globalLoad := false
+	globalVar := false
+	for _, t := range terms {
+		ir.WalkExpr(t.Atom, func(x ir.Expr) {
+			switch x := x.(type) {
+			case *ir.VarRef:
+				vars[x.Var.ID] = true
+				if x.Var.Global {
+					globalVar = true
+				}
+			case *ir.Load:
+				arrs[x.Arr.ID] = true
+				if x.Arr.Global {
+					globalLoad = true
+				}
+			}
+		})
+	}
+	f.KillVars = vars
+	f.KillArrays = arrs
+	f.KilledByCall = globalVar || globalLoad
+	r.byKey[key] = f
+	r.Families = append(r.Families, f)
+	return f
+}
+
+// Lookup returns the family for terms/const if it exists.
+func (r *Registry) Lookup(terms []ir.CheckTerm, konst int64) *Family {
+	return r.byKey[r.keyFor(terms, konst)]
+}
+
+// FamilyOf interns the family of a check statement.
+func (r *Registry) FamilyOf(c *ir.CheckStmt) *Family {
+	return r.Intern(c.Terms, c.Const)
+}
+
+func cloneTerms(terms []ir.CheckTerm) []ir.CheckTerm {
+	out := make([]ir.CheckTerm, len(terms))
+	for i, t := range terms {
+		out[i] = ir.CheckTerm{Coef: t.Coef, Atom: ir.CloneExpr(t.Atom)}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Check implication graph
+
+// Edge is one weighted CIG edge: Check(From ≤ k) ⇒ Check(To ≤ k+Weight).
+type Edge struct {
+	From, To *Family
+	Weight   int64
+}
+
+// CIG is the check implication graph: families plus weighted cross-family
+// implication edges. Within-family implications are implicit in the
+// constant ordering (when the mode allows them).
+type CIG struct {
+	Registry *Registry
+	out      map[*Family][]*Edge
+	numEdges int
+}
+
+// NewCIG creates an empty CIG over the registry.
+func NewCIG(r *Registry) *CIG {
+	return &CIG{Registry: r, out: make(map[*Family][]*Edge)}
+}
+
+// AddEdge records that Check(from ≤ k) implies Check(to ≤ k+w). If the
+// edge exists, the minimum weight is kept (paper §3.1).
+func (g *CIG) AddEdge(from, to *Family, w int64) {
+	for _, e := range g.out[from] {
+		if e.To == to {
+			if w < e.Weight {
+				e.Weight = w
+			}
+			return
+		}
+	}
+	g.out[from] = append(g.out[from], &Edge{From: from, To: to, Weight: w})
+	g.numEdges++
+}
+
+// Out returns the edges leaving family f.
+func (g *CIG) Out(f *Family) []*Edge { return g.out[f] }
+
+// NumEdges returns the number of distinct cross-family edges.
+func (g *CIG) NumEdges() int { return g.numEdges }
+
+// AsStrong reports whether Check(f ≤ cf) is as strong as Check(t ≤ ct),
+// following within-family ordering and up to one cross-family edge hop
+// plus transitive within-family ordering, honoring the mode. Multi-hop
+// paths are searched breadth-first (the graph is tiny).
+func (g *CIG) AsStrong(f *Family, cf int64, t *Family, ct int64) bool {
+	type node struct {
+		fam *Family
+		c   int64
+	}
+	reached := func(n node) bool {
+		if n.fam != t {
+			return false
+		}
+		if g.Registry.Mode.WithinFamily() {
+			return n.c <= ct
+		}
+		return n.c == ct
+	}
+	start := node{f, cf}
+	if reached(start) {
+		return true
+	}
+	if !g.Registry.Mode.CrossFamily() {
+		return false
+	}
+	seen := map[*Family]int64{f: cf}
+	queue := []node{start}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range g.out[n.fam] {
+			c := n.c + e.Weight
+			if prev, ok := seen[e.To]; ok && prev <= c {
+				continue
+			}
+			seen[e.To] = c
+			nn := node{e.To, c}
+			if reached(nn) {
+				return true
+			}
+			queue = append(queue, nn)
+		}
+	}
+	return false
+}
+
+// Dump renders the CIG for debugging and the Figure 3/4 examples.
+func (g *CIG) Dump() string {
+	var b strings.Builder
+	fams := append([]*Family{}, g.Registry.Families...)
+	sort.Slice(fams, func(i, j int) bool { return fams[i].Index < fams[j].Index })
+	for _, f := range fams {
+		fmt.Fprintf(&b, "F%d: %s\n", f.Index, f)
+		for _, e := range g.out[f] {
+			fmt.Fprintf(&b, "  -> F%d (weight %d)\n", e.To.Index, e.Weight)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,151 @@
+// Package report measures the benchmark suite and renders the paper's
+// Tables 1–3.
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nascent"
+	"nascent/internal/dom"
+	"nascent/internal/interp"
+	"nascent/internal/loops"
+	"nascent/internal/suite"
+)
+
+// Table1Row is one program's characteristics (paper Table 1).
+type Table1Row struct {
+	Program     string
+	Suite       string
+	Lines       int
+	Subroutines int
+	Loops       int
+	StaticInstr uint64
+	DynInstr    uint64
+	StaticChk   int
+	DynChk      uint64
+	// Ratios in percent: checks vs all other instructions.
+	StaticRatio float64
+	DynRatio    float64
+}
+
+// Measure1 computes Table 1 for one program.
+func Measure1(p suite.Program) (Table1Row, error) {
+	row := Table1Row{Program: p.Name, Suite: p.Suite}
+	row.Lines = countLines(p.Source)
+
+	// Unchecked build: instruction counts without range checking.
+	plain, err := nascent.Compile(p.Source, nascent.Options{Filename: p.Name + ".mf"})
+	if err != nil {
+		return row, err
+	}
+	row.Subroutines = len(plain.IR.Funcs) - 1
+	// Count natural loops on a scratch compile: loop analysis creates
+	// preheader blocks, which must not perturb the measured build.
+	scratch, err := nascent.Compile(p.Source, nascent.Options{Filename: p.Name + ".mf"})
+	if err != nil {
+		return row, err
+	}
+	for _, f := range scratch.IR.Funcs {
+		forest := loops.Analyze(f, dom.Compute(f))
+		row.Loops += len(forest.Loops)
+	}
+	row.StaticInstr = interp.StaticCost(plain.IR)
+	resPlain, err := plain.Run()
+	if err != nil {
+		return row, err
+	}
+	row.DynInstr = resPlain.Instructions
+
+	// Checked, unoptimized build: check counts.
+	checked, err := nascent.Compile(p.Source, nascent.Options{Filename: p.Name + ".mf", BoundsChecks: true})
+	if err != nil {
+		return row, err
+	}
+	row.StaticChk = checked.StaticChecks()
+	resChk, err := checked.Run()
+	if err != nil {
+		return row, err
+	}
+	if resChk.Trapped {
+		return row, fmt.Errorf("%s: naive run trapped: %s", p.Name, resChk.TrapNote)
+	}
+	row.DynChk = resChk.Checks
+
+	row.StaticRatio = 100 * float64(row.StaticChk) / float64(row.StaticInstr)
+	row.DynRatio = 100 * float64(row.DynChk) / float64(row.DynInstr)
+	return row, nil
+}
+
+func countLines(src string) int {
+	n := 0
+	for _, line := range strings.Split(src, "\n") {
+		if strings.TrimSpace(line) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Table2Cell is one (program, scheme, kind) measurement (paper Table 2).
+type Table2Cell struct {
+	Eliminated float64       // percent of dynamic checks eliminated
+	OptTime    time.Duration // range check optimization time ("Range")
+	TotalTime  time.Duration // whole compile ("Nascent")
+}
+
+// Measure2 runs one scheme/kind over one program and reports the
+// elimination percentage against the naive dynamic check count.
+func Measure2(p suite.Program, scheme nascent.Scheme, kind nascent.CheckKind, impl nascent.Implications, naiveChecks uint64) (Table2Cell, error) {
+	var cell Table2Cell
+	t0 := time.Now()
+	prog, err := nascent.Compile(p.Source, nascent.Options{
+		Filename:     p.Name + ".mf",
+		BoundsChecks: true,
+		Scheme:       scheme,
+		Kind:         kind,
+		Implications: impl,
+	})
+	cell.TotalTime = time.Since(t0)
+	if err != nil {
+		return cell, err
+	}
+	// Isolate the optimization phase cost by re-measuring a plain
+	// compile and subtracting.
+	t1 := time.Now()
+	if _, err := nascent.Compile(p.Source, nascent.Options{Filename: p.Name + ".mf", BoundsChecks: true}); err != nil {
+		return cell, err
+	}
+	front := time.Since(t1)
+	if cell.TotalTime > front {
+		cell.OptTime = cell.TotalTime - front
+	}
+
+	res, err := prog.Run()
+	if err != nil {
+		return cell, err
+	}
+	if res.Trapped {
+		return cell, fmt.Errorf("%s/%v/%v: optimized run trapped: %s", p.Name, scheme, kind, res.TrapNote)
+	}
+	if naiveChecks == 0 {
+		return cell, fmt.Errorf("%s: naive check count is zero", p.Name)
+	}
+	cell.Eliminated = 100 * (1 - float64(res.Checks)/float64(naiveChecks))
+	return cell, nil
+}
+
+// NaiveChecks runs the unoptimized checked build and returns its dynamic
+// check count (the Table 2/3 denominators).
+func NaiveChecks(p suite.Program) (uint64, error) {
+	prog, err := nascent.Compile(p.Source, nascent.Options{Filename: p.Name + ".mf", BoundsChecks: true})
+	if err != nil {
+		return 0, err
+	}
+	res, err := prog.Run()
+	if err != nil {
+		return 0, err
+	}
+	return res.Checks, nil
+}

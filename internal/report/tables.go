@@ -1,0 +1,183 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nascent"
+	"nascent/internal/suite"
+)
+
+// Table1 measures every suite program and renders the paper's Table 1.
+func Table1() (string, error) {
+	var b strings.Builder
+	b.WriteString("Table 1: Program characteristics of benchmark programs\n\n")
+	fmt.Fprintf(&b, "%-8s %-10s %6s %5s %6s | %10s %12s | %8s %10s | %7s %7s\n",
+		"suite", "program", "lines", "subr", "loops",
+		"instr(s)", "instr(d)", "chk(s)", "chk(d)", "s-ratio", "d-ratio")
+	b.WriteString(strings.Repeat("-", 110) + "\n")
+	for _, p := range suite.Programs {
+		row, err := Measure1(p)
+		if err != nil {
+			return "", fmt.Errorf("table 1: %s: %w", p.Name, err)
+		}
+		fmt.Fprintf(&b, "%-8s %-10s %6d %5d %6d | %10d %12d | %8d %10d | %6.0f%% %6.0f%%\n",
+			row.Suite, row.Program, row.Lines, row.Subroutines, row.Loops,
+			row.StaticInstr, row.DynInstr, row.StaticChk, row.DynChk,
+			row.StaticRatio, row.DynRatio)
+	}
+	b.WriteString("\ninstr = non-check instructions, chk = range checks; (s) static, (d) dynamic.\n")
+	b.WriteString("ratio = checks / other instructions. Paper reports dynamic ratios of 22%-66%.\n")
+	return b.String(), nil
+}
+
+// Table2 measures the seven placement schemes × {PRX, INX} and renders
+// the paper's Table 2 (percent of dynamic checks eliminated).
+func Table2() (string, error) {
+	schemes := nascent.OptimizedSchemes
+	var b strings.Builder
+	b.WriteString("Table 2: Percentage of checks eliminated by optimizations and compilation time\n\n")
+	header(&b, "kind", "scheme")
+
+	for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
+		for _, sch := range schemes {
+			cells, optT, totT, err := measureRow(sch, kind, nascent.ImplyFull)
+			if err != nil {
+				return "", fmt.Errorf("table 2: %v/%v: %w", sch, kind, err)
+			}
+			writeRow(&b, kind.String(), sch.String(), cells, optT, totT)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("Range = time in the range check optimizer, Nascent = whole compilation, all 10 programs.\n")
+	return b.String(), nil
+}
+
+// Table3Variant names one row of Table 3.
+type Table3Variant struct {
+	Label  string
+	Scheme nascent.Scheme
+	Impl   nascent.Implications
+}
+
+// Table3Variants lists the paper's Table 3 rows: each scheme with full
+// implications and its primed no-implication variant.
+var Table3Variants = []Table3Variant{
+	{"NI", nascent.NI, nascent.ImplyFull},
+	{"NI'", nascent.NI, nascent.ImplyNone},
+	{"SE", nascent.SE, nascent.ImplyFull},
+	{"SE'", nascent.SE, nascent.ImplyNone},
+	{"LLS", nascent.LLS, nascent.ImplyFull},
+	{"LLS'", nascent.LLS, nascent.ImplyCross},
+}
+
+// Table3 measures the implication ablation and renders the paper's
+// Table 3.
+func Table3() (string, error) {
+	var b strings.Builder
+	b.WriteString("Table 3: Percentage of checks eliminated with and without implications between checks\n\n")
+	header(&b, "kind", "variant")
+	for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
+		for _, v := range Table3Variants {
+			cells, optT, totT, err := measureRow(v.Scheme, kind, v.Impl)
+			if err != nil {
+				return "", fmt.Errorf("table 3: %s/%v: %w", v.Label, kind, err)
+			}
+			writeRow(&b, kind.String(), v.Label, cells, optT, totT)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("NI'/SE' disable all implications between checks; LLS' disables only\n")
+	b.WriteString("within-family implications, keeping the preheader->body edges.\n")
+	return b.String(), nil
+}
+
+func header(b *strings.Builder, k1, k2 string) {
+	fmt.Fprintf(b, "%-5s %-7s", k1, k2)
+	for _, p := range suite.Programs {
+		fmt.Fprintf(b, " %9s", abbreviate(p.Name))
+	}
+	fmt.Fprintf(b, " | %9s %9s\n", "Range", "Nascent")
+	b.WriteString(strings.Repeat("-", 5+1+7+10*len(suite.Programs)+23) + "\n")
+}
+
+func abbreviate(name string) string {
+	if len(name) > 9 {
+		return name[:9]
+	}
+	return name
+}
+
+func writeRow(b *strings.Builder, kind, label string, cells map[string]Table2Cell, optT, totT time.Duration) {
+	fmt.Fprintf(b, "%-5s %-7s", kind, label)
+	for _, p := range suite.Programs {
+		fmt.Fprintf(b, " %8.2f%%", cells[p.Name].Eliminated)
+	}
+	fmt.Fprintf(b, " | %9s %9s\n", optT.Round(time.Millisecond), totT.Round(time.Millisecond))
+}
+
+// measureRow measures one (scheme, kind, implications) row over the whole
+// suite, returning per-program cells plus total optimizer and compile
+// times.
+func measureRow(sch nascent.Scheme, kind nascent.CheckKind, impl nascent.Implications) (map[string]Table2Cell, time.Duration, time.Duration, error) {
+	cells := make(map[string]Table2Cell, len(suite.Programs))
+	var optT, totT time.Duration
+	for _, p := range suite.Programs {
+		naive, err := NaiveChecks(p)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		cell, err := Measure2(p, sch, kind, impl, naive)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		cells[p.Name] = cell
+		optT += cell.OptTime
+		totT += cell.TotalTime
+	}
+	return cells, optT, totT, nil
+}
+
+// SummaryRow is a compact (scheme,kind) → per-program elimination map
+// used by EXPERIMENTS.md generation and tests.
+type SummaryRow struct {
+	Label   string
+	Kind    nascent.CheckKind
+	Percent map[string]float64
+}
+
+// Summarize runs the full Table 2 + Table 3 measurement grid and returns
+// the rows in a deterministic order.
+func Summarize() ([]SummaryRow, error) {
+	var rows []SummaryRow
+	add := func(label string, kind nascent.CheckKind, sch nascent.Scheme, impl nascent.Implications) error {
+		cells, _, _, err := measureRow(sch, kind, impl)
+		if err != nil {
+			return err
+		}
+		r := SummaryRow{Label: label, Kind: kind, Percent: map[string]float64{}}
+		for name, c := range cells {
+			r.Percent[name] = c.Eliminated
+		}
+		rows = append(rows, r)
+		return nil
+	}
+	for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
+		for _, sch := range nascent.OptimizedSchemes {
+			if err := add(sch.String(), kind, sch, nascent.ImplyFull); err != nil {
+				return nil, err
+			}
+		}
+		if err := add("NI'", kind, nascent.NI, nascent.ImplyNone); err != nil {
+			return nil, err
+		}
+		if err := add("SE'", kind, nascent.SE, nascent.ImplyNone); err != nil {
+			return nil, err
+		}
+		if err := add("LLS'", kind, nascent.LLS, nascent.ImplyCross); err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,647 @@
+// Package sem performs semantic analysis of MF programs: symbol table
+// construction, implicit typing, constant evaluation of parameter
+// constants and array bounds, and type checking.
+//
+// MF scoping follows the simplified Fortran model used by the Nascent-Go
+// reproduction: every name declared in the main program is a global
+// visible in all subroutines; names declared in a subroutine (including
+// its by-value formal parameters) are local. Undeclared scalars are
+// implicitly typed by their first letter (i–n integer, otherwise real) and
+// implicitly declared in the unit that uses them.
+package sem
+
+import (
+	"fmt"
+
+	"nascent/internal/ast"
+	"nascent/internal/source"
+)
+
+// Type is the semantic type of an expression.
+type Type int
+
+// Expression types.
+const (
+	Invalid Type = iota
+	Integer
+	Real
+	Logical
+)
+
+func (t Type) String() string {
+	switch t {
+	case Integer:
+		return "integer"
+	case Real:
+		return "real"
+	case Logical:
+		return "logical"
+	}
+	return "invalid"
+}
+
+func fromAST(t ast.Type) Type {
+	switch t {
+	case ast.Integer:
+		return Integer
+	case ast.Real:
+		return Real
+	}
+	return Invalid
+}
+
+// ImplicitType returns the Fortran implicit type for a name: identifiers
+// beginning with i–n are integer, all others real.
+func ImplicitType(name string) Type {
+	if name == "" {
+		return Real
+	}
+	c := name[0]
+	if c >= 'i' && c <= 'n' {
+		return Integer
+	}
+	return Real
+}
+
+// SymbolKind classifies entries in the symbol table.
+type SymbolKind int
+
+// Symbol kinds.
+const (
+	ScalarSym SymbolKind = iota
+	ArraySym
+	ConstSym
+	SubroutineSym
+)
+
+func (k SymbolKind) String() string {
+	switch k {
+	case ScalarSym:
+		return "scalar"
+	case ArraySym:
+		return "array"
+	case ConstSym:
+		return "constant"
+	case SubroutineSym:
+		return "subroutine"
+	}
+	return "?"
+}
+
+// DimBounds is the evaluated constant bounds of one array dimension.
+type DimBounds struct {
+	Lo, Hi int64
+}
+
+// Size returns the element count of the dimension.
+func (d DimBounds) Size() int64 { return d.Hi - d.Lo + 1 }
+
+// Symbol is one named entity.
+type Symbol struct {
+	Name     string
+	Kind     SymbolKind
+	Type     Type        // element type for arrays; value type for scalars/consts
+	Dims     []DimBounds // arrays only
+	ConstVal int64       // ConstSym only
+	Global   bool        // declared in the main program
+	IsParam  bool        // subroutine formal parameter
+	Pos      source.Pos
+}
+
+// Len returns the total element count of an array symbol.
+func (s *Symbol) Len() int64 {
+	n := int64(1)
+	for _, d := range s.Dims {
+		n *= d.Size()
+	}
+	return n
+}
+
+// Unit is the analyzed form of one program unit.
+type Unit struct {
+	AST     *ast.Unit
+	Name    string
+	Params  []*Symbol
+	locals  map[string]*Symbol
+	program *Program
+}
+
+// Program is the analyzed form of a whole MF file.
+type Program struct {
+	File    *ast.File
+	Main    *Unit
+	Units   []*Unit // Main first, subroutines after, in source order
+	globals map[string]*Symbol
+	subs    map[string]*Unit
+}
+
+// Globals returns the global symbols in deterministic (name-sorted) order.
+// It is primarily for tooling; lookups should use Unit.Lookup.
+func (p *Program) Globals() map[string]*Symbol { return p.globals }
+
+// Subroutine returns the analyzed subroutine with the given name, or nil.
+func (p *Program) Subroutine(name string) *Unit { return p.subs[name] }
+
+// Lookup resolves a name in the unit: locals first, then globals, then
+// subroutines. It returns nil if the name is unknown.
+func (u *Unit) Lookup(name string) *Symbol {
+	if s, ok := u.locals[name]; ok {
+		return s
+	}
+	if s, ok := u.program.globals[name]; ok {
+		return s
+	}
+	return nil
+}
+
+// Locals returns the unit's local symbol table (including parameters).
+func (u *Unit) Locals() map[string]*Symbol { return u.locals }
+
+// Program returns the enclosing analyzed program.
+func (u *Unit) Program() *Program { return u.program }
+
+// ---------------------------------------------------------------------------
+// Analysis
+
+// Analyze type-checks file and builds symbol tables. On error the returned
+// program reflects partial analysis and the error lists all diagnostics.
+func Analyze(file *ast.File) (*Program, error) {
+	var errs source.ErrorList
+	p := &Program{
+		File:    file,
+		globals: make(map[string]*Symbol),
+		subs:    make(map[string]*Unit),
+	}
+	a := &analyzer{prog: p, errs: &errs}
+
+	// Pass 1: create units and record subroutine signatures so calls can be
+	// checked regardless of declaration order.
+	for _, au := range file.Units {
+		u := &Unit{AST: au, Name: au.Name, locals: make(map[string]*Symbol), program: p}
+		p.Units = append(p.Units, u)
+		switch au.Kind {
+		case ast.ProgramUnit:
+			if p.Main != nil {
+				errs.Add(au.Pos(), "duplicate program unit %q (already have %q)", au.Name, p.Main.Name)
+			} else {
+				p.Main = u
+			}
+		case ast.SubroutineUnit:
+			if _, dup := p.subs[au.Name]; dup {
+				errs.Add(au.Pos(), "duplicate subroutine %q", au.Name)
+			}
+			p.subs[au.Name] = u
+		}
+	}
+	if p.Main == nil {
+		errs.Add(source.NoPos, "no program unit found")
+		return p, errs.Err()
+	}
+
+	// Pass 2: declarations (main first so globals exist for subroutines).
+	a.declareUnit(p.Main, true)
+	for _, u := range p.Units {
+		if u != p.Main {
+			a.declareUnit(u, false)
+		}
+	}
+
+	// Pass 3: bodies.
+	for _, u := range p.Units {
+		a.checkBody(u)
+	}
+	return p, errs.Err()
+}
+
+type analyzer struct {
+	prog *Program
+	errs *source.ErrorList
+}
+
+func (a *analyzer) declareUnit(u *Unit, isMain bool) {
+	table := u.locals
+	if isMain {
+		table = a.prog.globals
+	}
+
+	declare := func(s *Symbol) {
+		if prev, dup := table[s.Name]; dup {
+			a.errs.Add(s.Pos, "redeclaration of %q (previously declared as %s)", s.Name, prev.Kind)
+			return
+		}
+		if a.prog.subs[s.Name] != nil {
+			a.errs.Add(s.Pos, "%q conflicts with subroutine of the same name", s.Name)
+			return
+		}
+		s.Global = isMain
+		table[s.Name] = s
+	}
+
+	// Formal parameters: by-value scalars, implicitly typed unless a scalar
+	// declaration in the unit retypes them.
+	for _, pname := range u.AST.Params {
+		s := &Symbol{Name: pname, Kind: ScalarSym, Type: ImplicitType(pname), IsParam: true, Pos: u.AST.Pos()}
+		declare(s)
+		u.Params = append(u.Params, s)
+	}
+
+	// Named constants, evaluated in order so later ones may use earlier ones.
+	for _, pc := range u.AST.Consts {
+		v, ok := a.evalConst(u, pc.Value)
+		if !ok {
+			a.errs.Add(pc.Pos(), "parameter %q must have a compile-time integer constant value", pc.Name)
+		}
+		declare(&Symbol{Name: pc.Name, Kind: ConstSym, Type: Integer, ConstVal: v, Pos: pc.Pos()})
+	}
+
+	// Explicit declarations.
+	for _, d := range u.AST.Decls {
+		for _, item := range d.Items {
+			if len(item.Dims) == 0 {
+				// Retyping a formal parameter is allowed.
+				if prev, ok := table[item.Name]; ok && prev.IsParam {
+					prev.Type = fromAST(d.Type)
+					continue
+				}
+				declare(&Symbol{Name: item.Name, Kind: ScalarSym, Type: fromAST(d.Type), Pos: item.Pos()})
+				continue
+			}
+			sym := &Symbol{Name: item.Name, Kind: ArraySym, Type: fromAST(d.Type), Pos: item.Pos()}
+			for _, dim := range item.Dims {
+				lo := int64(1)
+				ok := true
+				if dim.Lo != nil {
+					lo, ok = a.evalConst(u, dim.Lo)
+					if !ok {
+						a.errs.Add(item.Pos(), "array %q: lower bound must be a compile-time constant", item.Name)
+					}
+				}
+				hi, hok := a.evalConst(u, dim.Hi)
+				if !hok {
+					a.errs.Add(item.Pos(), "array %q: upper bound must be a compile-time constant", item.Name)
+					hi = lo
+				}
+				if hi < lo {
+					a.errs.Add(item.Pos(), "array %q: upper bound %d below lower bound %d", item.Name, hi, lo)
+					hi = lo
+				}
+				sym.Dims = append(sym.Dims, DimBounds{Lo: lo, Hi: hi})
+			}
+			declare(sym)
+		}
+	}
+}
+
+// evalConst evaluates e as a compile-time integer constant, resolving
+// parameter-constant names visible in u.
+func (a *analyzer) evalConst(u *Unit, e ast.Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, true
+	case *ast.Name:
+		if s := u.Lookup(e.Ident); s != nil && s.Kind == ConstSym {
+			return s.ConstVal, true
+		}
+		return 0, false
+	case *ast.Unary:
+		if e.Op == ast.Neg {
+			v, ok := a.evalConst(u, e.X)
+			return -v, ok
+		}
+		return 0, false
+	case *ast.Binary:
+		l, lok := a.evalConst(u, e.L)
+		r, rok := a.evalConst(u, e.R)
+		if !lok || !rok {
+			return 0, false
+		}
+		switch e.Op {
+		case ast.Add:
+			return l + r, true
+		case ast.Sub:
+			return l - r, true
+		case ast.Mul:
+			return l * r, true
+		case ast.Div:
+			if r == 0 {
+				return 0, false
+			}
+			return l / r, true
+		}
+		return 0, false
+	default:
+		return 0, false
+	}
+}
+
+// EvalConst evaluates e as a compile-time integer constant in unit u.
+// It is exported for use by later phases (e.g. IR lowering of bounds).
+func (p *Program) EvalConst(u *Unit, e ast.Expr) (int64, bool) {
+	a := &analyzer{prog: p, errs: &source.ErrorList{}}
+	return a.evalConst(u, e)
+}
+
+// implicitScalar declares name implicitly in unit u and returns the symbol.
+func (a *analyzer) implicitScalar(u *Unit, name string, pos source.Pos) *Symbol {
+	s := &Symbol{Name: name, Kind: ScalarSym, Type: ImplicitType(name), Pos: pos}
+	if u == a.prog.Main {
+		s.Global = true
+		a.prog.globals[name] = s
+	} else {
+		u.locals[name] = s
+	}
+	return s
+}
+
+// resolveScalar returns the scalar symbol for name, implicitly declaring
+// it if necessary. Reports an error (and returns nil) if name resolves to
+// a non-scalar.
+func (a *analyzer) resolveScalar(u *Unit, name string, pos source.Pos) *Symbol {
+	s := u.Lookup(name)
+	if s == nil {
+		if a.prog.subs[name] != nil {
+			a.errs.Add(pos, "subroutine %q used as a variable", name)
+			return nil
+		}
+		return a.implicitScalar(u, name, pos)
+	}
+	return s
+}
+
+func (a *analyzer) checkBody(u *Unit) {
+	a.checkStmts(u, u.AST.Body)
+}
+
+func (a *analyzer) checkStmts(u *Unit, stmts []ast.Stmt) {
+	for _, s := range stmts {
+		a.checkStmt(u, s)
+	}
+}
+
+func (a *analyzer) checkStmt(u *Unit, s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		valT := a.checkExpr(u, s.Value)
+		if len(s.Indexes) == 0 {
+			sym := a.resolveScalar(u, s.Name, s.Pos())
+			if sym == nil {
+				return
+			}
+			switch sym.Kind {
+			case ConstSym:
+				a.errs.Add(s.Pos(), "cannot assign to constant %q", s.Name)
+			case ArraySym:
+				a.errs.Add(s.Pos(), "array %q assigned without subscripts", s.Name)
+			case ScalarSym:
+				a.requireNumeric(s.Value.Pos(), valT, "assigned value")
+			}
+			return
+		}
+		sym := u.Lookup(s.Name)
+		if sym == nil || sym.Kind != ArraySym {
+			a.errs.Add(s.Pos(), "%q is not a declared array", s.Name)
+			return
+		}
+		if len(s.Indexes) != len(sym.Dims) {
+			a.errs.Add(s.Pos(), "array %q has %d dimension(s), got %d subscript(s)", s.Name, len(sym.Dims), len(s.Indexes))
+		}
+		for _, ix := range s.Indexes {
+			a.requireInteger(ix.Pos(), a.checkExpr(u, ix), "array subscript")
+		}
+		a.requireNumeric(s.Value.Pos(), valT, "assigned value")
+
+	case *ast.IfStmt:
+		a.requireLogical(s.Cond.Pos(), a.checkExpr(u, s.Cond), "if condition")
+		a.checkStmts(u, s.Then)
+		a.checkStmts(u, s.Else)
+
+	case *ast.DoStmt:
+		sym := a.resolveScalar(u, s.Var, s.Pos())
+		if sym != nil {
+			if sym.Kind != ScalarSym {
+				a.errs.Add(s.Pos(), "do index %q is a %s, not a scalar", s.Var, sym.Kind)
+			} else if sym.Type != Integer {
+				a.errs.Add(s.Pos(), "do index %q must be integer", s.Var)
+			}
+		}
+		a.requireInteger(s.Lo.Pos(), a.checkExpr(u, s.Lo), "do lower bound")
+		a.requireInteger(s.Hi.Pos(), a.checkExpr(u, s.Hi), "do upper bound")
+		if s.Step != nil {
+			a.requireInteger(s.Step.Pos(), a.checkExpr(u, s.Step), "do step")
+			if v, ok := a.evalConst(u, s.Step); ok && v == 0 {
+				a.errs.Add(s.Step.Pos(), "do step must be nonzero")
+			}
+		}
+		a.checkStmts(u, s.Body)
+
+	case *ast.WhileStmt:
+		a.requireLogical(s.Cond.Pos(), a.checkExpr(u, s.Cond), "while condition")
+		a.checkStmts(u, s.Body)
+
+	case *ast.CallStmt:
+		callee := a.prog.subs[s.Name]
+		if callee == nil {
+			a.errs.Add(s.Pos(), "call to undefined subroutine %q", s.Name)
+		} else if len(s.Args) != len(callee.AST.Params) {
+			a.errs.Add(s.Pos(), "subroutine %q takes %d argument(s), got %d", s.Name, len(callee.AST.Params), len(s.Args))
+		}
+		for _, arg := range s.Args {
+			a.requireNumeric(arg.Pos(), a.checkExpr(u, arg), "call argument")
+		}
+
+	case *ast.PrintStmt:
+		for _, arg := range s.Args {
+			a.requireNumeric(arg.Pos(), a.checkExpr(u, arg), "print argument")
+		}
+
+	case *ast.ReturnStmt:
+		// nothing to check
+	default:
+		a.errs.Add(s.Pos(), "internal: unknown statement %T", s)
+	}
+}
+
+func (a *analyzer) requireInteger(pos source.Pos, t Type, what string) {
+	if t != Integer && t != Invalid {
+		a.errs.Add(pos, "%s must be integer, got %s", what, t)
+	}
+}
+
+func (a *analyzer) requireNumeric(pos source.Pos, t Type, what string) {
+	if t != Integer && t != Real && t != Invalid {
+		a.errs.Add(pos, "%s must be numeric, got %s", what, t)
+	}
+}
+
+func (a *analyzer) requireLogical(pos source.Pos, t Type, what string) {
+	if t != Logical && t != Invalid {
+		a.errs.Add(pos, "%s must be logical, got %s", what, t)
+	}
+}
+
+// checkExpr type-checks e in unit u and returns its type.
+func (a *analyzer) checkExpr(u *Unit, e ast.Expr) Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return Integer
+	case *ast.RealLit:
+		return Real
+	case *ast.Name:
+		s := a.resolveScalar(u, e.Ident, e.Pos())
+		if s == nil {
+			return Invalid
+		}
+		if s.Kind == ArraySym {
+			a.errs.Add(e.Pos(), "array %q used without subscripts", e.Ident)
+			return Invalid
+		}
+		return s.Type
+	case *ast.Index:
+		return a.checkIndex(u, e)
+	case *ast.Unary:
+		t := a.checkExpr(u, e.X)
+		if e.Op == ast.Not {
+			a.requireLogical(e.Pos(), t, "operand of not")
+			return Logical
+		}
+		a.requireNumeric(e.Pos(), t, "operand of unary minus")
+		return t
+	case *ast.Binary:
+		lt := a.checkExpr(u, e.L)
+		rt := a.checkExpr(u, e.R)
+		switch {
+		case e.Op.IsComparison():
+			a.requireNumeric(e.L.Pos(), lt, "comparison operand")
+			a.requireNumeric(e.R.Pos(), rt, "comparison operand")
+			return Logical
+		case e.Op.IsLogical():
+			a.requireLogical(e.L.Pos(), lt, "logical operand")
+			a.requireLogical(e.R.Pos(), rt, "logical operand")
+			return Logical
+		default:
+			a.requireNumeric(e.L.Pos(), lt, "arithmetic operand")
+			a.requireNumeric(e.R.Pos(), rt, "arithmetic operand")
+			if lt == Real || rt == Real {
+				return Real
+			}
+			return Integer
+		}
+	default:
+		a.errs.Add(e.Pos(), "internal: unknown expression %T", e)
+		return Invalid
+	}
+}
+
+func (a *analyzer) checkIndex(u *Unit, e *ast.Index) Type {
+	// Array reference?
+	if s := u.Lookup(e.Name); s != nil {
+		if s.Kind != ArraySym {
+			a.errs.Add(e.Pos(), "%q is a %s, not an array or intrinsic", e.Name, s.Kind)
+			return Invalid
+		}
+		if len(e.Args) != len(s.Dims) {
+			a.errs.Add(e.Pos(), "array %q has %d dimension(s), got %d subscript(s)", e.Name, len(s.Dims), len(e.Args))
+		}
+		for _, ix := range e.Args {
+			a.requireInteger(ix.Pos(), a.checkExpr(u, ix), "array subscript")
+		}
+		return s.Type
+	}
+	// Intrinsic?
+	if in, ok := Intrinsics[e.Name]; ok {
+		e.Intrinsic = true
+		if len(e.Args) < in.MinArgs || (in.MaxArgs >= 0 && len(e.Args) > in.MaxArgs) {
+			a.errs.Add(e.Pos(), "intrinsic %q: wrong number of arguments (%d)", e.Name, len(e.Args))
+		}
+		argT := Integer
+		for _, arg := range e.Args {
+			t := a.checkExpr(u, arg)
+			a.requireNumeric(arg.Pos(), t, "intrinsic argument")
+			if t == Real {
+				argT = Real
+			}
+		}
+		return in.Result(argT)
+	}
+	a.errs.Add(e.Pos(), "%q is not a declared array or known intrinsic", e.Name)
+	return Invalid
+}
+
+// Intrinsic describes one intrinsic function.
+type Intrinsic struct {
+	MinArgs int
+	MaxArgs int // -1 = unbounded
+	// Result maps the promoted argument type to the result type.
+	Result func(arg Type) Type
+}
+
+func sameAsArg(t Type) Type { return t }
+func alwaysInt(Type) Type   { return Integer }
+func alwaysReal(Type) Type  { return Real }
+
+// Intrinsics is the table of MF intrinsic functions.
+var Intrinsics = map[string]Intrinsic{
+	"mod":   {2, 2, sameAsArg},
+	"min":   {2, -1, sameAsArg},
+	"max":   {2, -1, sameAsArg},
+	"abs":   {1, 1, sameAsArg},
+	"sqrt":  {1, 1, alwaysReal},
+	"int":   {1, 1, alwaysInt},
+	"float": {1, 1, alwaysReal},
+}
+
+// TypeOf computes the type of expression e in unit u after analysis. It
+// assumes e has already been checked (unknown names are implicitly typed).
+func (u *Unit) TypeOf(e ast.Expr) Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return Integer
+	case *ast.RealLit:
+		return Real
+	case *ast.Name:
+		if s := u.Lookup(e.Ident); s != nil {
+			return s.Type
+		}
+		return ImplicitType(e.Ident)
+	case *ast.Index:
+		if s := u.Lookup(e.Name); s != nil {
+			return s.Type
+		}
+		if in, ok := Intrinsics[e.Name]; ok {
+			argT := Integer
+			for _, arg := range e.Args {
+				if u.TypeOf(arg) == Real {
+					argT = Real
+				}
+			}
+			return in.Result(argT)
+		}
+		return Invalid
+	case *ast.Unary:
+		if e.Op == ast.Not {
+			return Logical
+		}
+		return u.TypeOf(e.X)
+	case *ast.Binary:
+		if e.Op.IsComparison() || e.Op.IsLogical() {
+			return Logical
+		}
+		if u.TypeOf(e.L) == Real || u.TypeOf(e.R) == Real {
+			return Real
+		}
+		return Integer
+	}
+	return Invalid
+}
+
+// Describe returns a one-line description of a symbol for diagnostics.
+func (s *Symbol) Describe() string {
+	switch s.Kind {
+	case ArraySym:
+		return fmt.Sprintf("%s array %s (%d dims)", s.Type, s.Name, len(s.Dims))
+	case ConstSym:
+		return fmt.Sprintf("parameter %s = %d", s.Name, s.ConstVal)
+	default:
+		return fmt.Sprintf("%s %s %s", s.Type, s.Kind, s.Name)
+	}
+}

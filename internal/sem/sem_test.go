@@ -1,0 +1,238 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"nascent/internal/ast"
+	"nascent/internal/parser"
+)
+
+func analyze(t *testing.T, src string) (*Program, error) {
+	t.Helper()
+	f, err := parser.Parse("test.mf", src)
+	if err != nil {
+		t.Fatalf("parse error: %v", err)
+	}
+	return Analyze(f)
+}
+
+func mustAnalyze(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := analyze(t, src)
+	if err != nil {
+		t.Fatalf("analyze error: %v", err)
+	}
+	return p
+}
+
+func wantError(t *testing.T, src, frag string) {
+	t.Helper()
+	_, err := analyze(t, src)
+	if err == nil {
+		t.Fatalf("expected error containing %q, got none", frag)
+	}
+	if !strings.Contains(err.Error(), frag) {
+		t.Fatalf("error %q does not contain %q", err.Error(), frag)
+	}
+}
+
+func TestImplicitTyping(t *testing.T) {
+	for name, want := range map[string]Type{
+		"i": Integer, "j": Integer, "n": Integer, "m": Integer,
+		"a": Real, "h": Real, "o": Real, "x": Real, "z": Real,
+	} {
+		if got := ImplicitType(name); got != want {
+			t.Errorf("ImplicitType(%q) = %s, want %s", name, got, want)
+		}
+	}
+}
+
+func TestGlobalsVisibleInSubroutines(t *testing.T) {
+	p := mustAnalyze(t, `program p
+  real shared(10)
+  call f()
+end
+subroutine f()
+  shared(1) = 1.0
+end
+`)
+	sub := p.Subroutine("f")
+	s := sub.Lookup("shared")
+	if s == nil || s.Kind != ArraySym || !s.Global {
+		t.Errorf("shared not resolved as global array: %+v", s)
+	}
+}
+
+func TestLocalShadowsGlobal(t *testing.T) {
+	p := mustAnalyze(t, `program p
+  integer k
+  call f()
+end
+subroutine f()
+  real k
+  k = 1.5
+end
+`)
+	sub := p.Subroutine("f")
+	s := sub.Lookup("k")
+	if s == nil || s.Type != Real || s.Global {
+		t.Errorf("local k should shadow global: %+v", s)
+	}
+	if g := p.Main.Lookup("k"); g == nil || g.Type != Integer {
+		t.Errorf("global k wrong: %+v", g)
+	}
+}
+
+func TestArrayBoundsEvaluated(t *testing.T) {
+	p := mustAnalyze(t, `program p
+  parameter n = 10
+  real a(n), b(0:n-1), c(2:5, -3:3)
+end
+`)
+	a := p.Main.Lookup("a")
+	if a.Dims[0] != (DimBounds{1, 10}) {
+		t.Errorf("a bounds = %+v", a.Dims[0])
+	}
+	b := p.Main.Lookup("b")
+	if b.Dims[0] != (DimBounds{0, 9}) {
+		t.Errorf("b bounds = %+v", b.Dims[0])
+	}
+	c := p.Main.Lookup("c")
+	if len(c.Dims) != 2 || c.Dims[1] != (DimBounds{-3, 3}) {
+		t.Errorf("c bounds = %+v", c.Dims)
+	}
+	if c.Len() != 4*7 {
+		t.Errorf("c len = %d, want 28", c.Len())
+	}
+}
+
+func TestParameterChain(t *testing.T) {
+	p := mustAnalyze(t, `program p
+  parameter n = 10
+  parameter m = n * 2 + 1
+  real a(m)
+end
+`)
+	m := p.Main.Lookup("m")
+	if m.ConstVal != 21 {
+		t.Errorf("m = %d, want 21", m.ConstVal)
+	}
+	a := p.Main.Lookup("a")
+	if a.Dims[0].Hi != 21 {
+		t.Errorf("a hi bound = %d, want 21", a.Dims[0].Hi)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct{ name, src, frag string }{
+		{"redecl", "program p\n integer x\n real x\nend\n", "redeclaration"},
+		{"badBounds", "program p\n real a(10:5)\nend\n", "below lower bound"},
+		{"symbolicBound", "program p\n integer n\n real a(n)\nend\n", "compile-time constant"},
+		{"assignConst", "program p\n parameter n = 1\n n = 2\nend\n", "cannot assign to constant"},
+		{"arrayNoSubs", "program p\n real a(5)\n a = 1.0\nend\n", "without subscripts"},
+		{"scalarSubs", "program p\n integer x\n x(1) = 2\nend\n", "not a declared array"},
+		{"wrongDims", "program p\n real a(5,5)\n a(1) = 2.0\nend\n", "dimension"},
+		{"undefCall", "program p\n call nope()\nend\n", "undefined subroutine"},
+		{"argCount", "program p\n call f(1)\nend\nsubroutine f(a, b)\nend\n", "takes 2 argument"},
+		{"realSubscript", "program p\n real a(5)\n a(1.5) = 0.0\nend\n", "must be integer"},
+		{"condNotLogical", "program p\n if (1 + 2) then\n endif\nend\n", "must be logical"},
+		{"logicalOperand", "program p\n if ((1 < 2) and x) then\n endif\nend\n", "logical operand"},
+		{"doRealIndex", "program p\n do x = 1, 5\n enddo\nend\n", "must be integer"},
+		{"zeroStep", "program p\n do i = 1, 5, 0\n enddo\nend\n", "nonzero"},
+		{"unknownIntrinsic", "program p\n x = frob(1)\nend\n", "not a declared array or known intrinsic"},
+		{"modArity", "program p\n i = mod(5)\nend\n", "wrong number of arguments"},
+		{"dupProgram", "program p\nend\nprogram q\nend\n", "duplicate program"},
+		{"dupSubroutine", "program p\nend\nsubroutine f()\nend\nsubroutine f()\nend\n", "duplicate subroutine"},
+		{"subAsVar", "program p\n x = f + 1.0\nend\nsubroutine f()\nend\n", "used as a variable"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) { wantError(t, c.src, c.frag) })
+	}
+}
+
+func TestIntrinsicsResolved(t *testing.T) {
+	p := mustAnalyze(t, `program p
+  i = mod(7, 3)
+  j = max(1, 2, 3)
+  x = sqrt(2.0)
+  k = int(x)
+  y = float(k)
+  z = abs(-1.5)
+end
+`)
+	u := p.Main
+	for v, want := range map[string]Type{"i": Integer, "j": Integer, "x": Real, "k": Integer, "y": Real, "z": Real} {
+		s := u.Lookup(v)
+		if s == nil || s.Type != want {
+			t.Errorf("%s: got %+v, want type %s", v, s, want)
+		}
+	}
+}
+
+func TestTypeOf(t *testing.T) {
+	p := mustAnalyze(t, `program p
+  integer i, j
+  real x
+  real a(10)
+  x = a(i) + float(j)
+  if (i < j and x > 0.0) then
+  endif
+end
+`)
+	u := p.Main
+	cases := []struct {
+		src  string
+		want Type
+	}{
+		{"a(i)", Real},
+		{"i + j", Integer},
+		{"i + x", Real},
+		{"i < j", Logical},
+		{"mod(i, j)", Integer},
+		{"-i", Integer},
+		{"not (i < j)", Logical},
+	}
+	for _, c := range cases {
+		ff, err := parser.Parse("e.mf", "program q\n  zz = "+c.src+"\nend\n")
+		if err != nil {
+			t.Fatalf("%q: %v", c.src, err)
+		}
+		expr := ff.Units[0].Body[0].(*ast.AssignStmt).Value
+		if got := u.TypeOf(expr); got != c.want {
+			t.Errorf("TypeOf(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestImplicitDeclarationCreatesSymbols(t *testing.T) {
+	p := mustAnalyze(t, `program p
+  total = 0.0
+  count = 1
+end
+`)
+	tot := p.Main.Lookup("total")
+	if tot == nil || tot.Type != Real {
+		t.Errorf("total: %+v", tot)
+	}
+	cnt := p.Main.Lookup("count")
+	if cnt == nil || cnt.Type != Real { // 'c' is outside i–n
+		t.Errorf("count: %+v", cnt)
+	}
+}
+
+func TestParamRetyping(t *testing.T) {
+	p := mustAnalyze(t, `program p
+  call f(1.0)
+end
+subroutine f(alpha)
+  integer alpha
+  alpha = 2
+end
+`)
+	sub := p.Subroutine("f")
+	s := sub.Lookup("alpha")
+	if s == nil || !s.IsParam || s.Type != Integer {
+		t.Errorf("alpha: %+v", s)
+	}
+}

@@ -1,0 +1,89 @@
+// Package source provides source positions and diagnostic reporting shared
+// by every phase of the Nascent-Go compiler.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a position within a source file. Line and Col are 1-based; the
+// zero Pos ("no position") prints as "-".
+type Pos struct {
+	Line int
+	Col  int
+}
+
+// NoPos is the zero position, used for compiler-synthesized constructs.
+var NoPos = Pos{}
+
+// IsValid reports whether p refers to an actual source location.
+func (p Pos) IsValid() bool { return p.Line > 0 }
+
+// Before reports whether p occurs before q in the file.
+func (p Pos) Before(q Pos) bool {
+	return p.Line < q.Line || (p.Line == q.Line && p.Col < q.Col)
+}
+
+func (p Pos) String() string {
+	if !p.IsValid() {
+		return "-"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Error is a single diagnostic attached to a source position.
+type Error struct {
+	Pos  Pos
+	Msg  string
+	File string // optional file name
+}
+
+func (e *Error) Error() string {
+	if e.File != "" {
+		return fmt.Sprintf("%s:%s: %s", e.File, e.Pos, e.Msg)
+	}
+	return fmt.Sprintf("%s: %s", e.Pos, e.Msg)
+}
+
+// ErrorList accumulates diagnostics. The zero value is ready to use.
+type ErrorList struct {
+	errs []*Error
+}
+
+// Add appends a diagnostic at pos.
+func (l *ErrorList) Add(pos Pos, format string, args ...interface{}) {
+	l.errs = append(l.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of accumulated diagnostics.
+func (l *ErrorList) Len() int { return len(l.errs) }
+
+// Errors returns the accumulated diagnostics in source order.
+func (l *ErrorList) Errors() []*Error {
+	sorted := make([]*Error, len(l.errs))
+	copy(sorted, l.errs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Pos.Before(sorted[j].Pos) })
+	return sorted
+}
+
+// Err returns an error summarizing the list, or nil if it is empty.
+func (l *ErrorList) Err() error {
+	if len(l.errs) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Error implements the error interface: all diagnostics joined by newlines.
+func (l *ErrorList) Error() string {
+	var b strings.Builder
+	for i, e := range l.Errors() {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(e.Error())
+	}
+	return b.String()
+}

@@ -1,0 +1,44 @@
+package ssa_test
+
+import (
+	"testing"
+
+	"nascent/internal/dom"
+	"nascent/internal/irbuild"
+	"nascent/internal/parser"
+	"nascent/internal/sem"
+	"nascent/internal/ssa"
+	"nascent/internal/suite"
+)
+
+// BenchmarkBuildSSA measures SSA overlay construction over the whole
+// suite (one component of induction analysis cost, paper §4.2).
+func BenchmarkBuildSSA(b *testing.B) {
+	progs := make([]func(), 0, len(suite.Programs))
+	for _, p := range suite.Programs {
+		file, err := parser.Parse(p.Name+".mf", p.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		semProg, err := sem.Analyze(file)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ir, err := irbuild.Build(semProg, irbuild.Options{BoundsChecks: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range ir.Funcs {
+			f := f
+			f.SplitCriticalEdges()
+			tree := dom.Compute(f)
+			progs = append(progs, func() { ssa.Build(f, tree) })
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, build := range progs {
+			build()
+		}
+	}
+}

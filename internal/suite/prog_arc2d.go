@@ -1,0 +1,111 @@
+package suite
+
+// arc2d models the Perfect Club 2-D implicit CFD code: five-point stencil
+// residuals over a 2-D grid followed by ADI-style tridiagonal sweeps in
+// each direction (Thomas algorithm). Subscript mix: very dense 2-D
+// accesses with ±1 offsets (the paper's highest check/instruction
+// ratio), plus backward (-1 step) substitution loops.
+const srcArc2d = `program arc2d
+  parameter nx = 30
+  parameter ny = 30
+  parameter nsweep = 3
+  real q(nx, ny), qn(nx, ny), rhs(nx, ny)
+  real aa(nx), bb(nx), cc(nx), ff(nx)
+  real qsum
+  integer i, j, k
+
+  call initgrid()
+
+  do k = 1, nsweep
+    call residual()
+    call xsweep()
+    call ysweep()
+    call boundary()
+  enddo
+
+  qsum = 0.0
+  do j = 1, ny
+    do i = 1, nx
+      qsum = qsum + q(i, j)
+    enddo
+  enddo
+  print qsum
+end
+
+subroutine initgrid()
+  integer i, j
+  do j = 1, ny
+    do i = 1, nx
+      q(i, j) = float(i + j) / float(nx + ny)
+      qn(i, j) = 0.0
+      rhs(i, j) = 0.0
+    enddo
+  enddo
+end
+
+subroutine boundary()
+  integer i, j
+  ! reflective boundary conditions along all four edges
+  do i = 1, nx
+    q(i, 1) = q(i, 2)
+    q(i, ny) = q(i, ny - 1)
+  enddo
+  do j = 1, ny
+    q(1, j) = q(2, j)
+    q(nx, j) = q(nx - 1, j)
+  enddo
+end
+
+subroutine residual()
+  integer i, j
+  do j = 2, ny - 1
+    do i = 2, nx - 1
+      rhs(i, j) = q(i - 1, j) + q(i + 1, j) + q(i, j - 1) + q(i, j + 1) - 4.0 * q(i, j)
+    enddo
+  enddo
+end
+
+subroutine xsweep()
+  integer i, j
+  real w
+  do j = 2, ny - 1
+    do i = 2, nx - 1
+      aa(i) = -1.0
+      bb(i) = 4.0
+      cc(i) = -1.0
+      ff(i) = rhs(i, j)
+    enddo
+    do i = 3, nx - 1
+      w = aa(i) / bb(i - 1)
+      bb(i) = bb(i) - w * cc(i - 1)
+      ff(i) = ff(i) - w * ff(i - 1)
+    enddo
+    qn(nx - 1, j) = ff(nx - 1) / bb(nx - 1)
+    do i = nx - 2, 2, -1
+      qn(i, j) = (ff(i) - cc(i) * qn(i + 1, j)) / bb(i)
+    enddo
+  enddo
+end
+
+subroutine ysweep()
+  integer i, j
+  real w
+  do i = 2, nx - 1
+    do j = 2, ny - 1
+      aa(j) = -1.0
+      bb(j) = 4.0
+      cc(j) = -1.0
+      ff(j) = qn(i, j)
+    enddo
+    do j = 3, ny - 1
+      w = aa(j) / bb(j - 1)
+      bb(j) = bb(j) - w * cc(j - 1)
+      ff(j) = ff(j) - w * ff(j - 1)
+    enddo
+    q(i, ny - 1) = q(i, ny - 1) + 0.2 * ff(ny - 1) / bb(ny - 1)
+    do j = ny - 2, 2, -1
+      q(i, j) = q(i, j) + 0.2 * (ff(j) - cc(j) * q(i, j + 1)) / bb(j)
+    enddo
+  enddo
+end
+`

@@ -1,0 +1,86 @@
+package suite
+
+// bdna models the Perfect Club nucleic-acid molecular dynamics code:
+// a cutoff-based neighbor list is rebuilt periodically (pair loop with a
+// conditional append) and forces are accumulated through the list
+// (indirect subscripts a(j) with j loaded from the list — checks no
+// placement scheme can hoist, the reason bdna's LLS percentage stays
+// below 99% in the paper).
+const srcBdna = `program bdna
+  parameter na = 44
+  parameter mxnb = 18
+  parameter nsteps = 3
+  real x(na), y(na), z(na)
+  real fx(na), fy(na), fz(na)
+  integer nbcnt(na), nblist(na, mxnb)
+  real cutoff2, fsum
+  integer istep, i
+
+  do i = 1, na
+    x(i) = float(mod(7 * i, na)) / float(na)
+    y(i) = float(mod(3 * i, na)) / float(na)
+    z(i) = float(mod(5 * i, na)) / float(na)
+  enddo
+  cutoff2 = 0.16
+
+  do istep = 1, nsteps
+    call neighbors()
+    call forces()
+  enddo
+
+  fsum = 0.0
+  do i = 1, na
+    fsum = fsum + fx(i) * fx(i) + fy(i) * fy(i) + fz(i) * fz(i)
+  enddo
+  print fsum
+end
+
+subroutine neighbors()
+  integer i, j
+  real dx, dy, dz, r2
+  do i = 1, na
+    nbcnt(i) = 0
+  enddo
+  do i = 1, na
+    do j = i + 1, na
+      dx = x(i) - x(j)
+      dy = y(i) - y(j)
+      dz = z(i) - z(j)
+      r2 = dx * dx + dy * dy + dz * dz
+      if (r2 < cutoff2) then
+        if (nbcnt(i) < mxnb) then
+          nbcnt(i) = nbcnt(i) + 1
+          nblist(i, nbcnt(i)) = j
+        endif
+      endif
+    enddo
+  enddo
+end
+
+subroutine forces()
+  integer i, j, k, kmax
+  real dx, dy, dz, r2, s
+  do i = 1, na
+    fx(i) = 0.0
+    fy(i) = 0.0
+    fz(i) = 0.0
+  enddo
+  do i = 1, na
+    kmax = nbcnt(i)
+    do k = 1, kmax
+      j = nblist(i, k)
+      dx = x(i) - x(j)
+      dy = y(i) - y(j)
+      dz = z(i) - z(j)
+      r2 = dx * dx + dy * dy + dz * dz + 0.01
+      s = 1.0 / (r2 * r2)
+      fx(i) = fx(i) + s * dx
+      fy(i) = fy(i) + s * dy
+      fz(i) = fz(i) + s * dz
+      fx(j) = fx(j) - s * dx
+      fy(j) = fy(j) - s * dy
+      fz(j) = fz(j) - s * dz
+    enddo
+  enddo
+end
+`

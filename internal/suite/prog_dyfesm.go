@@ -1,0 +1,122 @@
+package suite
+
+// dyfesm models the Perfect Club finite-element structural dynamics
+// code: element loops gather nodal displacements through a connectivity
+// table, form small dense element matrices (constant-bound loops), and
+// scatter forces back; a conjugate-gradient-style while loop iterates to
+// a tolerance. Subscript mix: indirect gather/scatter, if/else arms with
+// overlapping checks (the paper's dyfesm is where SE/LNI gain most over
+// NI), a while loop that blocks hoisting, and invariant subscripts
+// computed into temporaries inside loops (hoistable only as induction
+// expressions).
+const srcDyfesm = `program dyfesm
+  parameter nel = 40
+  parameter nnd = 44
+  parameter nsteps = 3
+  integer conn(nel, 4)
+  real u(nnd), f(nnd), kel(4, 4), ue(4), fe(4)
+  real r(nnd), p(nnd), ap(nnd)
+  real tol, rho, fsum
+  integer istep, i, e
+
+  do e = 1, nel
+    conn(e, 1) = e
+    conn(e, 2) = e + 1
+    conn(e, 3) = e + 2
+    conn(e, 4) = e + 4
+  enddo
+  do i = 1, nnd
+    u(i) = float(mod(i, 7)) / 7.0
+    f(i) = 0.0
+  enddo
+  tol = 0.0001
+
+  do istep = 1, nsteps
+    call assemble()
+    call solve()
+  enddo
+
+  fsum = 0.0
+  do i = 1, nnd
+    fsum = fsum + u(i)
+  enddo
+  print fsum
+end
+
+subroutine assemble()
+  integer e, i, j, n1, nj
+  do i = 1, nnd
+    f(i) = 0.0
+  enddo
+  do e = 1, nel
+    ! gather element displacements (indirect)
+    do j = 1, 4
+      nj = conn(e, j)
+      ue(j) = u(nj)
+    enddo
+    ! element stiffness: constant-bound dense loops
+    do i = 1, 4
+      do j = 1, 4
+        if (i == j) then
+          kel(i, j) = 4.0
+        else
+          kel(i, j) = -1.0
+        endif
+      enddo
+    enddo
+    ! fe = kel * ue
+    do i = 1, 4
+      fe(i) = 0.0
+      do j = 1, 4
+        fe(i) = fe(i) + kel(i, j) * ue(j)
+      enddo
+    enddo
+    ! scatter (indirect); the base node n1 is invariant in the j loop
+    ! only through the temporary, so only INX checks hoist it
+    n1 = conn(e, 1)
+    f(n1) = f(n1) + fe(1)
+    do j = 2, 4
+      nj = conn(e, j)
+      f(nj) = f(nj) + fe(j)
+    enddo
+  enddo
+end
+
+subroutine solve()
+  integer i, iter
+  real rho, alpha, pap
+  do i = 1, nnd
+    r(i) = f(i) - u(i)
+    p(i) = r(i)
+  enddo
+  rho = 0.0
+  do i = 1, nnd
+    rho = rho + r(i) * r(i)
+  enddo
+  iter = 0
+  while (rho > tol and iter < 6)
+    do i = 2, nnd - 1
+      ap(i) = 2.0 * p(i) - 0.5 * (p(i - 1) + p(i + 1))
+    enddo
+    ap(1) = 2.0 * p(1) - 0.5 * p(2)
+    ap(nnd) = 2.0 * p(nnd) - 0.5 * p(nnd - 1)
+    pap = 0.0
+    do i = 1, nnd
+      pap = pap + p(i) * ap(i)
+    enddo
+    alpha = rho / (pap + 0.001)
+    do i = 1, nnd
+      u(i) = u(i) + alpha * p(i)
+      r(i) = r(i) - alpha * ap(i)
+    enddo
+    rho = 0.0
+    do i = 1, nnd
+      rho = rho + r(i) * r(i)
+    enddo
+    do i = 1, nnd
+      p(i) = r(i) + 0.5 * p(i)
+    enddo
+    iter = iter + 1
+  endwhile
+end
+`

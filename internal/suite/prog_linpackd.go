@@ -1,0 +1,99 @@
+package suite
+
+// linpackd models the Riceps LINPACK benchmark: LU decomposition with
+// partial pivoting (idamax pivot search, row swap, rank-1 elimination
+// update) followed by back substitution. Subscript mix: symbolic-bound
+// inner loops whose lower bound is the outer index (k+1..n), an
+// invariant pivot row subscript inside the swap loop, and dense repeated
+// a(i,j)/a(i,k)/a(k,j) triples (availability fodder).
+const srcLinpackd = `program linpackd
+  parameter n = 22
+  real a(n, n), b(n), xv(n)
+  integer ipvt(n)
+  real rsum
+  integer i, j
+
+  call matgen()
+  call factor()
+  call solve()
+  call residcheck()
+  print rsum
+end
+
+subroutine matgen()
+  integer i, j
+  do i = 1, n
+    do j = 1, n
+      a(i, j) = float(mod(i * j + i, 13)) / 13.0
+    enddo
+    a(i, i) = a(i, i) + float(n)
+    b(i) = 1.0
+  enddo
+end
+
+subroutine residcheck()
+  integer i
+  rsum = 0.0
+  do i = 1, n
+    rsum = rsum + xv(i)
+  enddo
+end
+
+subroutine factor()
+  integer i, j, k, l
+  real amax, t
+  do k = 1, n - 1
+    ! idamax: pivot search
+    l = k
+    amax = abs(a(k, k))
+    do i = k + 1, n
+      if (abs(a(i, k)) > amax) then
+        amax = abs(a(i, k))
+        l = i
+      endif
+    enddo
+    ipvt(k) = l
+    ! swap rows k and l (l invariant in the j loop)
+    if (l /= k) then
+      do j = k, n
+        t = a(k, j)
+        a(k, j) = a(l, j)
+        a(l, j) = t
+      enddo
+    endif
+    ! elimination: rank-1 update of the trailing block
+    do i = k + 1, n
+      a(i, k) = a(i, k) / a(k, k)
+      do j = k + 1, n
+        a(i, j) = a(i, j) - a(i, k) * a(k, j)
+      enddo
+    enddo
+  enddo
+  ipvt(n) = n
+end
+
+subroutine solve()
+  integer i, j, l
+  real t
+  ! forward elimination of b with pivoting
+  do i = 1, n
+    xv(i) = b(i)
+  enddo
+  do j = 1, n - 1
+    l = ipvt(j)
+    t = xv(l)
+    xv(l) = xv(j)
+    xv(j) = t
+    do i = j + 1, n
+      xv(i) = xv(i) - a(i, j) * xv(j)
+    enddo
+  enddo
+  ! back substitution
+  do j = n, 1, -1
+    xv(j) = xv(j) / a(j, j)
+    do i = 1, j - 1
+      xv(i) = xv(i) - a(i, j) * xv(j)
+    enddo
+  enddo
+end
+`

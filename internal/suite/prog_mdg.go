@@ -1,0 +1,80 @@
+package suite
+
+// mdg models the Perfect Club water molecular dynamics code: each
+// molecule has three sites (oxygen + two hydrogens) stored in 2-D arrays
+// indexed (molecule, site). The O(n²) pair loop runs over distinct
+// molecule pairs (triangular) and all 3×3 site combinations
+// (constant-bound inner loops whose checks constant-fold). Velocities are
+// updated with a leapfrog step.
+const srcMdg = `program mdg
+  parameter nm = 26
+  parameter nsteps = 2
+  real xs(nm, 3), ys(nm, 3)
+  real fxs(nm, 3), fys(nm, 3)
+  real vxs(nm, 3), vys(nm, 3)
+  real dt, esum
+  integer istep, i, k
+
+  do i = 1, nm
+    do k = 1, 3
+      xs(i, k) = float(i) + 0.1 * float(k)
+      ys(i, k) = float(nm - i) + 0.1 * float(k)
+      vxs(i, k) = 0.0
+      vys(i, k) = 0.0
+    enddo
+  enddo
+  dt = 0.002
+
+  do istep = 1, nsteps
+    call interf()
+    call leapfrog()
+  enddo
+
+  esum = 0.0
+  do i = 1, nm
+    do k = 1, 3
+      esum = esum + vxs(i, k) * vxs(i, k) + vys(i, k) * vys(i, k)
+    enddo
+  enddo
+  print esum
+end
+
+subroutine interf()
+  integer i, j, ka, kb
+  real dx, dy, r2, s
+  do i = 1, nm
+    do ka = 1, 3
+      fxs(i, ka) = 0.0
+      fys(i, ka) = 0.0
+    enddo
+  enddo
+  do i = 1, nm
+    do j = i + 1, nm
+      do ka = 1, 3
+        do kb = 1, 3
+          dx = xs(i, ka) - xs(j, kb)
+          dy = ys(i, ka) - ys(j, kb)
+          r2 = dx * dx + dy * dy + 0.05
+          s = 1.0 / (r2 * sqrt(r2))
+          fxs(i, ka) = fxs(i, ka) + s * dx
+          fys(i, ka) = fys(i, ka) + s * dy
+          fxs(j, kb) = fxs(j, kb) - s * dx
+          fys(j, kb) = fys(j, kb) - s * dy
+        enddo
+      enddo
+    enddo
+  enddo
+end
+
+subroutine leapfrog()
+  integer i, k
+  do i = 1, nm
+    do k = 1, 3
+      vxs(i, k) = vxs(i, k) + dt * fxs(i, k)
+      vys(i, k) = vys(i, k) + dt * fys(i, k)
+      xs(i, k) = xs(i, k) + dt * vxs(i, k)
+      ys(i, k) = ys(i, k) + dt * vys(i, k)
+    enddo
+  enddo
+end
+`

@@ -1,0 +1,65 @@
+package suite
+
+// qcd models the Perfect Club lattice gauge theory code: a 4-D lattice
+// flattened into one dimension, with link variables per site and
+// direction. Neighbor sites are computed with modular wraparound —
+// subscripts involving mod are opaque to the linear-form machinery, so
+// their checks survive every placement scheme (the residual the paper
+// sees on qcd: LLS leaves ~3%). A staple-sum sweep and a normalization
+// sweep alternate.
+const srcQcd = `program qcd
+  parameter nx = 6
+  parameter nt = 6
+  parameter nsite = 36
+  parameter nsweep = 3
+  real lnk(nsite, 4), stpl(nsite, 4)
+  real beta, action
+  integer isweep, i, mu
+
+  do i = 1, nsite
+    do mu = 1, 4
+      lnk(i, mu) = float(mod(i * mu, 7) + 1) / 8.0
+    enddo
+  enddo
+  beta = 2.5
+
+  do isweep = 1, nsweep
+    call staples()
+    call update()
+  enddo
+
+  action = 0.0
+  do i = 1, nsite
+    do mu = 1, 4
+      action = action + lnk(i, mu) * stpl(i, mu)
+    enddo
+  enddo
+  print action
+end
+
+subroutine staples()
+  integer i, mu, ix, it, ifwd, ibwd
+  do i = 1, nsite
+    ! decompose the flattened site index and wrap neighbors
+    ix = mod(i - 1, nx)
+    it = (i - 1) / nx
+    ifwd = it * nx + mod(ix + 1, nx) + 1
+    ibwd = it * nx + mod(ix + nx - 1, nx) + 1
+    do mu = 1, 4
+      ! plaquette-like products reuse each link twice per direction
+      stpl(i, mu) = lnk(ifwd, mu) * lnk(ibwd, mu) + 0.5 * lnk(i, mu) + 0.1 * lnk(ifwd, mu) * lnk(i, mu) - 0.05 * lnk(ibwd, mu)
+    enddo
+  enddo
+end
+
+subroutine update()
+  integer i, mu, jt, jfwd
+  do i = 1, nsite
+    jt = mod((i - 1) / nx + 1, nt)
+    jfwd = jt * nx + mod(i - 1, nx) + 1
+    do mu = 1, 4
+      lnk(i, mu) = (lnk(i, mu) + beta * stpl(jfwd, mu) - 0.01 * stpl(jfwd, mu) * stpl(i, mu)) / (1.0 + beta)
+    enddo
+  enddo
+end
+`

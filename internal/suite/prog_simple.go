@@ -1,0 +1,87 @@
+package suite
+
+// simple models the Riceps/Mendez SIMPLE 2-D Lagrangian hydrodynamics
+// code: pressure and velocity stencil sweeps over a 2-D mesh, an
+// equation-of-state evaluated through a clamped table lookup (min/max
+// subscripts are opaque atoms, leaving residual checks), and a
+// while-loop timestep controller.
+const srcSimple = `program simple
+  parameter nx = 24
+  parameter ny = 24
+  parameter ntab = 50
+  real p(nx, ny), rho(nx, ny), e(nx, ny)
+  real ux(nx, ny), uy(nx, ny)
+  real eos(ntab)
+  real t, tstop, dt, esum
+  integer i, j
+
+  call inittab()
+  call initmesh()
+
+  t = 0.0
+  tstop = 0.02
+  dt = 0.004
+  while (t < tstop)
+    call hydro()
+    call eosup()
+    t = t + dt
+  endwhile
+
+  esum = 0.0
+  do j = 1, ny
+    do i = 1, nx
+      esum = esum + e(i, j) + p(i, j)
+    enddo
+  enddo
+  print esum
+end
+
+subroutine inittab()
+  integer i
+  do i = 1, ntab
+    eos(i) = 1.0 + float(i) / float(ntab)
+  enddo
+end
+
+subroutine initmesh()
+  integer i, j
+  do j = 1, ny
+    do i = 1, nx
+      rho(i, j) = 1.0 + 0.1 * float(mod(i + j, 5))
+      e(i, j) = 1.0
+      p(i, j) = 0.4 * rho(i, j) * e(i, j)
+      ux(i, j) = 0.0
+      uy(i, j) = 0.0
+    enddo
+  enddo
+end
+
+subroutine hydro()
+  integer i, j
+  do j = 2, ny - 1
+    do i = 2, nx - 1
+      ux(i, j) = ux(i, j) - dt * (p(i + 1, j) - p(i - 1, j)) / (2.0 * rho(i, j))
+      uy(i, j) = uy(i, j) - dt * (p(i, j + 1) - p(i, j - 1)) / (2.0 * rho(i, j))
+    enddo
+  enddo
+  do j = 2, ny - 1
+    do i = 2, nx - 1
+      e(i, j) = e(i, j) + dt * (ux(i + 1, j) - ux(i - 1, j) + uy(i, j + 1) - uy(i, j - 1))
+      if (e(i, j) < 0.1) then
+        e(i, j) = 0.1
+      endif
+    enddo
+  enddo
+end
+
+subroutine eosup()
+  integer i, j, itab
+  do j = 1, ny
+    do i = 1, nx
+      ! clamped table lookup: the subscript is opaque (min/max)
+      itab = int(e(i, j) * float(ntab) / 4.0) + 1
+      p(i, j) = 0.4 * rho(i, j) * e(i, j) * eos(min(max(itab, 1), ntab))
+    enddo
+  enddo
+end
+`

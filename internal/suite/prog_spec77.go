@@ -1,0 +1,76 @@
+package suite
+
+// spec77 models the Perfect Club spectral weather code: an FFT-like
+// butterfly pass over strided elements (non-unit constant steps — the
+// trip count still folds), a triangular Legendre-transform loop nest
+// (inner bounds symbolic in the outer index, hoisted as per-outer-
+// iteration cond-checks), and a grid-to-spectral accumulation.
+const srcSpec77 = `program spec77
+  parameter npt = 64
+  parameter nw = 16
+  parameter nsteps = 3
+  real gr(npt), gi(npt)
+  real sr(nw, nw), si(nw, nw)
+  real plm(nw, nw)
+  real ssum
+  integer istep, i, m, n
+
+  do i = 1, npt
+    gr(i) = float(mod(3 * i, 17)) / 17.0
+    gi(i) = 0.0
+  enddo
+  do m = 1, nw
+    do n = 1, nw
+      plm(m, n) = float(m + n) / float(2 * nw)
+      sr(m, n) = 0.0
+      si(m, n) = 0.0
+    enddo
+  enddo
+
+  do istep = 1, nsteps
+    call butterfly()
+    call legendre()
+  enddo
+
+  ssum = 0.0
+  do m = 1, nw
+    do n = m, nw
+      ssum = ssum + sr(m, n) + si(m, n)
+    enddo
+  enddo
+  print ssum
+end
+
+subroutine butterfly()
+  integer i, half
+  real tr, ti
+  ! one radix-2 stage with stride 2 (constant non-unit step)
+  do i = 1, npt - 1, 2
+    tr = gr(i) + gr(i + 1)
+    ti = gr(i) - gr(i + 1)
+    gr(i) = tr
+    gr(i + 1) = ti
+  enddo
+  half = npt / 2
+  do i = 1, half
+    gi(i) = gr(2 * i - 1) - gr(2 * i)
+    gi(i + half) = gr(2 * i - 1) + gr(2 * i)
+  enddo
+end
+
+subroutine legendre()
+  integer m, n, ig
+  real acc
+  ! triangular transform: inner loop bounds depend on the outer index
+  do m = 1, nw
+    do n = m, nw
+      acc = 0.0
+      do ig = 1, nw
+        acc = acc + plm(m, n) * (gr(ig + m - 1) + gi(ig)) + plm(n, m) * (gr(ig + m - 1) - gi(ig))
+      enddo
+      sr(m, n) = sr(m, n) + acc
+      si(m, n) = si(m, n) + acc * 0.5
+    enddo
+  enddo
+end
+`

@@ -1,0 +1,105 @@
+package suite
+
+// trfd models the Perfect Club two-electron integral transformation:
+// triangular loop nests over packed pair indices i(i−1)/2 + j. The hot
+// transform uses direct packed-subscript expressions (linear in the
+// innermost index with an opaque invariant offset — loop-limit
+// substitution hoists them one level), and each packed element is used
+// several times per iteration (availability fodder). The accumulation
+// pass computes its packed offsets into temporaries inside the loop, the
+// pattern that hoists only as induction expressions (the paper's §4.3
+// trfd observation: LI gains ~20% with INX checks).
+const srcTrfd = `program trfd
+  parameter norb = 24
+  parameter npair = 300
+  parameter nsteps = 3
+  real xij(npair), v(norb, norb), xt(npair)
+  real tsum
+  integer istep, i, j, ij
+
+  ij = 0
+  do i = 1, norb
+    do j = 1, i
+      ij = ij + 1
+      xij(ij) = float(i - j) / float(norb)
+    enddo
+  enddo
+  do i = 1, norb
+    do j = 1, norb
+      v(i, j) = float(mod(i * j, 5)) / 5.0
+    enddo
+  enddo
+
+  do istep = 1, nsteps
+    call transform()
+    call scale()
+    call accum()
+  enddo
+
+  tsum = 0.0
+  ij = 0
+  do i = 1, norb
+    do j = 1, i
+      ij = ij + 1
+      tsum = tsum + xij(ij)
+    enddo
+  enddo
+  print tsum
+end
+
+subroutine transform()
+  integer i, j, k, ioff, joff
+  real acc
+  ! half-transform over incrementally maintained packed offsets: the
+  ! subscript joff + k is linear in k with an invariant offset, and each
+  ! element is read twice per iteration (availability fodder)
+  ioff = 0
+  do i = 1, norb
+    joff = 0
+    do j = 1, i
+      acc = 0.0
+      do k = 1, j
+        acc = acc + v(k, i) * xij(joff + k) + v(k, j) * xij(joff + k) * 0.5 + v(k, i) * v(k, j) * 0.1
+      enddo
+      xt(ioff + j) = acc + v(j, i) * v(j, i)
+      joff = joff + j
+    enddo
+    ioff = ioff + i
+  enddo
+end
+
+subroutine scale()
+  integer i, j, kd, k1
+  ! scaling sweep through packed diagonal offsets: kd and k1 are
+  ! invariant in the j loop but computed inside it, so their checks
+  ! hoist only as induction expressions (LI/INX beats LI/PRX here,
+  ! the paper's trfd result)
+  do i = 1, norb
+    do j = 1, norb
+      kd = i * (i - 1) / 2 + i
+      k1 = i * (i - 1) / 2 + 1
+      v(i, j) = v(i, j) * (1.0 + 0.001 * (xij(kd) + xij(k1)))
+      v(j, i) = v(j, i) + 0.0001 * (xij(kd) - xij(k1))
+    enddo
+  enddo
+end
+
+subroutine accum()
+  integer i, j, ij, ioff, kj, kd
+  ! packed offsets via in-loop temporaries: PRX checks on kj and kd
+  ! cannot be anticipated at the preheader (both are defined in the
+  ! body); INX checks rewrite kj to ioff + j (linear, hoists under LLS)
+  ! and kd to ioff + i (invariant, hoists already under LI — the paper's
+  ! §4.3 trfd observation)
+  ij = 0
+  do i = 1, norb
+    ioff = i * (i - 1) / 2
+    do j = 1, i
+      ij = ij + 1
+      kj = ioff + j
+      kd = ioff + i
+      xij(kj) = 0.9 * xij(kj) + 0.1 * xt(ij) + 0.01 * xt(kd) * xij(kj)
+    enddo
+  enddo
+end
+`

@@ -1,0 +1,78 @@
+package suite
+
+// vortex models the Mendez vortex benchmark: n point vortices inducing
+// velocities on each other (O(n²) pair loop), then advected forward.
+// Subscript mix: dense repeated subscripts (x(i), y(i), u(i) several
+// times per iteration), linear subscripts with constant bounds, and a
+// conditional inner-loop body (j /= i).
+const srcVortex = `program vortex
+  parameter nv = 56
+  parameter nsteps = 3
+  real x(nv), y(nv), g(nv)
+  real u(nv), v(nv)
+  real xn(nv), yn(nv)
+  real dt, vsum
+  integer istep
+
+  call initvort()
+  dt = 0.005
+
+  do istep = 1, nsteps
+    call velocity()
+    call advance()
+  enddo
+
+  call checksum()
+  print vsum
+end
+
+subroutine initvort()
+  integer i
+  do i = 1, nv
+    x(i) = float(i) / float(nv)
+    y(i) = float(nv - i) / float(nv)
+    g(i) = float(mod(i, 5) + 1) / 10.0
+    u(i) = 0.0
+    v(i) = 0.0
+  enddo
+end
+
+subroutine checksum()
+  integer i
+  vsum = 0.0
+  do i = 1, nv
+    vsum = vsum + x(i) + y(i)
+  enddo
+end
+
+subroutine velocity()
+  integer i, j
+  real rx, ry, r2
+  do i = 1, nv
+    u(i) = 0.0
+    v(i) = 0.0
+    do j = 1, nv
+      ! the softened kernel makes the self-term contribute zero, so the
+      ! pair loop needs no conditional (every access is unconditional
+      ! and hoistable)
+      rx = x(i) - x(j)
+      ry = y(i) - y(j)
+      r2 = rx * rx + ry * ry + 0.001
+      u(i) = u(i) - g(j) * ry / r2
+      v(i) = v(i) + g(j) * rx / r2
+    enddo
+  enddo
+end
+
+subroutine advance()
+  integer i
+  do i = 1, nv
+    xn(i) = x(i) + dt * u(i)
+    yn(i) = y(i) + dt * v(i)
+  enddo
+  do i = 1, nv
+    x(i) = xn(i)
+    y(i) = yn(i)
+  enddo
+end
+`

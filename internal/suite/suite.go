@@ -1,0 +1,68 @@
+// Package suite provides the ten MF benchmark programs used to reproduce
+// the paper's evaluation (Tables 1–3).
+//
+// The paper measured ten Fortran programs from the Perfect, Riceps, and
+// Mendez benchmark suites. Those sources are not redistributable (and the
+// paper's exact inputs are lost), so each program here is a from-scratch
+// MF model of its namesake's numerical structure, sized for an
+// interpreter. What matters for the reproduction is the mix of subscript
+// patterns each program exercises, because that mix is what determines
+// how many checks each placement scheme can eliminate:
+//
+//   - repeated subscripts in straight-line code (availability fodder, NI)
+//   - overlapping checks across if/else arms (PRE fodder, SE/LNI)
+//   - loop-invariant subscripts, directly and via in-loop temporaries
+//     (preheader insertion fodder, LI; the temporaries only hoist with
+//     induction expressions, INX)
+//   - subscripts linear in loop variables with constant and symbolic
+//     bounds (loop-limit substitution fodder, LLS)
+//   - indirect (gather/scatter) subscripts, table lookups, and while
+//     loops (residual checks that no scheme may remove)
+package suite
+
+import "fmt"
+
+// Program is one benchmark program.
+type Program struct {
+	// Name matches the paper's program name.
+	Name string
+	// Suite is the benchmark suite the paper took the original from.
+	Suite string
+	// Description summarizes the modeled computation.
+	Description string
+	// Source is the MF source text.
+	Source string
+}
+
+// Programs lists the benchmark programs in the paper's Table 1 order.
+var Programs = []Program{
+	{"vortex", "Mendez", "2-D point-vortex dynamics: O(n²) induced-velocity pair interactions", srcVortex},
+	{"arc2d", "Perfect", "2-D implicit CFD: stencil residuals and ADI tridiagonal sweeps", srcArc2d},
+	{"bdna", "Perfect", "molecular dynamics with cutoff neighbor lists (indirect indexing)", srcBdna},
+	{"dyfesm", "Perfect", "finite-element structural mechanics: gather/scatter and CG iteration", srcDyfesm},
+	{"mdg", "Perfect", "molecular dynamics of water: triangular pair loops over 3-site molecules", srcMdg},
+	{"qcd", "Perfect", "lattice gauge theory: flattened 4-D lattice with modular wraparound", srcQcd},
+	{"spec77", "Perfect", "spectral weather model: strided butterflies and triangular transforms", srcSpec77},
+	{"trfd", "Perfect", "two-electron integral transformation: triangular index arithmetic", srcTrfd},
+	{"linpackd", "Riceps", "LU decomposition with partial pivoting (daxpy/idamax)", srcLinpackd},
+	{"simple", "Riceps", "2-D Lagrangian hydrodynamics with equation-of-state table lookup", srcSimple},
+}
+
+// Get returns the program with the given name.
+func Get(name string) (Program, error) {
+	for _, p := range Programs {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Program{}, fmt.Errorf("suite: unknown program %q", name)
+}
+
+// Names returns the program names in Table 1 order.
+func Names() []string {
+	out := make([]string, len(Programs))
+	for i, p := range Programs {
+		out[i] = p.Name
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package suite_test
+
+import (
+	"testing"
+
+	"nascent"
+	"nascent/internal/suite"
+)
+
+func compileRun(t *testing.T, src string, opts nascent.Options) nascent.RunResult {
+	t.Helper()
+	p, err := nascent.Compile(src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	res, err := p.Run()
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestAllProgramsCompileAndRunNaive(t *testing.T) {
+	for _, prog := range suite.Programs {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			res := compileRun(t, prog.Source, nascent.Options{BoundsChecks: true, Scheme: nascent.Naive})
+			if res.Trapped {
+				t.Fatalf("naive run trapped: %s", res.TrapNote)
+			}
+			if res.Output == "" {
+				t.Error("no output")
+			}
+			if res.Checks == 0 {
+				t.Error("no dynamic checks in a checked build")
+			}
+			if res.Instructions == 0 {
+				t.Error("no instructions counted")
+			}
+		})
+	}
+}
+
+func TestCheckOverheadInPaperBand(t *testing.T) {
+	// Paper Table 1: dynamic check/instruction ratios between 22% and
+	// 66%. Allow a wider band (15%–90%) for our cost model but require
+	// every program to show substantial overhead.
+	for _, prog := range suite.Programs {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			res := compileRun(t, prog.Source, nascent.Options{BoundsChecks: true, Scheme: nascent.Naive})
+			ratio := float64(res.Checks) / float64(res.Instructions)
+			if ratio < 0.15 || ratio > 0.90 {
+				t.Errorf("dynamic check/instr ratio = %.2f, want within [0.15, 0.90]", ratio)
+			}
+		})
+	}
+}
+
+func TestAllSchemesPreserveSemantics(t *testing.T) {
+	for _, prog := range suite.Programs {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			naive := compileRun(t, prog.Source, nascent.Options{BoundsChecks: true, Scheme: nascent.Naive})
+			for _, sch := range nascent.OptimizedSchemes {
+				for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
+					res := compileRun(t, prog.Source, nascent.Options{
+						BoundsChecks: true, Scheme: sch, Kind: kind,
+					})
+					if res.Trapped {
+						t.Fatalf("%v/%v trapped: %s", sch, kind, res.TrapNote)
+					}
+					if res.Output != naive.Output {
+						t.Errorf("%v/%v changed output: %q vs %q", sch, kind, res.Output, naive.Output)
+					}
+					if res.Checks > naive.Checks {
+						t.Errorf("%v/%v executed more checks than naive: %d > %d", sch, kind, res.Checks, naive.Checks)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestLLSEliminatesMostChecks(t *testing.T) {
+	// Paper Table 2: LLS eliminates 96.7%–99.99% of dynamic checks.
+	// Require at least 90% on every program with PRX checks.
+	for _, prog := range suite.Programs {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			naive := compileRun(t, prog.Source, nascent.Options{BoundsChecks: true, Scheme: nascent.Naive})
+			lls := compileRun(t, prog.Source, nascent.Options{BoundsChecks: true, Scheme: nascent.LLS})
+			elim := 100 * (1 - float64(lls.Checks)/float64(naive.Checks))
+			if elim < 90 {
+				t.Errorf("LLS eliminated only %.2f%% of checks (naive %d -> %d)", elim, naive.Checks, lls.Checks)
+			}
+		})
+	}
+}
+
+func TestNIEliminatesMajority(t *testing.T) {
+	// Paper Table 2: NI eliminates 61%–92%. Require at least 40%.
+	for _, prog := range suite.Programs {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			naive := compileRun(t, prog.Source, nascent.Options{BoundsChecks: true, Scheme: nascent.Naive})
+			ni := compileRun(t, prog.Source, nascent.Options{BoundsChecks: true, Scheme: nascent.NI})
+			elim := 100 * (1 - float64(ni.Checks)/float64(naive.Checks))
+			if elim < 40 {
+				t.Errorf("NI eliminated only %.2f%% of checks (naive %d -> %d)", elim, naive.Checks, ni.Checks)
+			}
+		})
+	}
+}
+
+func TestGetAndNames(t *testing.T) {
+	if len(suite.Programs) != 10 {
+		t.Fatalf("suite has %d programs, want 10", len(suite.Programs))
+	}
+	for _, n := range suite.Names() {
+		p, err := suite.Get(n)
+		if err != nil || p.Name != n {
+			t.Errorf("Get(%q) = %v, %v", n, p.Name, err)
+		}
+	}
+	if _, err := suite.Get("nonesuch"); err == nil {
+		t.Error("Get of unknown program should fail")
+	}
+}

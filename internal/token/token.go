@@ -1,0 +1,135 @@
+// Package token defines the lexical tokens of the MF (mini-Fortran)
+// language accepted by the Nascent-Go front end.
+package token
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. Layout: literals, operators/delimiters, then keywords.
+const (
+	Illegal Kind = iota
+	EOF
+	Newline // statement separator
+
+	// Literals.
+	Ident
+	IntLit
+	RealLit
+
+	// Operators and delimiters.
+	Plus   // +
+	Minus  // -
+	Star   // *
+	Slash  // /
+	Assign // =
+	Eq     // ==
+	Ne     // !=
+	Lt     // <
+	Le     // <=
+	Gt     // >
+	Ge     // >=
+	LParen // (
+	RParen // )
+	Comma  // ,
+	Colon  // :
+
+	keywordStart
+	// Keywords.
+	KwProgram
+	KwSubroutine
+	KwEnd
+	KwInteger
+	KwReal
+	KwParameter
+	KwIf
+	KwThen
+	KwElse
+	KwElseif
+	KwEndif
+	KwDo
+	KwEnddo
+	KwWhile
+	KwEndwhile
+	KwCall
+	KwReturn
+	KwPrint
+	KwAnd
+	KwOr
+	KwNot
+	keywordEnd
+)
+
+var names = map[Kind]string{
+	Illegal:      "illegal",
+	EOF:          "EOF",
+	Newline:      "newline",
+	Ident:        "identifier",
+	IntLit:       "integer literal",
+	RealLit:      "real literal",
+	Plus:         "+",
+	Minus:        "-",
+	Star:         "*",
+	Slash:        "/",
+	Assign:       "=",
+	Eq:           "==",
+	Ne:           "/=",
+	Lt:           "<",
+	Le:           "<=",
+	Gt:           ">",
+	Ge:           ">=",
+	LParen:       "(",
+	RParen:       ")",
+	Comma:        ",",
+	Colon:        ":",
+	KwProgram:    "program",
+	KwSubroutine: "subroutine",
+	KwEnd:        "end",
+	KwInteger:    "integer",
+	KwReal:       "real",
+	KwParameter:  "parameter",
+	KwIf:         "if",
+	KwThen:       "then",
+	KwElse:       "else",
+	KwElseif:     "elseif",
+	KwEndif:      "endif",
+	KwDo:         "do",
+	KwEnddo:      "enddo",
+	KwWhile:      "while",
+	KwEndwhile:   "endwhile",
+	KwCall:       "call",
+	KwReturn:     "return",
+	KwPrint:      "print",
+	KwAnd:        "and",
+	KwOr:         "or",
+	KwNot:        "not",
+}
+
+// String returns a human-readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// IsKeyword reports whether k is a language keyword.
+func (k Kind) IsKeyword() bool { return k > keywordStart && k < keywordEnd }
+
+// keywords maps spellings to keyword kinds.
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordStart + 1; k < keywordEnd; k++ {
+		m[names[k]] = k
+	}
+	return m
+}()
+
+// Lookup returns the keyword kind for an identifier spelling, or Ident.
+func Lookup(name string) Kind {
+	if k, ok := keywords[name]; ok {
+		return k
+	}
+	return Ident
+}

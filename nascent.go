@@ -1,0 +1,233 @@
+// Package nascent is the public API of Nascent-Go, a reproduction of
+// Kolte & Wolfe, "Elimination of Redundant Array Subscript Range Checks"
+// (PLDI 1995).
+//
+// It compiles MF (mini-Fortran) programs to a CFG IR, optionally inserts
+// naive subscript range checks, optimizes them with the paper's
+// PRE-based algorithm under a selectable placement scheme, and executes
+// the result while counting dynamic instructions and range checks:
+//
+//	prog, err := nascent.Compile(src, nascent.Options{
+//	    BoundsChecks: true,
+//	    Scheme:       nascent.LLS,
+//	    Kind:         nascent.PRX,
+//	})
+//	res, err := prog.Run()
+//	fmt.Println(res.Instructions, res.Checks)
+package nascent
+
+import (
+	"fmt"
+
+	"nascent/internal/ast"
+	"nascent/internal/core"
+	"nascent/internal/interp"
+	"nascent/internal/ir"
+	"nascent/internal/irbuild"
+	"nascent/internal/parser"
+	"nascent/internal/rangecheck"
+	"nascent/internal/sem"
+)
+
+// Scheme selects the check placement scheme of paper §3.3 / Table 2.
+type Scheme int
+
+// Placement schemes. Naive performs no optimization at all (the
+// unoptimized reference the paper measures against); the others run the
+// five-step optimizer with the corresponding insertion strategy.
+const (
+	Naive Scheme = iota
+	NI           // redundancy elimination, no insertion
+	CS           // check strengthening
+	LNI          // latest-not-isolated placement
+	SE           // safe-earliest placement
+	LI           // preheader insertion of invariant checks
+	LLS          // preheader insertion with loop-limit substitution
+	ALL          // LLS followed by SE
+	MCM          // Markstein-Cocke-Markstein restricted hoisting (paper §5)
+)
+
+var schemeNames = [...]string{"naive", "NI", "CS", "LNI", "SE", "LI", "LLS", "ALL", "MCM"}
+
+func (s Scheme) String() string {
+	if int(s) < len(schemeNames) {
+		return schemeNames[s]
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+var coreSchemes = map[Scheme]core.Scheme{
+	NI: core.NI, CS: core.CS, LNI: core.LNI, SE: core.SE,
+	LI: core.LI, LLS: core.LLS, ALL: core.ALL, MCM: core.MCM,
+}
+
+// OptimizedSchemes lists the seven optimizing schemes in Table 2 order.
+var OptimizedSchemes = []Scheme{NI, CS, LNI, SE, LI, LLS, ALL}
+
+// CheckKind selects PRX (program expression) or INX (induction
+// expression) check construction (paper §2.3).
+type CheckKind int
+
+// Check kinds.
+const (
+	PRX CheckKind = iota
+	INX
+)
+
+func (k CheckKind) String() string {
+	if k == INX {
+		return "INX"
+	}
+	return "PRX"
+}
+
+// Implications selects which check implications the optimizer exploits
+// (paper Table 3).
+type Implications int
+
+// Implication modes.
+const (
+	// ImplyFull uses all implications (the default).
+	ImplyFull Implications = iota
+	// ImplyNone disables implications between distinct checks (the
+	// primed NI′/SE′ variants).
+	ImplyNone
+	// ImplyCross keeps only cross-family implications (the LLS′ variant).
+	ImplyCross
+)
+
+var implModes = map[Implications]rangecheck.Mode{
+	ImplyFull:  rangecheck.ImplyFull,
+	ImplyNone:  rangecheck.ImplyNone,
+	ImplyCross: rangecheck.ImplyCross,
+}
+
+func (m Implications) String() string { return implModes[m].String() }
+
+// Options configure compilation.
+type Options struct {
+	// Filename is used in diagnostics (default "input.mf").
+	Filename string
+	// BoundsChecks inserts naive subscript range checks before
+	// optimization. Without it the program compiles unchecked (the
+	// paper's "instructions without range checking" baseline).
+	BoundsChecks bool
+	// Scheme selects the optimization scheme (default Naive: keep all
+	// checks).
+	Scheme Scheme
+	// Kind selects PRX or INX check construction.
+	Kind CheckKind
+	// Implications selects the Table 3 implication ablation mode.
+	Implications Implications
+	// RotateLoops converts while loops into guarded repeat loops before
+	// optimization, letting SE hoist out of them (paper §3.3's
+	// loop-rotation remark).
+	RotateLoops bool
+}
+
+// Program is a compiled (and possibly optimized) MF program.
+type Program struct {
+	IR *ir.Program
+	// Opt reports what the optimizer did (nil for Naive scheme).
+	Opt *OptReport
+	// AST is the parsed source, for tooling.
+	AST *ast.File
+}
+
+// OptReport summarizes one optimizer run.
+type OptReport struct {
+	ChecksBefore    int
+	ChecksAfter     int
+	Inserted        int
+	EliminatedAvail int
+	EliminatedCover int
+	EliminatedConst int
+	TrapsInserted   int
+	Diagnostics     []string
+}
+
+// RunResult is the outcome of executing a program.
+type RunResult = interp.Result
+
+// RunConfig bounds execution.
+type RunConfig = interp.Config
+
+// Compile parses, analyzes, lowers, and (per Options) optimizes an MF
+// program.
+func Compile(src string, opts Options) (*Program, error) {
+	if opts.Filename == "" {
+		opts.Filename = "input.mf"
+	}
+	file, err := parser.Parse(opts.Filename, src)
+	if err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	semProg, err := sem.Analyze(file)
+	if err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	irProg, err := irbuild.Build(semProg, irbuild.Options{BoundsChecks: opts.BoundsChecks})
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	prog := &Program{IR: irProg, AST: file}
+	if opts.Scheme == Naive {
+		return prog, nil
+	}
+	cs, ok := coreSchemes[opts.Scheme]
+	if !ok {
+		return nil, fmt.Errorf("unknown scheme %v", opts.Scheme)
+	}
+	res, err := core.Optimize(irProg, core.Options{
+		Scheme: cs,
+		Kind:   core.CheckKind(opts.Kind),
+		Mode:   implModes[opts.Implications],
+		Rotate: opts.RotateLoops,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("optimize: %w", err)
+	}
+	prog.Opt = &OptReport{
+		ChecksBefore:    res.ChecksBefore,
+		ChecksAfter:     res.ChecksAfter,
+		Inserted:        res.Inserted,
+		EliminatedAvail: res.EliminatedAvail,
+		EliminatedCover: res.EliminatedCover,
+		EliminatedConst: res.EliminatedConst,
+		TrapsInserted:   res.TrapsInserted,
+		Diagnostics:     res.Diagnostics,
+	}
+	return prog, nil
+}
+
+// Run executes the program with default limits.
+func (p *Program) Run() (RunResult, error) {
+	return interp.Run(p.IR, interp.Config{})
+}
+
+// RunWith executes the program with explicit limits.
+func (p *Program) RunWith(cfg RunConfig) (RunResult, error) {
+	return interp.Run(p.IR, cfg)
+}
+
+// StaticChecks returns the number of range check statements currently in
+// the program.
+func (p *Program) StaticChecks() int { return p.IR.CountChecks() }
+
+// DumpCIG renders the check implication graph of every function (paper
+// §3.1, Figures 3–4): families as nodes, weighted cross-family
+// implication edges discovered from affine copy relations.
+func (p *Program) DumpCIG() string {
+	out := ""
+	for _, f := range p.IR.Funcs {
+		g := core.BuildCIG(f, rangecheck.ImplyFull)
+		if len(g.Registry.Families) == 0 {
+			continue
+		}
+		out += fmt.Sprintf("CIG of %s:\n%s", f.Name, g.Dump())
+	}
+	return out
+}
+
+// Dump renders the IR of the whole program.
+func (p *Program) Dump() string { return p.IR.Dump() }

@@ -1,0 +1,77 @@
+package nascent_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"nascent"
+)
+
+// TestPipelineNeverPanics mutates valid programs and pushes whatever
+// still compiles through every stage — parse, analyze, lower, optimize,
+// execute — asserting the toolchain returns errors instead of panicking.
+func TestPipelineNeverPanics(t *testing.T) {
+	base := `program p
+  parameter n = 8
+  integer i, j, m
+  real a(n), b(0:n)
+  m = 3
+  do i = 1, n
+    a(i) = float(i)
+  enddo
+  j = 1
+  while (j < m)
+    b(j) = a(j) + a(min(j + 1, n))
+    j = j + 1
+  endwhile
+  if (m > 2) then
+    call f(m)
+  endif
+  print a(1), b(1)
+end
+subroutine f(k)
+  m = k * 2
+end
+`
+	r := rand.New(rand.NewSource(99))
+	compiled, ran := 0, 0
+	for trial := 0; trial < 1500; trial++ {
+		b := []byte(base)
+		for e := 0; e < 1+r.Intn(6); e++ {
+			switch r.Intn(3) {
+			case 0:
+				if len(b) > 1 {
+					i := r.Intn(len(b))
+					b = append(b[:i], b[i+1:]...)
+				}
+			case 1:
+				i := r.Intn(len(b))
+				b = append(b[:i], append([]byte{b[r.Intn(len(b))]}, b[i:]...)...)
+			case 2:
+				b[r.Intn(len(b))] = byte(32 + r.Intn(95))
+			}
+		}
+		src := string(b)
+		for _, sch := range []nascent.Scheme{nascent.Naive, nascent.SE, nascent.LLS} {
+			func() {
+				defer func() {
+					if rec := recover(); rec != nil {
+						t.Fatalf("panic compiling mutated source (scheme %v): %v\n%s", sch, rec, src)
+					}
+				}()
+				p, err := nascent.Compile(src, nascent.Options{BoundsChecks: true, Scheme: sch})
+				if err != nil {
+					return
+				}
+				compiled++
+				if _, err := p.RunWith(nascent.RunConfig{MaxInstructions: 200000}); err == nil {
+					ran++
+				}
+			}()
+		}
+	}
+	if compiled == 0 {
+		t.Error("no mutated program compiled: mutation too destructive to exercise the back end")
+	}
+	t.Logf("mutants compiled: %d, ran: %d", compiled, ran)
+}
