@@ -1,6 +1,6 @@
 // Command nacc is the Nascent-Go compiler driver: it compiles one MF
 // source file, optionally optimizes its range checks with a selected
-// placement scheme, and runs or dumps the result.
+// placement scheme, and runs, verifies, or dumps the result.
 //
 // Usage:
 //
@@ -8,13 +8,25 @@
 //
 // Flags:
 //
-//	-scheme naive|NI|CS|LNI|SE|LI|LLS|ALL   placement scheme (default naive)
-//	-kind   PRX|INX                         check construction (default PRX)
-//	-impl   full|none|cross                 implication mode (default full)
-//	-nocheck                                compile without range checks
-//	-dump                                   print the optimized IR, do not run
-//	-stats                                  print static/dynamic statistics
-//	-run                                    execute the program (default true)
+//	-scheme naive|NI|CS|LNI|SE|LI|LLS|ALL|MCM  placement scheme (default naive)
+//	-kind   PRX|INX                            check construction (default PRX)
+//	-impl   full|none|cross                    implication mode (default full)
+//	-nocheck                                   compile without range checks
+//	-dump                                      print the optimized IR, do not run
+//	-stats                                     print static/dynamic statistics
+//	-run                                       execute the program (default true)
+//	-verify                                    cross-check every scheme against
+//	                                           naive with the soundness oracle
+//
+// Exit codes:
+//
+//	0  success (including a clean -verify pass)
+//	1  the program failed at run time: a range trap, or a runtime
+//	   fault in a -nocheck build
+//	2  usage error (bad flags or arguments)
+//	3  compile error (parse, semantic, lowering, or optimizer failure)
+//	4  resource exhausted (instruction budget, memory cap, or deadline)
+//	5  oracle divergence (-verify found an optimizer soundness violation)
 //
 // Example:
 //
@@ -22,12 +34,25 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"nascent"
+	"nascent/internal/oracle"
+)
+
+// Documented process exit codes. Keep in sync with the package comment
+// and docs/ROBUSTNESS.md.
+const (
+	exitOK         = 0
+	exitTrap       = 1
+	exitUsage      = 2
+	exitCompile    = 3
+	exitResource   = 4
+	exitDivergence = 5
 )
 
 var schemes = map[string]nascent.Scheme{
@@ -43,38 +68,55 @@ var impls = map[string]nascent.Implications{
 }
 
 func main() {
-	schemeFlag := flag.String("scheme", "naive", "placement scheme: naive|NI|CS|LNI|SE|LI|LLS|ALL")
-	kindFlag := flag.String("kind", "PRX", "check construction: PRX|INX")
-	implFlag := flag.String("impl", "full", "implications: full|none|cross")
-	noCheck := flag.Bool("nocheck", false, "compile without range checks")
-	dump := flag.Bool("dump", false, "print the IR instead of running")
-	cig := flag.Bool("cig", false, "print the check implication graph instead of running")
-	stats := flag.Bool("stats", false, "print static/dynamic statistics")
-	doRun := flag.Bool("run", true, "execute the program")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: nacc [flags] file.mf")
-		flag.Usage()
-		os.Exit(2)
+func run(argv []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("nacc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	schemeFlag := fs.String("scheme", "naive", "placement scheme: naive|NI|CS|LNI|SE|LI|LLS|ALL|MCM")
+	kindFlag := fs.String("kind", "PRX", "check construction: PRX|INX")
+	implFlag := fs.String("impl", "full", "implications: full|none|cross")
+	noCheck := fs.Bool("nocheck", false, "compile without range checks")
+	dump := fs.Bool("dump", false, "print the IR instead of running")
+	cig := fs.Bool("cig", false, "print the check implication graph instead of running")
+	stats := fs.Bool("stats", false, "print static/dynamic statistics")
+	doRun := fs.Bool("run", true, "execute the program")
+	verify := fs.Bool("verify", false, "cross-check all schemes against naive with the soundness oracle")
+	if err := fs.Parse(argv); err != nil {
+		return exitUsage
 	}
-	file := flag.Arg(0)
+
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: nacc [flags] file.mf")
+		fs.Usage()
+		return exitUsage
+	}
+	file := fs.Arg(0)
 	src, err := os.ReadFile(file)
 	if err != nil {
-		fail("%v", err)
+		fmt.Fprintf(stderr, "nacc: %v\n", err)
+		return exitUsage
 	}
 
 	scheme, ok := schemes[strings.ToLower(*schemeFlag)]
 	if !ok {
-		fail("unknown scheme %q", *schemeFlag)
+		fmt.Fprintf(stderr, "nacc: unknown scheme %q\n", *schemeFlag)
+		return exitUsage
 	}
 	kind, ok := kinds[strings.ToLower(*kindFlag)]
 	if !ok {
-		fail("unknown check kind %q", *kindFlag)
+		fmt.Fprintf(stderr, "nacc: unknown check kind %q\n", *kindFlag)
+		return exitUsage
 	}
 	impl, ok := impls[strings.ToLower(*implFlag)]
 	if !ok {
-		fail("unknown implication mode %q", *implFlag)
+		fmt.Fprintf(stderr, "nacc: unknown implication mode %q\n", *implFlag)
+		return exitUsage
+	}
+
+	if *verify {
+		return runVerify(file, string(src), stdout, stderr)
 	}
 
 	prog, err := nascent.Compile(string(src), nascent.Options{
@@ -85,52 +127,76 @@ func main() {
 		Implications: impl,
 	})
 	if err != nil {
-		fail("%v", err)
+		fmt.Fprintf(stderr, "nacc: %v\n", err)
+		return exitCompile
 	}
 
 	if prog.Opt != nil {
 		for _, d := range prog.Opt.Diagnostics {
-			fmt.Fprintf(os.Stderr, "nacc: warning: %s\n", d)
+			fmt.Fprintf(stderr, "nacc: warning: %s\n", d)
 		}
 	}
 
 	if *dump {
-		fmt.Print(prog.Dump())
-		return
+		fmt.Fprint(stdout, prog.Dump())
+		return exitOK
 	}
 	if *cig {
-		fmt.Print(prog.DumpCIG())
-		return
+		fmt.Fprint(stdout, prog.DumpCIG())
+		return exitOK
 	}
 
 	if *stats {
-		fmt.Printf("static checks: %d\n", prog.StaticChecks())
+		fmt.Fprintf(stdout, "static checks: %d\n", prog.StaticChecks())
 		if o := prog.Opt; o != nil {
-			fmt.Printf("before optimization: %d\n", o.ChecksBefore)
-			fmt.Printf("inserted: %d, eliminated: %d avail + %d covered + %d const, traps: %d\n",
+			fmt.Fprintf(stdout, "before optimization: %d\n", o.ChecksBefore)
+			fmt.Fprintf(stdout, "inserted: %d, eliminated: %d avail + %d covered + %d const, traps: %d\n",
 				o.Inserted, o.EliminatedAvail, o.EliminatedCover, o.EliminatedConst, o.TrapsInserted)
 		}
 	}
 
 	if !*doRun {
-		return
+		return exitOK
 	}
 	res, err := prog.Run()
 	if err != nil {
-		fail("run: %v", err)
+		fmt.Fprintf(stderr, "nacc: run: %v\n", err)
+		if errors.Is(err, nascent.ErrResourceExhausted) {
+			return exitResource
+		}
+		// Non-resource run failures (e.g. an out-of-range access in a
+		// -nocheck build) are runtime faults of the program, like traps.
+		return exitTrap
 	}
-	fmt.Print(res.Output)
+	fmt.Fprint(stdout, res.Output)
 	if *stats {
-		fmt.Printf("dynamic instructions: %d\n", res.Instructions)
-		fmt.Printf("dynamic checks: %d\n", res.Checks)
+		fmt.Fprintf(stdout, "dynamic instructions: %d\n", res.Instructions)
+		fmt.Fprintf(stdout, "dynamic checks: %d\n", res.Checks)
 	}
 	if res.Trapped {
-		fmt.Fprintf(os.Stderr, "nacc: range violation: %s\n", res.TrapNote)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "nacc: range violation: %s\n", res.TrapNote)
+		return exitTrap
 	}
+	return exitOK
 }
 
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "nacc: "+format+"\n", args...)
-	os.Exit(1)
+// runVerify compiles and executes the source under every optimizing
+// variant and compares each against the naive baseline.
+func runVerify(file, src string, stdout, stderr *os.File) int {
+	rep, err := oracle.Verify(src, oracle.Config{})
+	if err != nil {
+		fmt.Fprintf(stderr, "nacc: verify: %v\n", err)
+		if errors.Is(err, nascent.ErrResourceExhausted) {
+			return exitResource
+		}
+		return exitCompile
+	}
+	fmt.Fprintf(stdout, "%s: %s\n", file, rep.Summary())
+	if !rep.OK() {
+		for _, d := range rep.Divergences {
+			fmt.Fprintf(stderr, "nacc: divergence: %s\n", d)
+		}
+		return exitDivergence
+	}
+	return exitOK
 }

@@ -7,19 +7,16 @@ import (
 	"testing"
 
 	"nascent"
+	"nascent/internal/oracle"
 )
 
 // This file implements randomized differential testing of the range
-// check optimizer: generate random MF programs, run them naive and under
-// every optimizer configuration, and verify the paper's behavior
-// contract (§3):
-//
-//  1. the optimized program traps iff the unoptimized program traps;
-//  2. a violation may be detected earlier but never later — so on
-//     trapping runs the optimized output must be a prefix of the naive
-//     output, and on clean runs outputs must match exactly;
-//  3. the optimized program never executes more checks than the naive
-//     program.
+// check optimizer: generate random MF programs and hand each one to the
+// oracle (internal/oracle), which runs it naive and under every
+// optimizer configuration and asserts the paper's behavior contract
+// (§3). Two drivers share the generator: TestDifferentialFuzz sweeps a
+// fixed seed range deterministically, and FuzzPipeline lets `go test
+// -fuzz` mutate raw source far outside what the generator produces.
 
 // progGen generates random-but-valid MF programs.
 type progGen struct {
@@ -180,83 +177,68 @@ func generate(seed int64) string {
 	return g.b.String()
 }
 
-type fuzzConfig struct {
-	label string
-	opts  nascent.Options
-}
-
-func fuzzConfigs() []fuzzConfig {
-	var out []fuzzConfig
-	for _, sch := range []nascent.Scheme{nascent.NI, nascent.CS, nascent.LNI, nascent.SE, nascent.LI, nascent.LLS, nascent.ALL, nascent.MCM} {
-		for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
-			out = append(out, fuzzConfig{
-				label: fmt.Sprintf("%v/%v", sch, kind),
-				opts:  nascent.Options{BoundsChecks: true, Scheme: sch, Kind: kind},
-			})
-		}
-	}
-	for _, impl := range []nascent.Implications{nascent.ImplyNone, nascent.ImplyCross} {
-		out = append(out, fuzzConfig{
-			label: fmt.Sprintf("LLS/%v", impl),
-			opts:  nascent.Options{BoundsChecks: true, Scheme: nascent.LLS, Implications: impl},
-		})
-	}
-	out = append(out,
-		fuzzConfig{"SE+rotate", nascent.Options{BoundsChecks: true, Scheme: nascent.SE, RotateLoops: true}},
-		fuzzConfig{"LLS+rotate", nascent.Options{BoundsChecks: true, Scheme: nascent.LLS, RotateLoops: true}},
-	)
-	return out
-}
-
 func TestDifferentialFuzz(t *testing.T) {
 	seeds := 150
 	if testing.Short() {
 		seeds = 8
 	}
-	cfgs := fuzzConfigs()
-	trapped := 0
+	variants := oracle.DefaultVariants()
+	trapped, checked := 0, 0
 	for seed := int64(1); seed <= int64(seeds); seed++ {
 		src := generate(seed)
-		naiveProg, err := nascent.Compile(src, nascent.Options{BoundsChecks: true})
+		rep, err := oracle.Verify(src, oracle.Config{
+			Run: nascent.RunConfig{MaxInstructions: 20e6},
+		})
 		if err != nil {
-			t.Fatalf("seed %d: naive compile: %v\n%s", seed, err, src)
-		}
-		naive, err := naiveProg.RunWith(nascent.RunConfig{MaxInstructions: 20e6})
-		if err != nil {
-			// Infinite loops or div-by-zero in generated code: skip seed.
+			if strings.Contains(err.Error(), "compile") {
+				t.Fatalf("seed %d: naive compile: %v\n%s", seed, err, src)
+			}
+			// Infinite loops in generated code exceed the budget: skip seed.
 			continue
 		}
-		if naive.Trapped {
+		checked++
+		if rep.Naive.Trapped {
 			trapped++
 		}
-		for _, cfg := range cfgs {
-			prog, err := nascent.Compile(src, cfg.opts)
-			if err != nil {
-				t.Fatalf("seed %d %s: compile: %v\n%s", seed, cfg.label, err, src)
-			}
-			res, err := prog.RunWith(nascent.RunConfig{MaxInstructions: 20e6})
-			if err != nil {
-				t.Fatalf("seed %d %s: run: %v\n%s", seed, cfg.label, err, src)
-			}
-			if res.Trapped != naive.Trapped {
-				t.Fatalf("seed %d %s: trap mismatch: naive=%v optimized=%v (%s)\n%s",
-					seed, cfg.label, naive.Trapped, res.Trapped, res.TrapNote, src)
-			}
-			if naive.Trapped {
-				// Earlier detection is allowed: output must be a prefix.
-				if !strings.HasPrefix(naive.Output, res.Output) {
-					t.Fatalf("seed %d %s: trapped output not a prefix:\nnaive: %q\nopt:   %q\n%s",
-						seed, cfg.label, naive.Output, res.Output, src)
-				}
-			} else if res.Output != naive.Output {
-				t.Fatalf("seed %d %s: output mismatch:\nnaive: %q\nopt:   %q\n%s",
-					seed, cfg.label, naive.Output, res.Output, src)
-			}
-			if res.Checks > naive.Checks {
-				t.Fatalf("seed %d %s: optimized executes more checks: %d > %d\n%s",
-					seed, cfg.label, res.Checks, naive.Checks, src)
-			}
+		if !rep.OK() {
+			t.Fatalf("seed %d: %s\n%s", seed, rep.Summary(), src)
 		}
 	}
-	t.Logf("fuzzed %d seeds (%d trapping) x %d configurations", seeds, trapped, len(cfgs))
+	t.Logf("fuzzed %d seeds (%d checked, %d trapping) x %d configurations",
+		seeds, checked, trapped, len(variants))
+}
+
+// FuzzPipeline is the native fuzz target: arbitrary bytes go through
+// the whole pipeline, which must return errors — never panic — and stay
+// sound on every input that happens to compile. The seed corpus mixes
+// generator output with hand-written edge cases so mutation starts from
+// syntactically valid programs.
+func FuzzPipeline(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(generate(seed))
+	}
+	f.Add("program p\n  real a(10)\n  a(11) = 1.0\nend\n")
+	f.Add("program p\n  integer i\n  do i = 1, 0\n    i = i\n  enddo\nend\n")
+	f.Add("program p\nend\n")
+	variants := []oracle.Variant{
+		{Scheme: nascent.SE},
+		{Scheme: nascent.LLS, Kind: nascent.INX},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		// Compile must contain every failure as an error.
+		if _, err := nascent.Compile(src, nascent.Options{BoundsChecks: true, Scheme: nascent.ALL}); err != nil {
+			return
+		}
+		// The input compiles: the optimizer must be sound on it.
+		rep, err := oracle.Verify(src, oracle.Config{
+			Variants: variants,
+			Run:      nascent.RunConfig{MaxInstructions: 200000},
+		})
+		if err != nil {
+			return // baseline exceeded its budget: nothing to compare
+		}
+		if !rep.OK() {
+			t.Fatalf("%s\nsource:\n%s", rep.Summary(), src)
+		}
+	})
 }

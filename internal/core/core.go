@@ -24,6 +24,7 @@ import (
 
 	"nascent/internal/dataflow"
 	"nascent/internal/dom"
+	"nascent/internal/guard"
 	"nascent/internal/induction"
 	"nascent/internal/ir"
 	"nascent/internal/linform"
@@ -113,24 +114,65 @@ type Result struct {
 	EliminatedConst int
 	// TrapsInserted counts compile-time-false checks replaced by TRAP.
 	TrapsInserted int
-	// Diagnostics holds messages for compile-time violations.
+	// Diagnostics holds messages for compile-time violations and
+	// degradation events.
 	Diagnostics []string
+	// Degraded names the functions whose optimization failed and whose
+	// naive (fully checked) bodies were restored. Counters of degraded
+	// functions are excluded from this Result, so the arithmetic
+	// identity ChecksAfter = ChecksBefore + Inserted − Eliminated* −
+	// TrapsInserted holds with or without degradation.
+	Degraded []string
+}
+
+// merge folds a successfully optimized function's counters into r.
+func (r *Result) merge(o *Result) {
+	r.Inserted += o.Inserted
+	r.EliminatedAvail += o.EliminatedAvail
+	r.EliminatedCover += o.EliminatedCover
+	r.EliminatedConst += o.EliminatedConst
+	r.TrapsInserted += o.TrapsInserted
+	r.Diagnostics = append(r.Diagnostics, o.Diagnostics...)
 }
 
 // Optimize runs the range check optimizer over every function of p,
 // mutating p in place.
-func Optimize(p *ir.Program, opts Options) (*Result, error) {
-	res := &Result{Options: opts, ChecksBefore: p.CountChecks()}
+//
+// Optimize never panics and degrades gracefully: each function is
+// snapshotted before transformation, and when a pass fails on one
+// function — returned error or contained panic — that function's naive
+// body is restored, the failure is recorded in Result.Degraded and
+// Result.Diagnostics, and the remaining functions are still optimized.
+// An error is returned only when the whole program is unusable (the
+// final IR fails verification even after restoration).
+func Optimize(p *ir.Program, opts Options) (res *Result, err error) {
+	defer guard.Recover("optimize", "", &err)
+	res = &Result{Options: opts, ChecksBefore: p.CountChecks()}
 	for _, f := range p.Funcs {
-		if err := optimizeFunc(f, opts, res); err != nil {
-			return nil, fmt.Errorf("core: %s: %w", f.Name, err)
+		snap := f.Snapshot()
+		fres := &Result{Options: opts}
+		if ferr := optimizeFuncSafe(f, opts, fres); ferr != nil {
+			f.RestoreFrom(snap)
+			res.Degraded = append(res.Degraded, f.Name)
+			res.Diagnostics = append(res.Diagnostics, fmt.Sprintf(
+				"%s: optimizer failed (%v); naive checks kept for this function", f.Name, ferr))
+			continue
 		}
+		res.merge(fres)
 	}
 	res.ChecksAfter = p.CountChecks()
-	if err := p.Verify(); err != nil {
-		return nil, err
+	if verr := p.Verify(); verr != nil {
+		return nil, fmt.Errorf("core: %w", verr)
 	}
 	return res, nil
+}
+
+// optimizeFuncSafe runs optimizeFunc with panic containment, so an
+// internal invariant violation in one function surfaces as a
+// stage-tagged error instead of killing the compile.
+func optimizeFuncSafe(f *ir.Func, opts Options, res *Result) (err error) {
+	defer guard.Recover("optimize", f.Name, &err)
+	return optimizeFunc(f, opts, res)
 }
 
 // funcCtx bundles the per-function analyses.
@@ -145,7 +187,14 @@ type funcCtx struct {
 	res    *Result
 }
 
+// failFunc, when set by tests (see export_test.go), makes optimizeFunc
+// panic on the named function to exercise containment and degradation.
+var failFunc string
+
 func optimizeFunc(f *ir.Func, opts Options, res *Result) error {
+	if failFunc != "" && f.Name == failFunc {
+		panic("core: injected test failure in " + f.Name)
+	}
 	if opts.Rotate {
 		rotateWhileLoops(f)
 	}

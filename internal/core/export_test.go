@@ -1,0 +1,6 @@
+package core
+
+// FailFuncForTest makes optimizeFunc panic on the named function ("" to
+// reset), letting tests exercise panic containment and per-function
+// degradation without corrupting IR.
+func FailFuncForTest(name string) { failFunc = name }

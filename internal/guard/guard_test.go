@@ -1,0 +1,53 @@
+package guard
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRecoverConvertsPanic(t *testing.T) {
+	f := func() (err error) {
+		defer Recover("optimize", "daxpy", &err)
+		panic("index out of range")
+	}
+	err := f()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *InternalError", err)
+	}
+	if ie.Stage != "optimize" || ie.Fn != "daxpy" || ie.Recovered != "index out of range" {
+		t.Errorf("got %+v", ie)
+	}
+	if len(ie.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	if msg := ie.Error(); !strings.Contains(msg, "optimize (daxpy)") {
+		t.Errorf("Error() = %q, want stage and function named", msg)
+	}
+}
+
+func TestRecoverNoPanicLeavesErrorAlone(t *testing.T) {
+	f := func() (err error) {
+		defer Recover("run", "", &err)
+		return nil
+	}
+	if err := f(); err != nil {
+		t.Errorf("err = %v, want nil", err)
+	}
+}
+
+func TestUnwrapExposesPanickedError(t *testing.T) {
+	sentinel := errors.New("inner fault")
+	f := func() (err error) {
+		defer Recover("lower", "", &err)
+		panic(fmt.Errorf("wrapped: %w", sentinel))
+	}
+	if err := f(); !errors.Is(err, sentinel) {
+		t.Errorf("err = %v, want to unwrap to the panicked error", err)
+	}
+}

@@ -25,16 +25,22 @@
 package interp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"strconv"
 	"strings"
+	"time"
 
+	"nascent/internal/guard"
 	"nascent/internal/ir"
+	"nascent/internal/source"
 )
 
-// Config controls execution limits.
+// Config controls execution limits. Every budget is enforced with a
+// typed *ResourceError (matched by errors.Is(err, ErrResourceExhausted))
+// except MaxOutputBytes, which truncates instead of aborting.
 type Config struct {
 	// MaxInstructions aborts runs that exceed this many counted
 	// instructions (0 means the 2e9 default).
@@ -42,7 +48,28 @@ type Config struct {
 	// MaxOutputBytes truncates program output beyond this size (0 means
 	// 1 MiB).
 	MaxOutputBytes int
+	// MaxArrayCells caps the total number of array elements allocated
+	// for one run, across all arrays of the program (0 means the 64 Mi
+	// default). Exceeding it fails before execution starts.
+	MaxArrayCells int64
+	// Deadline aborts the run once the wall clock passes it (zero means
+	// no deadline). Checked every few thousand instructions.
+	Deadline time.Time
+	// Context, when non-nil, cancels the run when its Done channel
+	// closes. Checked on the same cadence as Deadline.
+	Context context.Context
 }
+
+// TrapClass distinguishes how a trap was raised.
+type TrapClass string
+
+// Trap classes.
+const (
+	// TrapCheck: a range check comparison failed at run time.
+	TrapCheck TrapClass = "check"
+	// TrapStatic: a compile-time-detected violation (TrapStmt) executed.
+	TrapStatic TrapClass = "static"
+)
 
 // Result is the outcome of executing a program.
 type Result struct {
@@ -56,28 +83,113 @@ type Result struct {
 	Trapped bool
 	// TrapNote describes the failed check when Trapped.
 	TrapNote string
+	// TrapClass classifies the trap when Trapped ("" otherwise).
+	TrapClass TrapClass
+	// TrapPos is the source position of the trapping check when known.
+	TrapPos source.Pos
 	// Output is the accumulated print output.
 	Output string
 }
 
-// ErrLimit is returned when the instruction budget is exhausted.
+// ErrLimit is returned when the instruction budget is exhausted. It is
+// kept for compatibility; the returned error is a *ResourceError that
+// also matches ErrResourceExhausted.
 var ErrLimit = errors.New("interp: instruction limit exceeded")
+
+// ErrResourceExhausted is the sentinel matched by errors.Is for every
+// exhausted execution budget.
+var ErrResourceExhausted = errors.New("interp: resource exhausted")
+
+// Resource identifies which execution budget a ResourceError exhausted.
+type Resource int
+
+// Budget kinds.
+const (
+	// ResInstructions: Config.MaxInstructions.
+	ResInstructions Resource = iota
+	// ResArrayCells: Config.MaxArrayCells.
+	ResArrayCells
+	// ResDeadline: Config.Deadline passed.
+	ResDeadline
+	// ResCancelled: Config.Context was cancelled.
+	ResCancelled
+)
+
+var resourceNames = [...]string{
+	ResInstructions: "instruction budget",
+	ResArrayCells:   "array cell budget",
+	ResDeadline:     "deadline",
+	ResCancelled:    "context",
+}
+
+func (r Resource) String() string {
+	if int(r) < len(resourceNames) {
+		return resourceNames[r]
+	}
+	return fmt.Sprintf("Resource(%d)", int(r))
+}
+
+// ResourceError reports an exhausted execution budget, distinguishing
+// which one.
+type ResourceError struct {
+	// Resource is the exhausted budget kind.
+	Resource Resource
+	// Limit is the configured budget (0 for Deadline/Cancelled).
+	Limit uint64
+}
+
+func (e *ResourceError) Error() string {
+	switch e.Resource {
+	case ResDeadline:
+		return "interp: deadline exceeded"
+	case ResCancelled:
+		return "interp: run cancelled"
+	}
+	return fmt.Sprintf("interp: %s exceeded (%d)", e.Resource, e.Limit)
+}
+
+// Is matches ErrResourceExhausted for every budget kind, and keeps the
+// historical errors.Is(err, ErrLimit) working for instruction budgets.
+func (e *ResourceError) Is(target error) bool {
+	if target == ErrResourceExhausted {
+		return true
+	}
+	return e.Resource == ResInstructions && target == ErrLimit
+}
 
 // ErrRecursion is returned on recursive subroutine calls (MF, like
 // Fortran 77, does not support recursion).
 var ErrRecursion = errors.New("interp: recursive call")
 
-type trapSignal struct{ note string }
+type trapSignal struct {
+	note  string
+	class TrapClass
+	pos   source.Pos
+}
 
 type runtimeError struct{ err error }
 
-// Run executes the program from its main function.
+// pollInterval is how many counted instructions pass between
+// deadline/cancellation polls (a power of two; the check itself is a
+// couple of nanoseconds so the poll is invisible in the cost model).
+const pollInterval = 1 << 14
+
+// Run executes the program from its main function. It never panics:
+// range violations surface as a trapped Result, exhausted budgets as a
+// *ResourceError, and internal invariant violations as a
+// *guard.InternalError.
 func Run(p *ir.Program, cfg Config) (res Result, err error) {
+	if p == nil || len(p.Funcs) == 0 {
+		return Result{}, errors.New("interp: no program")
+	}
 	if cfg.MaxInstructions == 0 {
 		cfg.MaxInstructions = 2e9
 	}
 	if cfg.MaxOutputBytes == 0 {
 		cfg.MaxOutputBytes = 1 << 20
+	}
+	if cfg.MaxArrayCells == 0 {
+		cfg.MaxArrayCells = 64 << 20
 	}
 	m := &machine{
 		prog:   p,
@@ -88,19 +200,23 @@ func Run(p *ir.Program, cfg Config) (res Result, err error) {
 		farrs:  make([][]float64, p.NumArrays),
 		active: make(map[*ir.Func]bool),
 	}
-	alloc := func(a *ir.Array) {
-		if a.Elem == ir.Int {
-			m.iarrs[a.ID] = make([]int64, a.Len())
-		} else {
-			m.farrs[a.ID] = make([]float64, a.Len())
+	m.timed = !cfg.Deadline.IsZero() || cfg.Context != nil
+
+	// Allocate all arrays up front under the cell budget.
+	cells := int64(0)
+	for _, a := range allArrays(p) {
+		n := a.Len()
+		if n < 0 {
+			return Result{}, fmt.Errorf("interp: array %s has invalid extent", a.Name)
 		}
-	}
-	for _, a := range p.GlobalArrays {
-		alloc(a)
-	}
-	for _, f := range p.Funcs {
-		for _, a := range f.Arrays {
-			alloc(a)
+		cells += n
+		if cells > cfg.MaxArrayCells {
+			return Result{}, &ResourceError{Resource: ResArrayCells, Limit: uint64(cfg.MaxArrayCells)}
+		}
+		if a.Elem == ir.Int {
+			m.iarrs[a.ID] = make([]int64, n)
+		} else {
+			m.farrs[a.ID] = make([]float64, n)
 		}
 	}
 
@@ -111,11 +227,17 @@ func Run(p *ir.Program, cfg Config) (res Result, err error) {
 				res = m.result()
 				res.Trapped = true
 				res.TrapNote = sig.note
+				res.TrapClass = sig.class
+				res.TrapPos = sig.pos
 			case runtimeError:
 				res = m.result()
 				err = sig.err
 			default:
-				panic(r)
+				// An internal invariant violation (e.g. malformed IR the
+				// verifier missed): contain it instead of crashing the
+				// embedding process.
+				res = m.result()
+				err = &guard.InternalError{Stage: "run", Fn: m.curFn, Recovered: r}
 			}
 		}
 	}()
@@ -124,18 +246,30 @@ func Run(p *ir.Program, cfg Config) (res Result, err error) {
 	return m.result(), nil
 }
 
+// allArrays lists every array of the program (globals first), each once.
+func allArrays(p *ir.Program) []*ir.Array {
+	out := append([]*ir.Array(nil), p.GlobalArrays...)
+	for _, f := range p.Funcs {
+		out = append(out, f.Arrays...)
+	}
+	return out
+}
+
 type machine struct {
-	prog    *ir.Program
-	cfg     Config
-	ivals   []int64
-	fvals   []float64
-	iarrs   [][]int64
-	farrs   [][]float64
-	instr   uint64
-	checks  uint64
-	inCheck bool
-	out     strings.Builder
-	active  map[*ir.Func]bool
+	prog     *ir.Program
+	cfg      Config
+	ivals    []int64
+	fvals    []float64
+	iarrs    [][]int64
+	farrs    [][]float64
+	instr    uint64
+	checks   uint64
+	inCheck  bool
+	out      strings.Builder
+	active   map[*ir.Func]bool
+	curFn    string // function currently executing, for error tags
+	timed    bool   // a Deadline or Context is configured
+	nextPoll uint64
 }
 
 func (m *machine) result() Result {
@@ -154,7 +288,20 @@ func (m *machine) cost(n uint64) {
 	}
 	m.instr += n
 	if m.instr > m.cfg.MaxInstructions {
-		m.fail(ErrLimit)
+		m.fail(&ResourceError{Resource: ResInstructions, Limit: m.cfg.MaxInstructions})
+	}
+	if m.timed && m.instr >= m.nextPoll {
+		m.nextPoll = m.instr + pollInterval
+		if ctx := m.cfg.Context; ctx != nil {
+			select {
+			case <-ctx.Done():
+				m.fail(&ResourceError{Resource: ResCancelled})
+			default:
+			}
+		}
+		if !m.cfg.Deadline.IsZero() && time.Now().After(m.cfg.Deadline) {
+			m.fail(&ResourceError{Resource: ResDeadline})
+		}
 	}
 }
 
@@ -163,7 +310,11 @@ func (m *machine) exec(f *ir.Func) {
 		m.fail(fmt.Errorf("%w: %s", ErrRecursion, f.Name))
 	}
 	m.active[f] = true
-	defer delete(m.active, f)
+	prevFn := m.curFn
+	m.curFn = f.Name
+	// Cleanup happens at the Ret below, not in a defer: on a panic the
+	// run is over anyway, and Run's recovery wants curFn to still name
+	// the function that was executing.
 
 	b := f.Entry()
 	for {
@@ -184,6 +335,8 @@ func (m *machine) exec(f *ir.Func) {
 			}
 		case *ir.Ret:
 			m.cost(1)
+			delete(m.active, f)
+			m.curFn = prevFn
 			return
 		default:
 			m.fail(fmt.Errorf("interp: block b%d of %s has no terminator", b.ID, f.Name))
@@ -230,7 +383,11 @@ func (m *machine) execStmt(s ir.Stmt) {
 		}
 		m.inCheck = false
 		if lhs > s.Const {
-			panic(trapSignal{note: fmt.Sprintf("%s failed (lhs=%d) [%s]", s.String(), lhs, s.Note)})
+			panic(trapSignal{
+				note:  fmt.Sprintf("%s failed (lhs=%d) [%s]", s.String(), lhs, s.Note),
+				class: TrapCheck,
+				pos:   s.SrcPos,
+			})
 		}
 
 	case *ir.CallStmt:
@@ -281,7 +438,11 @@ func (m *machine) execStmt(s ir.Stmt) {
 		m.out.WriteByte('\n')
 
 	case *ir.TrapStmt:
-		panic(trapSignal{note: fmt.Sprintf("compile-time range violation: %s", s.Note)})
+		panic(trapSignal{
+			note:  fmt.Sprintf("compile-time range violation: %s", s.Note),
+			class: TrapStatic,
+			pos:   s.SrcPos,
+		})
 
 	default:
 		m.fail(fmt.Errorf("interp: unknown statement %T", s))

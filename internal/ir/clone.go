@@ -1,0 +1,71 @@
+package ir
+
+// Snapshot returns a restorable deep copy of f's body: blocks,
+// statements, terminators, and DoLoop info are copied; Var, Array, and
+// callee Func pointers are shared (they are program-level identities the
+// optimizer never mutates). The copy is not registered with any Program.
+//
+// The optimizer snapshots each function before transforming it so that a
+// failing pass can be undone with RestoreFrom, leaving the function with
+// its naive (fully checked) body instead of a half-transformed one.
+func (f *Func) Snapshot() *Func {
+	snap := &Func{
+		Name:        f.Name,
+		IsMain:      f.IsMain,
+		Params:      append([]*Var(nil), f.Params...),
+		Locals:      append([]*Var(nil), f.Locals...),
+		Arrays:      append([]*Array(nil), f.Arrays...),
+		Program:     f.Program,
+		nextBlockID: f.nextBlockID,
+	}
+	remap := make(map[*Block]*Block, len(f.Blocks))
+	for _, b := range f.Blocks {
+		nb := &Block{ID: b.ID, Label: b.Label, Func: snap}
+		remap[b] = nb
+		snap.Blocks = append(snap.Blocks, nb)
+	}
+	for _, b := range f.Blocks {
+		nb := remap[b]
+		nb.Stmts = make([]Stmt, len(b.Stmts))
+		for i, s := range b.Stmts {
+			nb.Stmts[i] = CloneStmt(s)
+		}
+		switch t := b.Term.(type) {
+		case *Goto:
+			nb.Term = &Goto{Target: remap[t.Target]}
+		case *If:
+			nb.Term = &If{Cond: CloneExpr(t.Cond), Then: remap[t.Then], Else: remap[t.Else]}
+		case *Ret:
+			nb.Term = &Ret{}
+		}
+	}
+	snap.RecomputePreds()
+	for _, l := range f.DoLoops {
+		snap.DoLoops = append(snap.DoLoops, &DoLoopInfo{
+			Preheader: remap[l.Preheader],
+			Header:    remap[l.Header],
+			BodyEntry: remap[l.BodyEntry],
+			Latch:     remap[l.Latch],
+			Var:       l.Var,
+			Lo:        CloneExpr(l.Lo),
+			Limit:     CloneExpr(l.Limit),
+			Step:      l.Step,
+		})
+	}
+	return snap
+}
+
+// RestoreFrom replaces f's body with snap's (a value previously returned
+// by f.Snapshot). The snapshot's blocks are adopted directly, so a
+// snapshot must not be restored twice.
+func (f *Func) RestoreFrom(snap *Func) {
+	f.Params = snap.Params
+	f.Locals = snap.Locals
+	f.Arrays = snap.Arrays
+	f.Blocks = snap.Blocks
+	f.DoLoops = snap.DoLoops
+	f.nextBlockID = snap.nextBlockID
+	for _, b := range f.Blocks {
+		b.Func = f
+	}
+}

@@ -66,6 +66,15 @@ func Build(prog *sem.Program, opts Options) (*ir.Program, error) {
 	return b.p, nil
 }
 
+// failf records the first lowering failure with its source position.
+// Lowering stops emitting further statements once an error is recorded;
+// Build returns it.
+func (b *builder) failf(pos source.Pos, format string, args ...interface{}) {
+	if b.err == nil {
+		b.err = fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))
+	}
+}
+
 type builder struct {
 	sem  *sem.Program
 	opts Options
@@ -80,6 +89,7 @@ type builder struct {
 	cur   *ir.Block
 	exit  *ir.Block
 	tempN int
+	err   error // first lowering failure (see failf)
 }
 
 func irType(t sem.Type) ir.Type {
@@ -155,6 +165,9 @@ func (b *builder) lowerUnit(u *sem.Unit) error {
 	b.cur = entry
 
 	b.lowerStmts(u.AST.Body)
+	if b.err != nil {
+		return fmt.Errorf("irbuild %s: %w", f.Name, b.err)
+	}
 	if b.cur.Term == nil {
 		b.cur.Term = &ir.Goto{Target: b.exit}
 	}
@@ -183,6 +196,9 @@ func (b *builder) startBlock(next *ir.Block) {
 
 func (b *builder) lowerStmts(stmts []ast.Stmt) {
 	for _, s := range stmts {
+		if b.err != nil {
+			return
+		}
 		b.lowerStmt(s)
 	}
 }
@@ -218,7 +234,7 @@ func (b *builder) lowerStmt(s ast.Stmt) {
 		b.cur.Term = &ir.Goto{Target: b.exit}
 		b.cur = b.f.NewBlock("afterreturn")
 	default:
-		panic(fmt.Sprintf("irbuild: unknown statement %T", s))
+		b.failf(s.Pos(), "unknown statement %T", s)
 	}
 }
 
@@ -317,7 +333,14 @@ func (b *builder) lowerDo(s *ast.DoStmt) {
 	if s.Step != nil {
 		v, ok := b.sem.EvalConst(b.unit, s.Step)
 		if !ok {
-			panic(fmt.Sprintf("irbuild: non-constant do step at %s", s.Pos()))
+			b.failf(s.Pos(), "do step must be a compile-time constant")
+			return
+		}
+		if v == 0 {
+			// sem rejects a literal zero; this catches folded-to-zero
+			// steps so the nonzero-step IR invariant always holds.
+			b.failf(s.Pos(), "do step must be nonzero")
+			return
 		}
 		step = v
 	}
@@ -476,7 +499,8 @@ func (b *builder) lowerExpr(e ast.Expr) ir.Expr {
 			return &ir.Bin{Op: op, L: l, R: r, Typ: l.Type()}
 		}
 	}
-	panic(fmt.Sprintf("irbuild: unknown expression %T", e))
+	b.failf(e.Pos(), "unknown expression %T", e)
+	return &ir.ConstInt{V: 0}
 }
 
 func foldInt(op ir.Op, l, r int64) (int64, bool) {

@@ -1,0 +1,296 @@
+// Package oracle is a differential-execution oracle for the range check
+// optimizer: it compiles one source program under the naive (fully
+// checked) configuration and under every optimizing configuration, runs
+// all variants, and asserts the paper's soundness contract (Kolte &
+// Wolfe §3) on the observable behavior of each pair:
+//
+//  1. every variant compiles when the naive program compiles;
+//  2. the variant traps iff the naive program traps, and a trap is
+//     always a classified range violation (a failed check or a
+//     compile-time trap) — detection may move earlier, never later;
+//  3. on clean runs the outputs are identical; on trapping runs the
+//     variant's output is a prefix of the naive output (earlier
+//     detection prints less, never different text);
+//  4. on clean runs the variant never performs more dynamic checks
+//     than naive (trapping runs are not comparable: hoisted checks may
+//     legitimately execute before the trap that naive hits first);
+//  5. the variant's OptReport arithmetic is consistent with the IR it
+//     describes.
+//
+// A violated clause produces a structured Divergence (variant,
+// invariant, first differing observable, IR dumps) rather than a bare
+// bool, so failures are debuggable from the report alone.
+package oracle
+
+import (
+	"fmt"
+	"strings"
+
+	"nascent"
+)
+
+// Variant identifies one optimizer configuration under test.
+type Variant struct {
+	Scheme       nascent.Scheme
+	Kind         nascent.CheckKind
+	Implications nascent.Implications
+	RotateLoops  bool
+}
+
+func (v Variant) String() string {
+	s := fmt.Sprintf("%v/%v", v.Scheme, v.Kind)
+	if v.Implications != nascent.ImplyFull {
+		s += "/" + v.Implications.String()
+	}
+	if v.RotateLoops {
+		s += "/rotate"
+	}
+	return s
+}
+
+// Options returns the compile options for the variant (always with
+// bounds checks: the oracle verifies checked builds).
+func (v Variant) Options() nascent.Options {
+	return nascent.Options{
+		BoundsChecks: true,
+		Scheme:       v.Scheme,
+		Kind:         v.Kind,
+		Implications: v.Implications,
+		RotateLoops:  v.RotateLoops,
+	}
+}
+
+// DefaultVariants lists every configuration the paper evaluates: the
+// seven Table 2 schemes plus MCM (§5), each under PRX and INX check
+// construction, the Table 3 implication ablations of LLS, and the
+// loop-rotation variants of SE and LLS.
+func DefaultVariants() []Variant {
+	var out []Variant
+	schemes := append(append([]nascent.Scheme(nil), nascent.OptimizedSchemes...), nascent.MCM)
+	for _, sch := range schemes {
+		for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
+			out = append(out, Variant{Scheme: sch, Kind: kind})
+		}
+	}
+	for _, impl := range []nascent.Implications{nascent.ImplyNone, nascent.ImplyCross} {
+		out = append(out, Variant{Scheme: nascent.LLS, Implications: impl})
+	}
+	out = append(out,
+		Variant{Scheme: nascent.SE, RotateLoops: true},
+		Variant{Scheme: nascent.LLS, RotateLoops: true},
+	)
+	return out
+}
+
+// Invariant names one clause of the soundness contract.
+type Invariant string
+
+// Contract clauses.
+const (
+	// InvCompile: the variant must compile when naive compiles.
+	InvCompile Invariant = "compile"
+	// InvRun: the variant must run to a result when naive does.
+	InvRun Invariant = "run"
+	// InvTrap: the variant traps iff naive traps.
+	InvTrap Invariant = "trap-verdict"
+	// InvTrapClass: a variant trap must be a classified range violation.
+	InvTrapClass Invariant = "trap-class"
+	// InvOutput: identical output (prefix of naive on trapping runs).
+	InvOutput Invariant = "output"
+	// InvChecks: dynamic checks ≤ naive dynamic checks (clean runs).
+	InvChecks Invariant = "dynamic-checks"
+	// InvReport: OptReport arithmetic matches the IR it describes.
+	InvReport Invariant = "opt-report"
+)
+
+// Divergence is one observable violation of the soundness contract.
+type Divergence struct {
+	Variant   Variant
+	Invariant Invariant
+	// Detail describes the first differing observable.
+	Detail string
+	// NaiveIR and OptIR are the IR dumps of the two programs (OptIR is
+	// empty when the variant failed to compile).
+	NaiveIR string
+	OptIR   string
+}
+
+func (d Divergence) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Variant, d.Invariant, d.Detail)
+}
+
+// Report is the outcome of one Verify run.
+type Report struct {
+	// Variants is the number of configurations checked.
+	Variants int
+	// Naive is the reference (unoptimized) run result.
+	Naive nascent.RunResult
+	// Divergences lists every contract violation found (empty when the
+	// transformation is sound on this input).
+	Divergences []Divergence
+}
+
+// OK reports whether every variant satisfied the contract.
+func (r *Report) OK() bool { return len(r.Divergences) == 0 }
+
+// Err returns nil when the report is clean, else an error summarizing
+// the divergences.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("oracle: %d divergence(s), first: %s", len(r.Divergences), r.Divergences[0])
+}
+
+// Summary renders a one-line-per-divergence description of the report.
+func (r *Report) Summary() string {
+	if r.OK() {
+		return fmt.Sprintf("oracle: %d variants verified, no divergence", r.Variants)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "oracle: %d divergence(s) across %d variants:\n", len(r.Divergences), r.Variants)
+	for _, d := range r.Divergences {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Config controls a Verify run.
+type Config struct {
+	// Variants to check (nil means DefaultVariants).
+	Variants []Variant
+	// Run bounds each execution. A zero MaxInstructions defaults to
+	// 50e6. Optimized variants automatically get headroom above what
+	// the naive run actually executed (INX materialization may
+	// legitimately add instructions).
+	Run nascent.RunConfig
+	// Mutate, when non-nil, is applied to each optimized program before
+	// it is executed. Tests use it to inject deliberate
+	// miscompilations and assert the oracle catches them.
+	Mutate func(v Variant, p *nascent.Program)
+}
+
+// Verify compiles and runs src naive and under every variant, checking
+// the soundness contract. A non-nil error means the baseline itself is
+// unusable (src does not compile, or the naive run exceeds the budget)
+// — that is the input's fault, not a divergence. Contract violations
+// are returned inside the Report.
+func Verify(src string, cfg Config) (*Report, error) {
+	variants := cfg.Variants
+	if variants == nil {
+		variants = DefaultVariants()
+	}
+	runCfg := cfg.Run
+	if runCfg.MaxInstructions == 0 {
+		runCfg.MaxInstructions = 50e6
+	}
+
+	naiveProg, err := nascent.Compile(src, nascent.Options{BoundsChecks: true})
+	if err != nil {
+		return nil, fmt.Errorf("oracle: naive compile: %w", err)
+	}
+	naive, err := naiveProg.RunWith(runCfg)
+	if err != nil {
+		return nil, fmt.Errorf("oracle: naive run: %w", err)
+	}
+
+	rep := &Report{Variants: len(variants), Naive: naive}
+	naiveIR := naiveProg.Dump()
+	for _, v := range variants {
+		rep.checkVariant(v, src, cfg, runCfg, naive, naiveIR)
+	}
+	return rep, nil
+}
+
+// checkVariant compiles and runs one variant and appends any
+// divergences to the report.
+func (r *Report) checkVariant(v Variant, src string, cfg Config, runCfg nascent.RunConfig, naive nascent.RunResult, naiveIR string) {
+	diverge := func(inv Invariant, optIR, format string, args ...interface{}) {
+		r.Divergences = append(r.Divergences, Divergence{
+			Variant:   v,
+			Invariant: inv,
+			Detail:    fmt.Sprintf(format, args...),
+			NaiveIR:   naiveIR,
+			OptIR:     optIR,
+		})
+	}
+
+	prog, err := nascent.Compile(src, v.Options())
+	if err != nil {
+		diverge(InvCompile, "", "compile failed: %v", err)
+		return
+	}
+	if cfg.Mutate != nil {
+		cfg.Mutate(v, prog)
+	}
+	optIR := prog.Dump()
+
+	if o := prog.Opt; o != nil {
+		if got := prog.StaticChecks(); got != o.ChecksAfter {
+			diverge(InvReport, optIR, "ChecksAfter=%d but IR holds %d checks", o.ChecksAfter, got)
+		}
+		if want := o.ChecksBefore + o.Inserted - o.EliminatedAvail - o.EliminatedCover -
+			o.EliminatedConst - o.TrapsInserted; want != o.ChecksAfter {
+			diverge(InvReport, optIR,
+				"counter identity broken: before=%d + inserted=%d − avail=%d − cover=%d − const=%d − traps=%d = %d, reported ChecksAfter=%d",
+				o.ChecksBefore, o.Inserted, o.EliminatedAvail, o.EliminatedCover,
+				o.EliminatedConst, o.TrapsInserted, want, o.ChecksAfter)
+		}
+	}
+
+	// The optimized program may execute more instructions than naive
+	// (INX h-materialization, hoisted guard tests), so the comparison
+	// budget is headroom above the naive run, not the raw config.
+	if hr := naive.Instructions*2 + 1<<16; hr > runCfg.MaxInstructions {
+		runCfg.MaxInstructions = hr
+	}
+	res, err := prog.RunWith(runCfg)
+	if err != nil {
+		diverge(InvRun, optIR, "run failed where naive succeeded: %v", err)
+		return
+	}
+
+	if res.Trapped != naive.Trapped {
+		diverge(InvTrap, optIR, "naive trapped=%v (%s), optimized trapped=%v (%s)",
+			naive.Trapped, naive.TrapNote, res.Trapped, res.TrapNote)
+		return
+	}
+	if res.Trapped && res.TrapClass != nascent.TrapCheck && res.TrapClass != nascent.TrapStatic {
+		diverge(InvTrapClass, optIR, "trap with unclassified class %q (%s)", res.TrapClass, res.TrapNote)
+	}
+	if naive.Trapped {
+		// Earlier detection is allowed: the variant's output must be a
+		// prefix of the naive output.
+		if !strings.HasPrefix(naive.Output, res.Output) {
+			diverge(InvOutput, optIR, "trapped output not a prefix of naive: %s",
+				firstOutputDiff(naive.Output, res.Output))
+		}
+	} else if res.Output != naive.Output {
+		diverge(InvOutput, optIR, "output differs: %s", firstOutputDiff(naive.Output, res.Output))
+	}
+	// Check counts are compared on completed executions only: on a
+	// trapping run a scheme that hoisted checks ahead of the violating
+	// access may execute checks naive never reached.
+	if !naive.Trapped && res.Checks > naive.Checks {
+		diverge(InvChecks, optIR, "optimized performs more dynamic checks: %d > %d", res.Checks, naive.Checks)
+	}
+}
+
+// firstOutputDiff locates the first line where two outputs differ.
+func firstOutputDiff(naive, opt string) string {
+	nl := strings.Split(naive, "\n")
+	ol := strings.Split(opt, "\n")
+	for i := 0; i < len(nl) || i < len(ol); i++ {
+		var n, o string
+		if i < len(nl) {
+			n = nl[i]
+		}
+		if i < len(ol) {
+			o = ol[i]
+		}
+		if n != o {
+			return fmt.Sprintf("line %d: naive %q vs optimized %q", i+1, n, o)
+		}
+	}
+	return "outputs equal (length mismatch only)"
+}

@@ -1,0 +1,65 @@
+package oracle
+
+import (
+	"strings"
+	"testing"
+
+	"nascent"
+)
+
+func TestDefaultVariantsCoverTheGrid(t *testing.T) {
+	vs := DefaultVariants()
+	if len(vs) != 20 {
+		t.Fatalf("DefaultVariants: %d variants, want 20 (8 schemes x 2 kinds + 2 ablations + 2 rotations)", len(vs))
+	}
+	seen := map[string]bool{}
+	for _, v := range vs {
+		s := v.String()
+		if seen[s] {
+			t.Errorf("duplicate variant %s", s)
+		}
+		seen[s] = true
+		if !v.Options().BoundsChecks {
+			t.Errorf("%s: oracle variants must compile with bounds checks", s)
+		}
+	}
+	for _, want := range []string{"NI/PRX", "LLS/INX", "MCM/PRX", "LLS/PRX/none", "SE/PRX/rotate"} {
+		if !seen[want] {
+			t.Errorf("missing variant %s in %v", want, vs)
+		}
+	}
+}
+
+func TestFirstOutputDiff(t *testing.T) {
+	d := firstOutputDiff("1\n2\n3\n", "1\n9\n3\n")
+	if !strings.Contains(d, "line 2") || !strings.Contains(d, `"2"`) || !strings.Contains(d, `"9"`) {
+		t.Errorf("firstOutputDiff = %q, want first difference at line 2", d)
+	}
+}
+
+func TestVerifyRejectsBrokenBaseline(t *testing.T) {
+	if _, err := Verify("program p\n  a(1) = 2.0\nend\n", Config{}); err == nil {
+		t.Error("undeclared array should fail the baseline, not diverge")
+	}
+	if _, err := Verify("not a program", Config{}); err == nil {
+		t.Error("unparsable source should fail the baseline")
+	}
+}
+
+func TestReportErrAndSummary(t *testing.T) {
+	r := &Report{Variants: 3}
+	if r.Err() != nil || !strings.Contains(r.Summary(), "no divergence") {
+		t.Errorf("clean report: Err=%v Summary=%q", r.Err(), r.Summary())
+	}
+	r.Divergences = append(r.Divergences, Divergence{
+		Variant:   Variant{Scheme: nascent.LLS},
+		Invariant: InvOutput,
+		Detail:    "line 1 differs",
+	})
+	if r.Err() == nil || r.OK() {
+		t.Error("divergent report must produce an error")
+	}
+	if s := r.Summary(); !strings.Contains(s, "output") || !strings.Contains(s, "LLS") {
+		t.Errorf("Summary = %q, want variant and invariant named", s)
+	}
+}

@@ -18,15 +18,47 @@ package nascent
 
 import (
 	"fmt"
+	"runtime/debug"
 
 	"nascent/internal/ast"
 	"nascent/internal/core"
+	"nascent/internal/guard"
 	"nascent/internal/interp"
 	"nascent/internal/ir"
 	"nascent/internal/irbuild"
 	"nascent/internal/parser"
 	"nascent/internal/rangecheck"
 	"nascent/internal/sem"
+)
+
+// InternalError is a recovered internal invariant violation, tagged with
+// the pipeline stage ("parse", "analyze", "lower", "optimize", "run")
+// and the function being processed when known. Compile and Run never
+// propagate panics: any internal panic surfaces as one of these, so no
+// input can crash an embedding process. Match the class with
+// errors.Is(err, ErrInternal).
+type InternalError = guard.InternalError
+
+// ErrInternal is the sentinel matched by every InternalError.
+var ErrInternal = guard.ErrInternal
+
+// ResourceError reports an exhausted execution budget (instructions,
+// array cells, deadline, or context cancellation). Match the class with
+// errors.Is(err, ErrResourceExhausted).
+type ResourceError = interp.ResourceError
+
+// ErrResourceExhausted is the sentinel matched by every ResourceError.
+var ErrResourceExhausted = interp.ErrResourceExhausted
+
+// TrapClass classifies how a trapped run trapped (see RunResult).
+type TrapClass = interp.TrapClass
+
+// Trap classes.
+const (
+	// TrapCheck: a range check comparison failed at run time.
+	TrapCheck = interp.TrapCheck
+	// TrapStatic: a compile-time-detected violation trap executed.
+	TrapStatic = interp.TrapStatic
 )
 
 // Scheme selects the check placement scheme of paper §3.3 / Table 2.
@@ -134,7 +166,13 @@ type Program struct {
 	AST *ast.File
 }
 
-// OptReport summarizes one optimizer run.
+// OptReport summarizes one optimizer run. The counters satisfy
+//
+//	ChecksAfter = ChecksBefore + Inserted − EliminatedAvail
+//	              − EliminatedCover − EliminatedConst − TrapsInserted
+//
+// whether or not any function degraded (degraded functions keep their
+// naive bodies and contribute nothing to the counters).
 type OptReport struct {
 	ChecksBefore    int
 	ChecksAfter     int
@@ -144,6 +182,10 @@ type OptReport struct {
 	EliminatedConst int
 	TrapsInserted   int
 	Diagnostics     []string
+	// Degraded names functions whose optimization failed and whose
+	// naive (fully checked) bodies were kept; the rest of the program
+	// is still optimized.
+	Degraded []string
 }
 
 // RunResult is the outcome of executing a program.
@@ -154,7 +196,21 @@ type RunConfig = interp.Config
 
 // Compile parses, analyzes, lowers, and (per Options) optimizes an MF
 // program.
-func Compile(src string, opts Options) (*Program, error) {
+//
+// Compile never panics: an internal invariant violation in any stage is
+// recovered and returned as a stage-tagged *InternalError. When the
+// optimizer fails on an individual function, that function falls back to
+// its naive (fully checked) body, the failure is recorded in
+// OptReport.Degraded, and compilation still succeeds.
+func Compile(src string, opts Options) (prog *Program, err error) {
+	stage := "parse"
+	defer func() {
+		if r := recover(); r != nil {
+			prog = nil
+			err = &InternalError{Stage: stage, Recovered: r, Stack: debug.Stack()}
+		}
+	}()
+
 	if opts.Filename == "" {
 		opts.Filename = "input.mf"
 	}
@@ -162,15 +218,17 @@ func Compile(src string, opts Options) (*Program, error) {
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
+	stage = "analyze"
 	semProg, err := sem.Analyze(file)
 	if err != nil {
 		return nil, fmt.Errorf("analyze: %w", err)
 	}
+	stage = "lower"
 	irProg, err := irbuild.Build(semProg, irbuild.Options{BoundsChecks: opts.BoundsChecks})
 	if err != nil {
 		return nil, fmt.Errorf("lower: %w", err)
 	}
-	prog := &Program{IR: irProg, AST: file}
+	prog = &Program{IR: irProg, AST: file}
 	if opts.Scheme == Naive {
 		return prog, nil
 	}
@@ -178,6 +236,7 @@ func Compile(src string, opts Options) (*Program, error) {
 	if !ok {
 		return nil, fmt.Errorf("unknown scheme %v", opts.Scheme)
 	}
+	stage = "optimize"
 	res, err := core.Optimize(irProg, core.Options{
 		Scheme: cs,
 		Kind:   core.CheckKind(opts.Kind),
@@ -196,6 +255,7 @@ func Compile(src string, opts Options) (*Program, error) {
 		EliminatedConst: res.EliminatedConst,
 		TrapsInserted:   res.TrapsInserted,
 		Diagnostics:     res.Diagnostics,
+		Degraded:        res.Degraded,
 	}
 	return prog, nil
 }

@@ -5,11 +5,151 @@ import (
 	"testing"
 
 	"nascent"
+	"nascent/internal/ir"
+	"nascent/internal/oracle"
+	"nascent/internal/suite"
 )
+
+// TestOracleSuitePrograms runs the differential oracle over every
+// benchmark program in the paper's Table 1 suite: each program is
+// compiled naive and under all twenty optimizer variants, executed, and
+// checked against the soundness contract.
+func TestOracleSuitePrograms(t *testing.T) {
+	for _, p := range suite.Programs {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			rep, err := oracle.Verify(p.Source, oracle.Config{})
+			if err != nil {
+				t.Fatalf("baseline failed: %v", err)
+			}
+			if !rep.OK() {
+				t.Fatalf("%s", rep.Summary())
+			}
+		})
+	}
+}
+
+// oracleSrc is the subject program for miscompilation-injection tests:
+// small, deterministic, with enough checked accesses that naive executes
+// a measurable number of dynamic checks.
+const oracleSrc = `program p
+  integer i
+  real a(10), b(10)
+  do i = 1, 10
+    a(i) = float(i)
+  enddo
+  do i = 1, 10
+    b(i) = a(i) * 2.0
+  enddo
+  print a(10), b(1)
+end
+`
+
+// TestOracleCatchesMiscompiles injects a deliberate miscompilation into
+// the optimized program (via Config.Mutate) and asserts the oracle
+// reports a structured Divergence of the expected invariant class.
+// This is the oracle's own soundness test: a checker that cannot detect
+// a planted bug proves nothing when it reports success.
+func TestOracleCatchesMiscompiles(t *testing.T) {
+	one := []oracle.Variant{{Scheme: nascent.LLS}}
+	cases := []struct {
+		name     string
+		variants []oracle.Variant
+		mutate   func(p *nascent.Program)
+		want     oracle.Invariant
+	}{
+		{
+			name: "extra-output",
+			mutate: func(p *nascent.Program) {
+				e := p.IR.Main().Entry()
+				e.Stmts = append(e.Stmts, &ir.PrintStmt{Args: []ir.Expr{&ir.ConstInt{V: 42}}})
+			},
+			want: oracle.InvOutput,
+		},
+		{
+			name: "spurious-trap",
+			mutate: func(p *nascent.Program) {
+				e := p.IR.Main().Entry()
+				e.Stmts = append([]ir.Stmt{&ir.TrapStmt{Note: "injected"}}, e.Stmts...)
+			},
+			want: oracle.InvTrap,
+		},
+		{
+			name: "check-explosion",
+			mutate: func(p *nascent.Program) {
+				// Empty-term checks always pass (0 <= 0) but each one
+				// executed counts against the dynamic check budget.
+				e := p.IR.Main().Entry()
+				for i := 0; i < 100; i++ {
+					e.Stmts = append(e.Stmts, &ir.CheckStmt{Note: "injected"})
+				}
+			},
+			want: oracle.InvChecks,
+		},
+		{
+			name:   "report-tamper",
+			mutate: func(p *nascent.Program) { p.Opt.ChecksAfter++ },
+			want:   oracle.InvReport,
+		},
+		{
+			name: "crash-run",
+			mutate: func(p *nascent.Program) {
+				e := p.IR.Main().Entry()
+				e.Stmts = append(e.Stmts, &ir.PrintStmt{Args: []ir.Expr{
+					&ir.Bin{Op: ir.OpDiv, L: &ir.ConstInt{V: 1}, R: &ir.ConstInt{V: 0}, Typ: ir.Int},
+				}})
+			},
+			want: oracle.InvRun,
+		},
+		{
+			name:     "bad-scheme",
+			variants: []oracle.Variant{{Scheme: nascent.Scheme(99)}},
+			want:     oracle.InvCompile,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := oracle.Config{Variants: tc.variants}
+			if cfg.Variants == nil {
+				cfg.Variants = one
+			}
+			if tc.mutate != nil {
+				cfg.Mutate = func(_ oracle.Variant, p *nascent.Program) { tc.mutate(p) }
+			}
+			rep, err := oracle.Verify(oracleSrc, cfg)
+			if err != nil {
+				t.Fatalf("baseline failed: %v", err)
+			}
+			if rep.OK() {
+				t.Fatalf("oracle missed the injected %s miscompilation", tc.want)
+			}
+			found := false
+			for _, d := range rep.Divergences {
+				if d.Invariant == tc.want {
+					found = true
+					if d.Detail == "" {
+						t.Error("divergence has empty Detail")
+					}
+					if d.NaiveIR == "" {
+						t.Error("divergence has empty NaiveIR dump")
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("want a %s divergence, got:\n%s", tc.want, rep.Summary())
+			}
+		})
+	}
+}
 
 // TestPipelineNeverPanics mutates valid programs and pushes whatever
 // still compiles through every stage — parse, analyze, lower, optimize,
 // execute — asserting the toolchain returns errors instead of panicking.
+// Every surviving mutant additionally goes through the differential
+// oracle: the optimizer must stay sound on every valid program, not
+// just on hand-picked ones.
 func TestPipelineNeverPanics(t *testing.T) {
 	base := `program p
   parameter n = 8
@@ -33,9 +173,20 @@ subroutine f(k)
   m = k * 2
 end
 `
+	// The sampled oracle runs use a small variant set so the whole test
+	// stays well under the tier-1 time budget.
+	oracleVariants := []oracle.Variant{
+		{Scheme: nascent.SE},
+		{Scheme: nascent.LLS, Kind: nascent.INX},
+		{Scheme: nascent.MCM},
+	}
 	r := rand.New(rand.NewSource(99))
-	compiled, ran := 0, 0
-	for trial := 0; trial < 1500; trial++ {
+	compiled, ran, verified := 0, 0, 0
+	trials := 6000
+	if testing.Short() {
+		trials = 300
+	}
+	for trial := 0; trial < trials; trial++ {
 		b := []byte(base)
 		for e := 0; e < 1+r.Intn(6); e++ {
 			switch r.Intn(3) {
@@ -67,11 +218,29 @@ end
 				if _, err := p.RunWith(nascent.RunConfig{MaxInstructions: 200000}); err == nil {
 					ran++
 				}
+				// Every surviving mutant goes through the oracle (once per
+				// source: the naive compile attempt is the dedup point).
+				if sch == nascent.Naive {
+					rep, err := oracle.Verify(src, oracle.Config{
+						Variants: oracleVariants,
+						Run:      nascent.RunConfig{MaxInstructions: 200000},
+					})
+					if err != nil {
+						return // baseline exceeded its budget: nothing to compare
+					}
+					verified++
+					if !rep.OK() {
+						t.Fatalf("oracle divergence on mutated source:\n%s\n%s", rep.Summary(), src)
+					}
+				}
 			}()
 		}
 	}
 	if compiled == 0 {
 		t.Error("no mutated program compiled: mutation too destructive to exercise the back end")
 	}
-	t.Logf("mutants compiled: %d, ran: %d", compiled, ran)
+	if verified == 0 {
+		t.Error("no mutant reached the oracle: sampling threshold too high")
+	}
+	t.Logf("mutants compiled: %d, ran: %d, oracle-verified: %d", compiled, ran, verified)
 }
