@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"nascent"
+	"nascent/internal/report"
 	"nascent/internal/suite"
 )
 
@@ -220,6 +221,33 @@ end
 				res = runOrFatal(b, p)
 			}
 			b.ReportMetric(float64(res.Checks), "checks/op")
+		})
+	}
+}
+
+// BenchmarkTableRegeneration measures one full regeneration of Tables
+// 1–3 through the parallel evaluation engine at several worker counts —
+// the wall-clock claim behind `rangebench -jobs`. Each iteration uses a
+// fresh Runner, so the cost includes parsing every suite program once
+// and sharing that front end across the whole job matrix (the
+// frontend-compiles/op metric pins the memoization: 10 programs, 290
+// jobs). Output is byte-identical at every worker count (the golden
+// tests prove it); only the wall-clock may differ, and on a single-core
+// host jobs=4 simply matches jobs=1.
+func BenchmarkTableRegeneration(b *testing.B) {
+	for _, jobs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			var m int
+			for i := 0; i < b.N; i++ {
+				r := report.New(report.Config{Jobs: jobs})
+				for n, f := range []func() (string, error){r.Table1, r.Table2, r.Table3} {
+					if _, err := f(); err != nil {
+						b.Fatalf("table %d: %v", n+1, err)
+					}
+				}
+				m = r.Metrics().FrontendCompiles
+			}
+			b.ReportMetric(float64(m), "frontend-compiles/op")
 		})
 	}
 }

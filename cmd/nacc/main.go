@@ -38,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"nascent"
@@ -181,9 +182,10 @@ func run(argv []string, stdout, stderr *os.File) int {
 }
 
 // runVerify compiles and executes the source under every optimizing
-// variant and compares each against the naive baseline.
+// variant and compares each against the naive baseline. The sweep is
+// sharded across all CPUs; the report is identical to a sequential run.
 func runVerify(file, src string, stdout, stderr *os.File) int {
-	rep, err := oracle.Verify(src, oracle.Config{})
+	rep, err := oracle.Verify(src, oracle.Config{Jobs: runtime.GOMAXPROCS(0)})
 	if err != nil {
 		fmt.Fprintf(stderr, "nacc: verify: %v\n", err)
 		if errors.Is(err, nascent.ErrResourceExhausted) {

@@ -3,37 +3,86 @@
 //
 // Usage:
 //
-//	rangebench [-table N]
+//	rangebench [-table N] [-jobs N] [-times] [-trace]
 //
 // With no flags, all three tables are printed. -table 1 prints program
 // characteristics (naive check overhead), -table 2 the seven placement
 // schemes × {PRX, INX}, -table 3 the implication ablation.
+//
+// -jobs N shards the evaluation matrix across N workers (default: all
+// CPUs). Table output is byte-identical at every -jobs value — the
+// engine merges results in job order and the interpreter counters are
+// deterministic — so parallelism only changes wall-clock. The golden
+// tests in internal/report pin this.
+//
+// -times appends the wall-clock columns (Range/Nascent) to Tables 2–3.
+// They vary run to run, so they are excluded by default to keep the
+// output reproducible.
+//
+// -trace logs each evaluation job's stages to stderr, followed by the
+// pool's aggregate metrics.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
+	"nascent/internal/evalpool"
 	"nascent/internal/report"
 )
 
 func main() {
 	table := flag.Int("table", 0, "table to print (1, 2, or 3; 0 = all)")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "number of parallel evaluation workers")
+	times := flag.Bool("times", false, "include wall-clock columns (non-reproducible) in tables 2-3")
+	trace := flag.Bool("trace", false, "log per-job stage timings to stderr")
 	flag.Parse()
 
-	run := func(n int, f func() (string, error)) {
-		if *table != 0 && *table != n {
-			return
+	cfg := report.Config{Jobs: *jobs, Timings: *times}
+	if *trace {
+		cfg.Trace = func(ev evalpool.Event) {
+			status := ""
+			if ev.CacheHit {
+				status = " (cached)"
+			}
+			if ev.Err != nil {
+				status = fmt.Sprintf(" (error: %v)", ev.Err)
+			}
+			fmt.Fprintf(os.Stderr, "trace: job %3d %-24s %-8s %10s%s\n",
+				ev.Job, ev.Name, ev.Stage, ev.Duration, status)
 		}
-		out, err := f()
+	}
+	r := report.New(cfg)
+
+	tables := []struct {
+		n int
+		f func() (string, error)
+	}{
+		{1, r.Table1},
+		{2, r.Table2},
+		{3, r.Table3},
+	}
+	failed := 0
+	for _, tb := range tables {
+		if *table != 0 && *table != tb.n {
+			continue
+		}
+		out, err := tb.f()
 		if err != nil {
+			// The report errors are prefixed with their table number;
+			// keep going so one bad table doesn't mask the others.
 			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
-			os.Exit(1)
+			failed++
+			continue
 		}
 		fmt.Println(out)
 	}
-	run(1, report.Table1)
-	run(2, report.Table2)
-	run(3, report.Table3)
+	if *trace {
+		fmt.Fprintf(os.Stderr, "%s\n", r.Metrics())
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,328 @@
+// Package evalpool is the concurrent evaluation engine behind the
+// benchmark pipeline: it shards a matrix of independent compile+run
+// jobs (program × scheme × check kind × implication mode × rotation)
+// across a bounded worker pool and merges the results deterministically.
+//
+// Three properties make the pool safe for a pipeline whose output IS
+// the reproduction claim:
+//
+//   - Ordered reduce: Evaluate returns results indexed exactly like its
+//     input jobs, independent of completion order. Rendering code that
+//     iterates the result slice produces byte-identical output at any
+//     worker count (the golden-table tests in internal/report pin this).
+//
+//   - Shared front ends: compile artifacts are memoized by (source
+//     hash, filename), so the ~20 optimizer variants of one program
+//     share a single parse/semantic-analysis. Each job still lowers and
+//     optimizes fresh IR — nascent.Frontend is immutable and safe for
+//     concurrent Compile calls — so no mutable state crosses jobs.
+//
+//   - Observable cost: the pool aggregates per-stage wall-clock and
+//     interpreter counters into Metrics, and an optional Trace hook
+//     receives one event per completed stage for -trace style output.
+package evalpool
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"nascent"
+)
+
+// Job is one independent evaluation: compile Source under Opts and
+// (unless SkipRun) execute it under Run limits.
+type Job struct {
+	// Name labels the job in traces and errors (e.g. "mdg/LLS/PRX").
+	Name string
+	// Source is the MF program text.
+	Source string
+	// Filename is the diagnostic filename (defaults to "input.mf"); it
+	// is part of the memoization key because positions embed it.
+	Filename string
+	// Opts selects the backend configuration (BoundsChecks, Scheme,
+	// Kind, Implications, RotateLoops). Opts.Filename is ignored; use
+	// the Filename field.
+	Opts nascent.Options
+	// Run bounds execution (zero value = interpreter defaults).
+	Run nascent.RunConfig
+	// SkipRun compiles without executing (Result.Res stays zero).
+	SkipRun bool
+	// Mutate, when non-nil, is applied to the compiled program before
+	// it runs. The oracle uses it to inject deliberate miscompilations;
+	// it runs on the worker goroutine and must only touch the program
+	// it is handed.
+	Mutate func(*nascent.Program)
+}
+
+// Result is the outcome of one Job. Exactly one of Err / (Prog, Res)
+// is meaningful; Err carries the first failing stage's error.
+type Result struct {
+	// Prog is the compiled program (nil when compilation failed). It is
+	// owned by the caller after Evaluate returns: post-processing that
+	// mutates its IR (e.g. loop analysis inserting preheaders) is safe.
+	Prog *nascent.Program
+	// Res is the run result (zero when SkipRun or on error).
+	Res nascent.RunResult
+	// Err is the first error of the job's pipeline, wrapped with the
+	// job name and stage.
+	Err error
+	// Stage timings for this job. Frontend is zero on a cache hit: the
+	// shared parse/analyze cost is charged to the job that populated
+	// the cache entry (and appears once in Metrics.FrontendTime).
+	Frontend, Lower, Optimize, Run time.Duration
+	// CacheHit reports that the front end came from the memo table.
+	CacheHit bool
+}
+
+// Stage names used in trace events.
+const (
+	StageFrontend = "frontend"
+	StageCompile  = "compile"
+	StageRun      = "run"
+)
+
+// Event is one trace record: a job finished a stage.
+type Event struct {
+	// Job is the index of the job in the Evaluate slice.
+	Job int
+	// Name is the job's label.
+	Name string
+	// Stage is one of StageFrontend, StageCompile, StageRun.
+	Stage string
+	// Duration is the stage's wall-clock time.
+	Duration time.Duration
+	// CacheHit is set on frontend events served from the memo table.
+	CacheHit bool
+	// Err is the stage's error, if it failed.
+	Err error
+}
+
+// TraceFunc receives trace events. The pool serializes calls (events
+// from concurrent workers never interleave), but their order across
+// jobs follows completion, not submission.
+type TraceFunc func(Event)
+
+// Metrics aggregates what a pool has done across all Evaluate calls.
+type Metrics struct {
+	// Jobs is the number of jobs evaluated (including failed ones).
+	Jobs int
+	// Errors is the number of jobs that returned an error.
+	Errors int
+	// FrontendCompiles / FrontendHits split the memo table's traffic.
+	FrontendCompiles int
+	FrontendHits     int
+	// Stage wall-clock totals, summed across workers (under full
+	// parallelism the sum exceeds elapsed time).
+	FrontendTime time.Duration
+	CompileTime  time.Duration
+	RunTime      time.Duration
+	// Instructions / Checks total the interpreter counters of every
+	// successfully executed job.
+	Instructions uint64
+	Checks       uint64
+}
+
+// Pool is a bounded-concurrency evaluation engine with a memoized
+// front-end table. The zero value is not usable; call New.
+//
+// A Pool may be reused across many Evaluate calls: the memo table and
+// metrics accumulate. Evaluate itself may be called concurrently.
+type Pool struct {
+	workers int
+	trace   TraceFunc
+
+	mu      sync.Mutex
+	memo    map[feKey]*feEntry
+	metrics Metrics
+}
+
+type feKey struct {
+	hash     [sha256.Size]byte
+	filename string
+}
+
+// feEntry is a once-guarded memo slot: the first job to need a front
+// end compiles it, concurrent jobs for the same source block on the
+// same entry instead of duplicating work.
+type feEntry struct {
+	once sync.Once
+	fe   *nascent.Frontend
+	err  error
+	dur  time.Duration
+}
+
+// New returns a pool running at most workers jobs concurrently.
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers, memo: make(map[feKey]*feEntry)}
+}
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return p.workers }
+
+// SetTrace installs a trace hook (nil disables tracing). Install it
+// before Evaluate; the hook applies to subsequent jobs.
+func (p *Pool) SetTrace(f TraceFunc) {
+	p.mu.Lock()
+	p.trace = f
+	p.mu.Unlock()
+}
+
+// Metrics returns a snapshot of the pool's aggregate counters.
+func (p *Pool) Metrics() Metrics {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.metrics
+}
+
+// Evaluate runs every job and returns results in job order: result i
+// belongs to jobs[i] regardless of which worker finished first. Job
+// failures are reported per-result, never as a panic or early exit —
+// one bad variant must not mask the rest of the matrix.
+func (p *Pool) Evaluate(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+	n := p.workers
+	if n > len(jobs) {
+		n = len(jobs)
+	}
+	if n <= 1 {
+		for i := range jobs {
+			results[i] = p.runJob(i, &jobs[i])
+		}
+		return results
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for w := 0; w < n; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = p.runJob(i, &jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// frontend returns the memoized front end for a job, compiling it on
+// first use. The duration returned is the compile cost when this call
+// populated the entry, zero on a hit.
+func (p *Pool) frontend(job *Job) (*nascent.Frontend, time.Duration, bool, error) {
+	key := feKey{hash: sha256.Sum256([]byte(job.Source)), filename: job.Filename}
+	p.mu.Lock()
+	e := p.memo[key]
+	if e == nil {
+		e = &feEntry{}
+		p.memo[key] = e
+	}
+	p.mu.Unlock()
+
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		t0 := time.Now()
+		e.fe, e.err = nascent.Analyze(job.Source, job.Filename)
+		e.dur = time.Since(t0)
+	})
+	if hit {
+		return e.fe, 0, true, e.err
+	}
+	return e.fe, e.dur, false, e.err
+}
+
+func (p *Pool) runJob(i int, job *Job) Result {
+	var res Result
+
+	fe, feDur, hit, err := p.frontend(job)
+	res.Frontend, res.CacheHit = feDur, hit
+	p.emit(Event{Job: i, Name: job.Name, Stage: StageFrontend, Duration: feDur, CacheHit: hit, Err: err})
+	if err != nil {
+		res.Err = fmt.Errorf("%s: %w", job.Name, err)
+		p.account(&res)
+		return res
+	}
+
+	var st nascent.StageTimes
+	prog, err := fe.CompileTimed(job.Opts, &st)
+	res.Lower, res.Optimize = st.Lower, st.Optimize
+	p.emit(Event{Job: i, Name: job.Name, Stage: StageCompile, Duration: st.Lower + st.Optimize, Err: err})
+	if err != nil {
+		res.Err = fmt.Errorf("%s: %w", job.Name, err)
+		p.account(&res)
+		return res
+	}
+	res.Prog = prog
+
+	if !job.SkipRun {
+		if job.Mutate != nil {
+			job.Mutate(prog)
+		}
+		t0 := time.Now()
+		rr, err := prog.RunWith(job.Run)
+		res.Run = time.Since(t0)
+		p.emit(Event{Job: i, Name: job.Name, Stage: StageRun, Duration: res.Run, Err: err})
+		if err != nil {
+			res.Err = fmt.Errorf("%s: run: %w", job.Name, err)
+			p.account(&res)
+			return res
+		}
+		res.Res = rr
+	}
+	p.account(&res)
+	return res
+}
+
+// emit delivers a trace event under the pool lock so concurrent
+// workers never interleave inside the hook.
+func (p *Pool) emit(ev Event) {
+	p.mu.Lock()
+	f := p.trace
+	if f != nil {
+		f(ev)
+	}
+	p.mu.Unlock()
+}
+
+func (p *Pool) account(r *Result) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m := &p.metrics
+	m.Jobs++
+	if r.Err != nil {
+		m.Errors++
+	}
+	if r.CacheHit {
+		m.FrontendHits++
+	} else {
+		m.FrontendCompiles++
+		m.FrontendTime += r.Frontend
+	}
+	m.CompileTime += r.Lower + r.Optimize
+	m.RunTime += r.Run
+	m.Instructions += r.Res.Instructions
+	m.Checks += r.Res.Checks
+}
+
+// String renders the metrics as a one-line summary for -trace output.
+func (m Metrics) String() string {
+	return fmt.Sprintf(
+		"evalpool: %d jobs (%d errors), frontends %d compiled / %d shared, frontend %s, compile %s, run %s, %d instr, %d checks",
+		m.Jobs, m.Errors, m.FrontendCompiles, m.FrontendHits,
+		m.FrontendTime.Round(time.Millisecond),
+		m.CompileTime.Round(time.Millisecond),
+		m.RunTime.Round(time.Millisecond),
+		m.Instructions, m.Checks)
+}

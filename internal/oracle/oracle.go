@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"nascent"
+	"nascent/internal/evalpool"
 )
 
 // Variant identifies one optimizer configuration under test.
@@ -164,9 +165,14 @@ type Config struct {
 	// the naive run actually executed (INX materialization may
 	// legitimately add instructions).
 	Run nascent.RunConfig
+	// Jobs shards the variant sweep across a bounded worker pool
+	// (<= 0 means sequential). The divergence report is identical at
+	// every value: results are merged in variant order.
+	Jobs int
 	// Mutate, when non-nil, is applied to each optimized program before
 	// it is executed. Tests use it to inject deliberate
-	// miscompilations and assert the oracle catches them.
+	// miscompilations and assert the oracle catches them. It runs on a
+	// worker goroutine and must only touch the program it is handed.
 	Mutate func(v Variant, p *nascent.Program)
 }
 
@@ -175,6 +181,11 @@ type Config struct {
 // unusable (src does not compile, or the naive run exceeds the budget)
 // — that is the input's fault, not a divergence. Contract violations
 // are returned inside the Report.
+//
+// The variant sweep runs on an evalpool engine: the ~20 configurations
+// share one parse/semantic-analysis via the pool's front-end memo
+// table, and Config.Jobs spreads the compile+run work across workers
+// without changing the report.
 func Verify(src string, cfg Config) (*Report, error) {
 	variants := cfg.Variants
 	if variants == nil {
@@ -194,17 +205,40 @@ func Verify(src string, cfg Config) (*Report, error) {
 		return nil, fmt.Errorf("oracle: naive run: %w", err)
 	}
 
+	// The optimized program may execute more instructions than naive
+	// (INX h-materialization, hoisted guard tests), so the comparison
+	// budget is headroom above the naive run, not the raw config.
+	if hr := naive.Instructions*2 + 1<<16; hr > runCfg.MaxInstructions {
+		runCfg.MaxInstructions = hr
+	}
+
+	jobs := make([]evalpool.Job, len(variants))
+	for i, v := range variants {
+		v := v
+		job := evalpool.Job{
+			Name:   v.String(),
+			Source: src,
+			Opts:   v.Options(),
+			Run:    runCfg,
+		}
+		if cfg.Mutate != nil {
+			job.Mutate = func(p *nascent.Program) { cfg.Mutate(v, p) }
+		}
+		jobs[i] = job
+	}
+	results := evalpool.New(max(cfg.Jobs, 1)).Evaluate(jobs)
+
 	rep := &Report{Variants: len(variants), Naive: naive}
 	naiveIR := naiveProg.Dump()
-	for _, v := range variants {
-		rep.checkVariant(v, src, cfg, runCfg, naive, naiveIR)
+	for i, v := range variants {
+		rep.checkVariant(v, results[i], naive, naiveIR)
 	}
 	return rep, nil
 }
 
-// checkVariant compiles and runs one variant and appends any
-// divergences to the report.
-func (r *Report) checkVariant(v Variant, src string, cfg Config, runCfg nascent.RunConfig, naive nascent.RunResult, naiveIR string) {
+// checkVariant validates one evaluated variant against the contract and
+// appends any divergences to the report.
+func (r *Report) checkVariant(v Variant, evaluated evalpool.Result, naive nascent.RunResult, naiveIR string) {
 	diverge := func(inv Invariant, optIR, format string, args ...interface{}) {
 		r.Divergences = append(r.Divergences, Divergence{
 			Variant:   v,
@@ -215,13 +249,10 @@ func (r *Report) checkVariant(v Variant, src string, cfg Config, runCfg nascent.
 		})
 	}
 
-	prog, err := nascent.Compile(src, v.Options())
-	if err != nil {
-		diverge(InvCompile, "", "compile failed: %v", err)
+	prog := evaluated.Prog
+	if prog == nil {
+		diverge(InvCompile, "", "compile failed: %v", evaluated.Err)
 		return
-	}
-	if cfg.Mutate != nil {
-		cfg.Mutate(v, prog)
 	}
 	optIR := prog.Dump()
 
@@ -238,17 +269,11 @@ func (r *Report) checkVariant(v Variant, src string, cfg Config, runCfg nascent.
 		}
 	}
 
-	// The optimized program may execute more instructions than naive
-	// (INX h-materialization, hoisted guard tests), so the comparison
-	// budget is headroom above the naive run, not the raw config.
-	if hr := naive.Instructions*2 + 1<<16; hr > runCfg.MaxInstructions {
-		runCfg.MaxInstructions = hr
-	}
-	res, err := prog.RunWith(runCfg)
-	if err != nil {
-		diverge(InvRun, optIR, "run failed where naive succeeded: %v", err)
+	if evaluated.Err != nil {
+		diverge(InvRun, optIR, "run failed where naive succeeded: %v", evaluated.Err)
 		return
 	}
+	res := evaluated.Res
 
 	if res.Trapped != naive.Trapped {
 		diverge(InvTrap, optIR, "naive trapped=%v (%s), optimized trapped=%v (%s)",

@@ -63,3 +63,39 @@ func TestReportErrAndSummary(t *testing.T) {
 		t.Errorf("Summary = %q, want variant and invariant named", s)
 	}
 }
+
+// TestVerifyParallelMatchesSequential pins the oracle's ordered-reduce
+// claim: Jobs only changes wall-clock, never the report.
+func TestVerifyParallelMatchesSequential(t *testing.T) {
+	// A program every scheme handles, with a deliberate mutation hook
+	// exercised too: the divergence lists must match element-wise.
+	src := `program p
+  integer a(1:10)
+  integer i
+  do i = 1, 10
+    a(i) = i
+  enddo
+  print a(10)
+end
+`
+	seq, err := Verify(src, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Verify(src, Config{Jobs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Variants != par.Variants || len(seq.Divergences) != len(par.Divergences) {
+		t.Fatalf("reports differ: seq %d/%d, par %d/%d",
+			seq.Variants, len(seq.Divergences), par.Variants, len(par.Divergences))
+	}
+	for i := range seq.Divergences {
+		if seq.Divergences[i].String() != par.Divergences[i].String() {
+			t.Errorf("divergence %d differs: %s vs %s", i, seq.Divergences[i], par.Divergences[i])
+		}
+	}
+	if seq.Naive != par.Naive {
+		t.Errorf("naive baselines differ: %+v vs %+v", seq.Naive, par.Naive)
+	}
+}

@@ -1,5 +1,13 @@
 // Package report measures the benchmark suite and renders the paper's
 // Tables 1–3.
+//
+// All measurement flows through internal/evalpool: a Runner builds the
+// job matrix for a table, evaluates it on a bounded worker pool, and
+// renders the ordered results. Table content is deterministic — byte
+// identical at every worker count — because the interpreter counters
+// are deterministic and the reduce is ordered; wall-clock timing
+// columns are therefore opt-in (Config.Timings) and excluded from the
+// golden files.
 package report
 
 import (
@@ -9,10 +17,49 @@ import (
 
 	"nascent"
 	"nascent/internal/dom"
+	"nascent/internal/evalpool"
 	"nascent/internal/interp"
 	"nascent/internal/loops"
 	"nascent/internal/suite"
 )
+
+// Config configures a Runner.
+type Config struct {
+	// Jobs is the worker count of the evaluation pool (<= 0 means 1,
+	// i.e. fully sequential). Table output is identical at every value;
+	// only wall-clock changes.
+	Jobs int
+	// Timings adds the wall-clock columns (Range/Nascent) to Tables
+	// 2–3. They are excluded by default so table output is
+	// reproducible byte for byte.
+	Timings bool
+	// Trace, when non-nil, receives one event per completed job stage.
+	Trace evalpool.TraceFunc
+}
+
+// Runner generates tables on a (possibly concurrent) evaluation pool.
+// The pool's front-end memo table is shared across tables: generating
+// Tables 1–3 on one Runner parses each suite program exactly once.
+type Runner struct {
+	pool    *evalpool.Pool
+	timings bool
+}
+
+// New returns a Runner with the given configuration.
+func New(cfg Config) *Runner {
+	jobs := cfg.Jobs
+	if jobs <= 0 {
+		jobs = 1
+	}
+	pool := evalpool.New(jobs)
+	if cfg.Trace != nil {
+		pool.SetTrace(cfg.Trace)
+	}
+	return &Runner{pool: pool, timings: cfg.Timings}
+}
+
+// Metrics returns the aggregate counters of the Runner's pool.
+func (r *Runner) Metrics() evalpool.Metrics { return r.pool.Metrics() }
 
 // Table1Row is one program's characteristics (paper Table 1).
 type Table1Row struct {
@@ -30,52 +77,49 @@ type Table1Row struct {
 	DynRatio    float64
 }
 
-// Measure1 computes Table 1 for one program.
-func Measure1(p suite.Program) (Table1Row, error) {
-	row := Table1Row{Program: p.Name, Suite: p.Suite}
-	row.Lines = countLines(p.Source)
+// table1Jobs is the two-job measurement of one program: the unchecked
+// build (instruction counts) and the naive checked build (check counts).
+func table1Jobs(p suite.Program) []evalpool.Job {
+	return []evalpool.Job{
+		{Name: p.Name + "/plain", Source: p.Source, Filename: p.Name + ".mf"},
+		{Name: p.Name + "/checked", Source: p.Source, Filename: p.Name + ".mf",
+			Opts: nascent.Options{BoundsChecks: true}},
+	}
+}
 
-	// Unchecked build: instruction counts without range checking.
-	plain, err := nascent.Compile(p.Source, nascent.Options{Filename: p.Name + ".mf"})
-	if err != nil {
-		return row, err
+// buildRow1 folds the two Table 1 measurements of one program into a row.
+func buildRow1(p suite.Program, plain, checked evalpool.Result) (Table1Row, error) {
+	row := Table1Row{Program: p.Name, Suite: p.Suite, Lines: countLines(p.Source)}
+	if plain.Err != nil {
+		return row, plain.Err
 	}
-	row.Subroutines = len(plain.IR.Funcs) - 1
-	// Count natural loops on a scratch compile: loop analysis creates
-	// preheader blocks, which must not perturb the measured build.
-	scratch, err := nascent.Compile(p.Source, nascent.Options{Filename: p.Name + ".mf"})
-	if err != nil {
-		return row, err
+	if checked.Err != nil {
+		return row, checked.Err
 	}
-	for _, f := range scratch.IR.Funcs {
+	row.Subroutines = len(plain.Prog.IR.Funcs) - 1
+	row.StaticInstr = interp.StaticCost(plain.Prog.IR)
+	row.DynInstr = plain.Res.Instructions
+	row.StaticChk = checked.Prog.StaticChecks()
+	if checked.Res.Trapped {
+		return row, fmt.Errorf("%s: naive run trapped: %s", p.Name, checked.Res.TrapNote)
+	}
+	row.DynChk = checked.Res.Checks
+	// Loop analysis inserts preheader blocks, so it runs last, once
+	// every measured quantity has been taken from the IR.
+	for _, f := range plain.Prog.IR.Funcs {
 		forest := loops.Analyze(f, dom.Compute(f))
 		row.Loops += len(forest.Loops)
 	}
-	row.StaticInstr = interp.StaticCost(plain.IR)
-	resPlain, err := plain.Run()
-	if err != nil {
-		return row, err
-	}
-	row.DynInstr = resPlain.Instructions
-
-	// Checked, unoptimized build: check counts.
-	checked, err := nascent.Compile(p.Source, nascent.Options{Filename: p.Name + ".mf", BoundsChecks: true})
-	if err != nil {
-		return row, err
-	}
-	row.StaticChk = checked.StaticChecks()
-	resChk, err := checked.Run()
-	if err != nil {
-		return row, err
-	}
-	if resChk.Trapped {
-		return row, fmt.Errorf("%s: naive run trapped: %s", p.Name, resChk.TrapNote)
-	}
-	row.DynChk = resChk.Checks
-
 	row.StaticRatio = 100 * float64(row.StaticChk) / float64(row.StaticInstr)
 	row.DynRatio = 100 * float64(row.DynChk) / float64(row.DynInstr)
 	return row, nil
+}
+
+// Measure1 computes Table 1 for one program.
+func Measure1(p suite.Program) (Table1Row, error) {
+	r := New(Config{})
+	results := r.pool.Evaluate(table1Jobs(p))
+	return buildRow1(p, results[0], results[1])
 }
 
 func countLines(src string) int {
@@ -95,45 +139,47 @@ type Table2Cell struct {
 	TotalTime  time.Duration // whole compile ("Nascent")
 }
 
+// optJob is the evaluation of one program under one optimizer
+// configuration.
+func optJob(p suite.Program, scheme nascent.Scheme, kind nascent.CheckKind, impl nascent.Implications) evalpool.Job {
+	return evalpool.Job{
+		Name:     fmt.Sprintf("%s/%v/%v", p.Name, scheme, kind),
+		Source:   p.Source,
+		Filename: p.Name + ".mf",
+		Opts: nascent.Options{
+			BoundsChecks: true,
+			Scheme:       scheme,
+			Kind:         kind,
+			Implications: impl,
+		},
+	}
+}
+
+// buildCell folds one optimized evaluation into a Table 2/3 cell.
+func buildCell(name string, res evalpool.Result, naiveChecks uint64) (Table2Cell, error) {
+	var cell Table2Cell
+	if res.Err != nil {
+		return cell, res.Err
+	}
+	cell.OptTime = res.Optimize
+	cell.TotalTime = res.Frontend + res.Lower + res.Optimize
+	if res.Res.Trapped {
+		return cell, fmt.Errorf("%s: optimized run trapped: %s", name, res.Res.TrapNote)
+	}
+	if naiveChecks == 0 {
+		return cell, fmt.Errorf("%s: naive check count is zero", name)
+	}
+	cell.Eliminated = 100 * (1 - float64(res.Res.Checks)/float64(naiveChecks))
+	return cell, nil
+}
+
 // Measure2 runs one scheme/kind over one program and reports the
 // elimination percentage against the naive dynamic check count.
 func Measure2(p suite.Program, scheme nascent.Scheme, kind nascent.CheckKind, impl nascent.Implications, naiveChecks uint64) (Table2Cell, error) {
-	var cell Table2Cell
-	t0 := time.Now()
-	prog, err := nascent.Compile(p.Source, nascent.Options{
-		Filename:     p.Name + ".mf",
-		BoundsChecks: true,
-		Scheme:       scheme,
-		Kind:         kind,
-		Implications: impl,
-	})
-	cell.TotalTime = time.Since(t0)
-	if err != nil {
-		return cell, err
-	}
-	// Isolate the optimization phase cost by re-measuring a plain
-	// compile and subtracting.
-	t1 := time.Now()
-	if _, err := nascent.Compile(p.Source, nascent.Options{Filename: p.Name + ".mf", BoundsChecks: true}); err != nil {
-		return cell, err
-	}
-	front := time.Since(t1)
-	if cell.TotalTime > front {
-		cell.OptTime = cell.TotalTime - front
-	}
-
-	res, err := prog.Run()
-	if err != nil {
-		return cell, err
-	}
-	if res.Trapped {
-		return cell, fmt.Errorf("%s/%v/%v: optimized run trapped: %s", p.Name, scheme, kind, res.TrapNote)
-	}
-	if naiveChecks == 0 {
-		return cell, fmt.Errorf("%s: naive check count is zero", p.Name)
-	}
-	cell.Eliminated = 100 * (1 - float64(res.Checks)/float64(naiveChecks))
-	return cell, nil
+	r := New(Config{})
+	job := optJob(p, scheme, kind, impl)
+	res := r.pool.Evaluate([]evalpool.Job{job})[0]
+	return buildCell(job.Name, res, naiveChecks)
 }
 
 // NaiveChecks runs the unoptimized checked build and returns its dynamic

@@ -6,19 +6,35 @@ import (
 	"time"
 
 	"nascent"
+	"nascent/internal/evalpool"
 	"nascent/internal/suite"
 )
 
+// Table1 renders the paper's Table 1 on a sequential Runner.
+func Table1() (string, error) { return New(Config{}).Table1() }
+
+// Table2 renders the paper's Table 2 on a sequential Runner.
+func Table2() (string, error) { return New(Config{}).Table2() }
+
+// Table3 renders the paper's Table 3 on a sequential Runner.
+func Table3() (string, error) { return New(Config{}).Table3() }
+
 // Table1 measures every suite program and renders the paper's Table 1.
-func Table1() (string, error) {
+func (r *Runner) Table1() (string, error) {
+	var jobs []evalpool.Job
+	for _, p := range suite.Programs {
+		jobs = append(jobs, table1Jobs(p)...)
+	}
+	results := r.pool.Evaluate(jobs)
+
 	var b strings.Builder
 	b.WriteString("Table 1: Program characteristics of benchmark programs\n\n")
 	fmt.Fprintf(&b, "%-8s %-10s %6s %5s %6s | %10s %12s | %8s %10s | %7s %7s\n",
 		"suite", "program", "lines", "subr", "loops",
 		"instr(s)", "instr(d)", "chk(s)", "chk(d)", "s-ratio", "d-ratio")
 	b.WriteString(strings.Repeat("-", 110) + "\n")
-	for _, p := range suite.Programs {
-		row, err := Measure1(p)
+	for i, p := range suite.Programs {
+		row, err := buildRow1(p, results[2*i], results[2*i+1])
 		if err != nil {
 			return "", fmt.Errorf("table 1: %s: %w", p.Name, err)
 		}
@@ -32,25 +48,101 @@ func Table1() (string, error) {
 	return b.String(), nil
 }
 
+// rowSpec names one row of Table 2 or 3: a labeled optimizer
+// configuration measured over the whole suite.
+type rowSpec struct {
+	Kind   nascent.CheckKind
+	Label  string
+	Scheme nascent.Scheme
+	Impl   nascent.Implications
+}
+
+// rowResult is one evaluated rowSpec: per-program cells in suite order
+// plus the row's total optimizer and compile times.
+type rowResult struct {
+	Cells []Table2Cell
+	OptT  time.Duration
+	TotT  time.Duration
+}
+
+// grid evaluates every rowSpec over the whole suite in one pool pass.
+// The job matrix is: one naive job per program (the shared
+// denominators), then one job per (row, program). Results come back in
+// row order regardless of completion order.
+func (r *Runner) grid(rows []rowSpec) ([]rowResult, error) {
+	nprog := len(suite.Programs)
+	jobs := make([]evalpool.Job, 0, nprog+len(rows)*nprog)
+	for _, p := range suite.Programs {
+		jobs = append(jobs, evalpool.Job{
+			Name:     p.Name + "/naive",
+			Source:   p.Source,
+			Filename: p.Name + ".mf",
+			Opts:     nascent.Options{BoundsChecks: true},
+		})
+	}
+	for _, row := range rows {
+		for _, p := range suite.Programs {
+			jobs = append(jobs, optJob(p, row.Scheme, row.Kind, row.Impl))
+		}
+	}
+	results := r.pool.Evaluate(jobs)
+
+	naive := results[:nprog]
+	for j, p := range suite.Programs {
+		if naive[j].Err != nil {
+			return nil, fmt.Errorf("%s: naive: %w", p.Name, naive[j].Err)
+		}
+	}
+	out := make([]rowResult, len(rows))
+	for i, row := range rows {
+		rr := rowResult{Cells: make([]Table2Cell, nprog)}
+		for j, p := range suite.Programs {
+			res := results[nprog+i*nprog+j]
+			name := fmt.Sprintf("%s/%s/%v", p.Name, row.Label, row.Kind)
+			cell, err := buildCell(name, res, naive[j].Res.Checks)
+			if err != nil {
+				return nil, err
+			}
+			rr.Cells[j] = cell
+			rr.OptT += cell.OptTime
+			rr.TotT += cell.TotalTime
+		}
+		out[i] = rr
+	}
+	return out, nil
+}
+
 // Table2 measures the seven placement schemes × {PRX, INX} and renders
 // the paper's Table 2 (percent of dynamic checks eliminated).
-func Table2() (string, error) {
-	schemes := nascent.OptimizedSchemes
-	var b strings.Builder
-	b.WriteString("Table 2: Percentage of checks eliminated by optimizations and compilation time\n\n")
-	header(&b, "kind", "scheme")
-
+func (r *Runner) Table2() (string, error) {
+	var rows []rowSpec
 	for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
-		for _, sch := range schemes {
-			cells, optT, totT, err := measureRow(sch, kind, nascent.ImplyFull)
-			if err != nil {
-				return "", fmt.Errorf("table 2: %v/%v: %w", sch, kind, err)
-			}
-			writeRow(&b, kind.String(), sch.String(), cells, optT, totT)
+		for _, sch := range nascent.OptimizedSchemes {
+			rows = append(rows, rowSpec{Kind: kind, Label: sch.String(), Scheme: sch, Impl: nascent.ImplyFull})
 		}
-		b.WriteString("\n")
 	}
-	b.WriteString("Range = time in the range check optimizer, Nascent = whole compilation, all 10 programs.\n")
+	evaluated, err := r.grid(rows)
+	if err != nil {
+		return "", fmt.Errorf("table 2: %w", err)
+	}
+
+	var b strings.Builder
+	b.WriteString("Table 2: Percentage of checks eliminated by optimizations")
+	if r.timings {
+		b.WriteString(" and compilation time")
+	}
+	b.WriteString("\n\n")
+	r.header(&b, "kind", "scheme")
+	for i, row := range rows {
+		if i > 0 && row.Kind != rows[i-1].Kind {
+			b.WriteString("\n")
+		}
+		r.writeRow(&b, row.Kind.String(), row.Label, evaluated[i])
+	}
+	b.WriteString("\n")
+	if r.timings {
+		b.WriteString("Range = time in the range check optimizer, Nascent = whole compilation, all 10 programs.\n")
+	}
 	return b.String(), nil
 }
 
@@ -74,32 +166,43 @@ var Table3Variants = []Table3Variant{
 
 // Table3 measures the implication ablation and renders the paper's
 // Table 3.
-func Table3() (string, error) {
-	var b strings.Builder
-	b.WriteString("Table 3: Percentage of checks eliminated with and without implications between checks\n\n")
-	header(&b, "kind", "variant")
+func (r *Runner) Table3() (string, error) {
+	var rows []rowSpec
 	for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
 		for _, v := range Table3Variants {
-			cells, optT, totT, err := measureRow(v.Scheme, kind, v.Impl)
-			if err != nil {
-				return "", fmt.Errorf("table 3: %s/%v: %w", v.Label, kind, err)
-			}
-			writeRow(&b, kind.String(), v.Label, cells, optT, totT)
+			rows = append(rows, rowSpec{Kind: kind, Label: v.Label, Scheme: v.Scheme, Impl: v.Impl})
 		}
-		b.WriteString("\n")
 	}
-	b.WriteString("NI'/SE' disable all implications between checks; LLS' disables only\n")
+	evaluated, err := r.grid(rows)
+	if err != nil {
+		return "", fmt.Errorf("table 3: %w", err)
+	}
+
+	var b strings.Builder
+	b.WriteString("Table 3: Percentage of checks eliminated with and without implications between checks\n\n")
+	r.header(&b, "kind", "variant")
+	for i, row := range rows {
+		if i > 0 && row.Kind != rows[i-1].Kind {
+			b.WriteString("\n")
+		}
+		r.writeRow(&b, row.Kind.String(), row.Label, evaluated[i])
+	}
+	b.WriteString("\nNI'/SE' disable all implications between checks; LLS' disables only\n")
 	b.WriteString("within-family implications, keeping the preheader->body edges.\n")
 	return b.String(), nil
 }
 
-func header(b *strings.Builder, k1, k2 string) {
+func (r *Runner) header(b *strings.Builder, k1, k2 string) {
 	fmt.Fprintf(b, "%-5s %-7s", k1, k2)
 	for _, p := range suite.Programs {
 		fmt.Fprintf(b, " %9s", abbreviate(p.Name))
 	}
-	fmt.Fprintf(b, " | %9s %9s\n", "Range", "Nascent")
-	b.WriteString(strings.Repeat("-", 5+1+7+10*len(suite.Programs)+23) + "\n")
+	width := 5 + 1 + 7 + 10*len(suite.Programs)
+	if r.timings {
+		fmt.Fprintf(b, " | %9s %9s", "Range", "Nascent")
+		width += 23
+	}
+	b.WriteString("\n" + strings.Repeat("-", width) + "\n")
 }
 
 func abbreviate(name string) string {
@@ -109,34 +212,15 @@ func abbreviate(name string) string {
 	return name
 }
 
-func writeRow(b *strings.Builder, kind, label string, cells map[string]Table2Cell, optT, totT time.Duration) {
+func (r *Runner) writeRow(b *strings.Builder, kind, label string, row rowResult) {
 	fmt.Fprintf(b, "%-5s %-7s", kind, label)
-	for _, p := range suite.Programs {
-		fmt.Fprintf(b, " %8.2f%%", cells[p.Name].Eliminated)
+	for _, cell := range row.Cells {
+		fmt.Fprintf(b, " %8.2f%%", cell.Eliminated)
 	}
-	fmt.Fprintf(b, " | %9s %9s\n", optT.Round(time.Millisecond), totT.Round(time.Millisecond))
-}
-
-// measureRow measures one (scheme, kind, implications) row over the whole
-// suite, returning per-program cells plus total optimizer and compile
-// times.
-func measureRow(sch nascent.Scheme, kind nascent.CheckKind, impl nascent.Implications) (map[string]Table2Cell, time.Duration, time.Duration, error) {
-	cells := make(map[string]Table2Cell, len(suite.Programs))
-	var optT, totT time.Duration
-	for _, p := range suite.Programs {
-		naive, err := NaiveChecks(p)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		cell, err := Measure2(p, sch, kind, impl, naive)
-		if err != nil {
-			return nil, 0, 0, err
-		}
-		cells[p.Name] = cell
-		optT += cell.OptTime
-		totT += cell.TotalTime
+	if r.timings {
+		fmt.Fprintf(b, " | %9s %9s", row.OptT.Round(time.Millisecond), row.TotT.Round(time.Millisecond))
 	}
-	return cells, optT, totT, nil
+	b.WriteString("\n")
 }
 
 // SummaryRow is a compact (scheme,kind) → per-program elimination map
@@ -149,35 +233,33 @@ type SummaryRow struct {
 
 // Summarize runs the full Table 2 + Table 3 measurement grid and returns
 // the rows in a deterministic order.
-func Summarize() ([]SummaryRow, error) {
-	var rows []SummaryRow
-	add := func(label string, kind nascent.CheckKind, sch nascent.Scheme, impl nascent.Implications) error {
-		cells, _, _, err := measureRow(sch, kind, impl)
-		if err != nil {
-			return err
-		}
-		r := SummaryRow{Label: label, Kind: kind, Percent: map[string]float64{}}
-		for name, c := range cells {
-			r.Percent[name] = c.Eliminated
-		}
-		rows = append(rows, r)
-		return nil
-	}
+func Summarize() ([]SummaryRow, error) { return New(Config{}).Summarize() }
+
+// Summarize runs the full Table 2 + Table 3 measurement grid on the
+// Runner's pool and returns the rows in a deterministic order.
+func (r *Runner) Summarize() ([]SummaryRow, error) {
+	var rows []rowSpec
 	for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
 		for _, sch := range nascent.OptimizedSchemes {
-			if err := add(sch.String(), kind, sch, nascent.ImplyFull); err != nil {
-				return nil, err
-			}
+			rows = append(rows, rowSpec{Kind: kind, Label: sch.String(), Scheme: sch, Impl: nascent.ImplyFull})
 		}
-		if err := add("NI'", kind, nascent.NI, nascent.ImplyNone); err != nil {
-			return nil, err
-		}
-		if err := add("SE'", kind, nascent.SE, nascent.ImplyNone); err != nil {
-			return nil, err
-		}
-		if err := add("LLS'", kind, nascent.LLS, nascent.ImplyCross); err != nil {
-			return nil, err
-		}
+		rows = append(rows,
+			rowSpec{Kind: kind, Label: "NI'", Scheme: nascent.NI, Impl: nascent.ImplyNone},
+			rowSpec{Kind: kind, Label: "SE'", Scheme: nascent.SE, Impl: nascent.ImplyNone},
+			rowSpec{Kind: kind, Label: "LLS'", Scheme: nascent.LLS, Impl: nascent.ImplyCross},
+		)
 	}
-	return rows, nil
+	evaluated, err := r.grid(rows)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SummaryRow, len(rows))
+	for i, row := range rows {
+		sr := SummaryRow{Label: row.Label, Kind: row.Kind, Percent: map[string]float64{}}
+		for j, p := range suite.Programs {
+			sr.Percent[p.Name] = evaluated[i].Cells[j].Eliminated
+		}
+		out[i] = sr
+	}
+	return out, nil
 }

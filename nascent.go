@@ -19,6 +19,7 @@ package nascent
 import (
 	"fmt"
 	"runtime/debug"
+	"time"
 
 	"nascent/internal/ast"
 	"nascent/internal/core"
@@ -194,27 +195,38 @@ type RunResult = interp.Result
 // RunConfig bounds execution.
 type RunConfig = interp.Config
 
-// Compile parses, analyzes, lowers, and (per Options) optimizes an MF
-// program.
+// Frontend holds the parse and semantic-analysis artifacts of one
+// source text. The front half of compilation is independent of every
+// backend option (bounds checking, scheme, kind, implications,
+// rotation), so one Frontend can be reused across all optimizer
+// configurations of the same program: each Compile call lowers fresh IR
+// from the shared analysis.
 //
-// Compile never panics: an internal invariant violation in any stage is
-// recovered and returned as a stage-tagged *InternalError. When the
-// optimizer fails on an individual function, that function falls back to
-// its naive (fully checked) body, the failure is recorded in
-// OptReport.Degraded, and compilation still succeeds.
-func Compile(src string, opts Options) (prog *Program, err error) {
+// A Frontend is immutable after construction and safe for concurrent
+// Compile calls; internal/evalpool memoizes Frontends keyed by source
+// hash to share the parse/analyze cost across a job matrix.
+type Frontend struct {
+	file     *ast.File
+	sem      *sem.Program
+	filename string
+}
+
+// Analyze runs the parse and semantic-analysis stages once. An empty
+// filename defaults to "input.mf". Like Compile, it never panics:
+// internal invariant violations surface as stage-tagged *InternalError.
+func Analyze(src, filename string) (fe *Frontend, err error) {
 	stage := "parse"
 	defer func() {
 		if r := recover(); r != nil {
-			prog = nil
+			fe = nil
 			err = &InternalError{Stage: stage, Recovered: r, Stack: debug.Stack()}
 		}
 	}()
 
-	if opts.Filename == "" {
-		opts.Filename = "input.mf"
+	if filename == "" {
+		filename = "input.mf"
 	}
-	file, err := parser.Parse(opts.Filename, src)
+	file, err := parser.Parse(filename, src)
 	if err != nil {
 		return nil, fmt.Errorf("parse: %w", err)
 	}
@@ -223,12 +235,47 @@ func Compile(src string, opts Options) (prog *Program, err error) {
 	if err != nil {
 		return nil, fmt.Errorf("analyze: %w", err)
 	}
-	stage = "lower"
-	irProg, err := irbuild.Build(semProg, irbuild.Options{BoundsChecks: opts.BoundsChecks})
+	return &Frontend{file: file, sem: semProg, filename: filename}, nil
+}
+
+// Filename returns the diagnostic filename the Frontend was built with.
+func (fe *Frontend) Filename() string { return fe.filename }
+
+// StageTimes reports the wall-clock cost of the backend stages of one
+// Compile call (the paper's "Range" column isolates Optimize).
+type StageTimes struct {
+	Lower    time.Duration
+	Optimize time.Duration
+}
+
+// Compile lowers and (per Options) optimizes the analyzed program. The
+// Options' Filename field is ignored (the Frontend's filename already
+// seeded all positions). Safe for concurrent use: every call builds
+// fresh IR.
+func (fe *Frontend) Compile(opts Options) (*Program, error) {
+	return fe.CompileTimed(opts, nil)
+}
+
+// CompileTimed is Compile with per-stage wall-clock reporting: when st
+// is non-nil it receives the lower and optimize durations.
+func (fe *Frontend) CompileTimed(opts Options, st *StageTimes) (prog *Program, err error) {
+	stage := "lower"
+	defer func() {
+		if r := recover(); r != nil {
+			prog = nil
+			err = &InternalError{Stage: stage, Recovered: r, Stack: debug.Stack()}
+		}
+	}()
+
+	t0 := time.Now()
+	irProg, err := irbuild.Build(fe.sem, irbuild.Options{BoundsChecks: opts.BoundsChecks})
+	if st != nil {
+		st.Lower = time.Since(t0)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("lower: %w", err)
 	}
-	prog = &Program{IR: irProg, AST: file}
+	prog = &Program{IR: irProg, AST: fe.file}
 	if opts.Scheme == Naive {
 		return prog, nil
 	}
@@ -237,12 +284,16 @@ func Compile(src string, opts Options) (prog *Program, err error) {
 		return nil, fmt.Errorf("unknown scheme %v", opts.Scheme)
 	}
 	stage = "optimize"
+	t1 := time.Now()
 	res, err := core.Optimize(irProg, core.Options{
 		Scheme: cs,
 		Kind:   core.CheckKind(opts.Kind),
 		Mode:   implModes[opts.Implications],
 		Rotate: opts.RotateLoops,
 	})
+	if st != nil {
+		st.Optimize = time.Since(t1)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("optimize: %w", err)
 	}
@@ -258,6 +309,22 @@ func Compile(src string, opts Options) (prog *Program, err error) {
 		Degraded:        res.Degraded,
 	}
 	return prog, nil
+}
+
+// Compile parses, analyzes, lowers, and (per Options) optimizes an MF
+// program.
+//
+// Compile never panics: an internal invariant violation in any stage is
+// recovered and returned as a stage-tagged *InternalError. When the
+// optimizer fails on an individual function, that function falls back to
+// its naive (fully checked) body, the failure is recorded in
+// OptReport.Degraded, and compilation still succeeds.
+func Compile(src string, opts Options) (*Program, error) {
+	fe, err := Analyze(src, opts.Filename)
+	if err != nil {
+		return nil, err
+	}
+	return fe.Compile(opts)
 }
 
 // Run executes the program with default limits.
