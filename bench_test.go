@@ -13,11 +13,14 @@ package nascent_test
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"nascent"
 	"nascent/internal/report"
 	"nascent/internal/suite"
+	"nascent/internal/vm"
 )
 
 func compileOrFatal(b *testing.B, src string, opts nascent.Options) *nascent.Program {
@@ -249,6 +252,68 @@ func BenchmarkTableRegeneration(b *testing.B) {
 			}
 			b.ReportMetric(float64(m), "frontend-compiles/op")
 		})
+	}
+}
+
+// BenchmarkEngines compares the two execution engines on the whole
+// benchmark suite, compiled naive (every range check live — the
+// heaviest dynamic load either engine faces). Programs are compiled
+// once outside the timer, so ns/op and allocs/op are pure execution:
+// the substrate cost underneath every table regeneration. jobs=N
+// shards the ten programs across N goroutines the way the evaluation
+// pool shards the table matrix (on a single-core host jobs=4 simply
+// matches jobs=1). Both engines execute identical dynamic instruction
+// streams — the conformance suite pins that — so the ns/op ratio is
+// the VM's speedup, recorded in BENCH_vm.json.
+func BenchmarkEngines(b *testing.B) {
+	progs := make([]*nascent.Program, len(suite.Programs))
+	bytecode := make([]*vm.Program, len(suite.Programs))
+	var instrs uint64
+	for i, p := range suite.Programs {
+		cp, err := nascent.Compile(p.Source, nascent.Options{BoundsChecks: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs[i] = cp
+		if bytecode[i], err = vm.Compile(cp.IR); err != nil {
+			b.Fatal(err)
+		}
+		instrs += runOrFatal(b, cp).Instructions
+	}
+	runAll := func(b *testing.B, engine nascent.Engine, jobs int) {
+		var wg sync.WaitGroup
+		var failed atomic.Bool
+		for w := 0; w < jobs; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for k := w; k < len(progs); k += jobs {
+					var err error
+					if engine == nascent.EngineVM {
+						_, err = bytecode[k].Run(nascent.RunConfig{})
+					} else {
+						_, err = progs[k].RunWith(nascent.RunConfig{})
+					}
+					if err != nil {
+						failed.Store(true)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		if failed.Load() {
+			b.Fatal("suite program failed under benchmark")
+		}
+	}
+	for _, engine := range []nascent.Engine{nascent.EngineTree, nascent.EngineVM} {
+		for _, jobs := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%v/jobs=%d", engine, jobs), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					runAll(b, engine, jobs)
+				}
+				b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+			})
+		}
 	}
 }
 

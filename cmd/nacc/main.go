@@ -11,6 +11,9 @@
 //	-scheme naive|NI|CS|LNI|SE|LI|LLS|ALL|MCM  placement scheme (default naive)
 //	-kind   PRX|INX                            check construction (default PRX)
 //	-impl   full|none|cross                    implication mode (default full)
+//	-engine tree|vm                            execution engine (default tree);
+//	                                           with -verify, vm also enables the
+//	                                           tree-vs-vm engine-identity sweep
 //	-nocheck                                   compile without range checks
 //	-dump                                      print the optimized IR, do not run
 //	-stats                                     print static/dynamic statistics
@@ -78,6 +81,7 @@ func run(argv []string, stdout, stderr *os.File) int {
 	schemeFlag := fs.String("scheme", "naive", "placement scheme: naive|NI|CS|LNI|SE|LI|LLS|ALL|MCM")
 	kindFlag := fs.String("kind", "PRX", "check construction: PRX|INX")
 	implFlag := fs.String("impl", "full", "implications: full|none|cross")
+	engineFlag := fs.String("engine", "tree", "execution engine: tree|vm")
 	noCheck := fs.Bool("nocheck", false, "compile without range checks")
 	dump := fs.Bool("dump", false, "print the IR instead of running")
 	cig := fs.Bool("cig", false, "print the check implication graph instead of running")
@@ -115,9 +119,14 @@ func run(argv []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "nacc: unknown implication mode %q\n", *implFlag)
 		return exitUsage
 	}
+	engine, err := nascent.ParseEngine(strings.ToLower(*engineFlag))
+	if err != nil {
+		fmt.Fprintf(stderr, "nacc: %v\n", err)
+		return exitUsage
+	}
 
 	if *verify {
-		return runVerify(file, string(src), stdout, stderr)
+		return runVerify(file, string(src), engine, stdout, stderr)
 	}
 
 	prog, err := nascent.Compile(string(src), nascent.Options{
@@ -159,7 +168,7 @@ func run(argv []string, stdout, stderr *os.File) int {
 	if !*doRun {
 		return exitOK
 	}
-	res, err := prog.Run()
+	res, err := prog.RunWith(nascent.RunConfig{Engine: engine})
 	if err != nil {
 		fmt.Fprintf(stderr, "nacc: run: %v\n", err)
 		if errors.Is(err, nascent.ErrResourceExhausted) {
@@ -184,8 +193,14 @@ func run(argv []string, stdout, stderr *os.File) int {
 // runVerify compiles and executes the source under every optimizing
 // variant and compares each against the naive baseline. The sweep is
 // sharded across all CPUs; the report is identical to a sequential run.
-func runVerify(file, src string, stdout, stderr *os.File) int {
-	rep, err := oracle.Verify(src, oracle.Config{Jobs: runtime.GOMAXPROCS(0)})
+// Selecting the VM engine additionally runs every variant under both
+// engines and asserts the engine-identity invariant.
+func runVerify(file, src string, engine nascent.Engine, stdout, stderr *os.File) int {
+	cfg := oracle.Config{Jobs: runtime.GOMAXPROCS(0)}
+	if engine == nascent.EngineVM {
+		cfg.Engines = []nascent.Engine{nascent.EngineTree, nascent.EngineVM}
+	}
+	rep, err := oracle.Verify(src, cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "nacc: verify: %v\n", err)
 		if errors.Is(err, nascent.ErrResourceExhausted) {

@@ -3,11 +3,20 @@
 //
 // Usage:
 //
-//	rangebench [-table N] [-jobs N] [-times] [-trace]
+//	rangebench [-table N] [-jobs N] [-engine tree|vm] [-times] [-trace]
+//	           [-cpuprofile file] [-memprofile file]
 //
 // With no flags, all three tables are printed. -table 1 prints program
 // characteristics (naive check overhead), -table 2 the seven placement
 // schemes × {PRX, INX}, -table 3 the implication ablation.
+//
+// -engine selects the execution substrate: the tree-walking reference
+// interpreter (default) or the bytecode VM. Table output is
+// byte-identical under either engine — the CI pipeline diffs them —
+// so the flag only changes wall-clock.
+//
+// -cpuprofile / -memprofile write pprof profiles of the whole run, for
+// chasing interpreter hot spots (`go tool pprof`).
 //
 // -jobs N shards the evaluation matrix across N workers (default: all
 // CPUs). Table output is byte-identical at every -jobs value — the
@@ -28,7 +37,9 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
+	"nascent"
 	"nascent/internal/evalpool"
 	"nascent/internal/report"
 )
@@ -36,12 +47,56 @@ import (
 func main() {
 	table := flag.Int("table", 0, "table to print (1, 2, or 3; 0 = all)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "number of parallel evaluation workers")
+	engineFlag := flag.String("engine", "tree", "execution engine: tree (reference) or vm (bytecode)")
 	times := flag.Bool("times", false, "include wall-clock columns (non-reproducible) in tables 2-3")
 	trace := flag.Bool("trace", false, "log per-job stage timings to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 
-	cfg := report.Config{Jobs: *jobs, Timings: *times}
-	if *trace {
+	engine, err := nascent.ParseEngine(*engineFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+		os.Exit(2)
+	}
+
+	// Profiles are flushed before the final os.Exit, so the run body
+	// lives in a function whose defers complete first.
+	os.Exit(run(*table, *jobs, engine, *times, *trace, *cpuprofile, *memprofile))
+}
+
+func run(table, jobs int, engine nascent.Engine, times, trace bool, cpuprofile, memprofile string) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if memprofile == "" {
+			return
+		}
+		f, err := os.Create(memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+		}
+	}()
+
+	cfg := report.Config{Jobs: jobs, Timings: times, Engine: engine}
+	if trace {
 		cfg.Trace = func(ev evalpool.Event) {
 			status := ""
 			if ev.CacheHit {
@@ -66,7 +121,7 @@ func main() {
 	}
 	failed := 0
 	for _, tb := range tables {
-		if *table != 0 && *table != tb.n {
+		if table != 0 && table != tb.n {
 			continue
 		}
 		out, err := tb.f()
@@ -79,10 +134,11 @@ func main() {
 		}
 		fmt.Println(out)
 	}
-	if *trace {
+	if trace {
 		fmt.Fprintf(os.Stderr, "%s\n", r.Metrics())
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,257 @@
+// Package conformance holds the corpus of small MF programs whose exact
+// observable behavior — dynamic non-check instructions, dynamic range
+// checks, output, and (for trapping programs) the trap's note, class,
+// and source position — is pinned under the naive checked build.
+//
+// These counters are the substrate of the paper's Tables 1–3, and the
+// repository now has two execution engines (the internal/interp
+// tree-walker and the internal/vm bytecode VM) plus a parallel
+// evaluation engine that reorders when they are computed — so this
+// corpus exists to make any drift in counting semantics, in either
+// engine, a loud exact test failure rather than a quiet change in the
+// tables. The values were recorded from the interpreter's cost model
+// (see the internal/interp package comment) and must only change
+// together with a deliberate, documented cost-model change and a
+// golden-table refresh.
+//
+// The package deliberately imports neither engine, so both engines'
+// test suites (and the cross-engine differential tests) can share it.
+package conformance
+
+import "nascent/internal/source"
+
+// Case pins one program's exact observables under the naive checked
+// build. TrapClass is the string form of interp.TrapClass ("check" or
+// "static").
+type Case struct {
+	Name   string
+	Src    string
+	Instr  uint64 // dynamic non-check instructions (checked build)
+	Checks uint64 // dynamic range checks performed
+	Output string
+
+	Trapped   bool
+	TrapNote  string
+	TrapClass string
+	TrapPos   source.Pos
+}
+
+// Corpus lists the conformance cases.
+var Corpus = []Case{
+	{
+		// Repeated scalar subscripts in straight-line code: every load
+		// and store checks both bounds (2 checks per access, 6 accesses).
+		Name: "straightline",
+		Src: `program straightline
+  integer a(1:10)
+  a(1) = 1
+  a(2) = 2
+  a(1) = a(1) + a(2)
+  print a(1)
+end
+`,
+		Instr: 10, Checks: 12, Output: "3\n",
+	},
+	{
+		// Two sequential do loops: 40 accesses, 2 checks each.
+		Name: "doloop",
+		Src: `program doloop
+  integer a(1:20)
+  integer i, s
+  s = 0
+  do i = 1, 20
+    a(i) = 2 * i
+  enddo
+  do i = 1, 20
+    s = s + a(i)
+  enddo
+  print s
+end
+`,
+		Instr: 475, Checks: 80, Output: "420\n",
+	},
+	{
+		// Triangular nested loops over a 2-D array: 78 stores + 78
+		// loads, 4 checks per 2-D access.
+		Name: "triangular",
+		Src: `program triangular
+  integer m(1:12, 1:12)
+  integer i, j, s
+  s = 0
+  do i = 1, 12
+    do j = 1, i
+      m(i, j) = i + j
+    enddo
+  enddo
+  do i = 1, 12
+    do j = 1, i
+      s = s + m(i, j)
+    enddo
+  enddo
+  print s
+end
+`,
+		Instr: 2823, Checks: 624, Output: "1014\n",
+	},
+	{
+		// A while loop is not a do loop: no DoLoopInfo, the condition
+		// re-evaluates every iteration, and its 16 stores check both
+		// bounds plus the final a(16) load.
+		Name: "whileloop",
+		Src: `program whileloop
+  integer a(1:16)
+  integer i
+  i = 1
+  while (i <= 16)
+    a(i) = i
+    i = i + 1
+  endwhile
+  print a(16)
+end
+`,
+		Instr: 169, Checks: 34, Output: "16\n",
+	},
+	{
+		// Subscripts under if/else: both arms store once per
+		// iteration, so 10 stores + 2 final loads = 24 checks.
+		Name: "conditional",
+		Src: `program conditional
+  integer a(1:10)
+  integer i
+  do i = 1, 10
+    if (i > 5) then
+      a(i) = i
+    else
+      a(i + 0) = 2 * i
+    endif
+  enddo
+  print a(3), a(8)
+end
+`,
+		Instr: 160, Checks: 24, Output: "6 8\n",
+	},
+	{
+		// Indirect (gather/scatter) subscripts: a(idx(i)) performs the
+		// inner load's checks and the outer store's checks.
+		Name: "indirect",
+		Src: `program indirect
+  integer idx(1:8)
+  integer a(1:8)
+  integer i, s
+  do i = 1, 8
+    idx(i) = 9 - i
+  enddo
+  s = 0
+  do i = 1, 8
+    a(idx(i)) = i
+  enddo
+  do i = 1, 8
+    s = s + a(i)
+  enddo
+  print s
+end
+`,
+		Instr: 292, Checks: 64, Output: "36\n",
+	},
+	{
+		// Zero-trip loop: the body never executes, so no checks are
+		// performed at all — skipped checks must not count.
+		Name: "zerotrip",
+		Src: `program zerotrip
+  integer a(1:5)
+  integer i, n
+  n = 0
+  do i = 1, n
+    a(i) = 1
+  enddo
+  print n
+end
+`,
+		Instr: 11, Checks: 0, Output: "0\n",
+	},
+	{
+		// 2-D stencil with real arithmetic: 64 stores + 144 loads at 4
+		// checks each; address arithmetic costs 1 + 2·(dims−1).
+		Name: "stencil2d",
+		Src: `program stencil2d
+  real u(1:8, 1:8)
+  real s
+  integer i, j
+  do i = 1, 8
+    do j = 1, 8
+      u(i, j) = float(i + j)
+    enddo
+  enddo
+  s = 0.0
+  do i = 2, 7
+    do j = 2, 7
+      s = s + u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1)
+    enddo
+  enddo
+  print s
+end
+`,
+		Instr: 2603, Checks: 832, Output: "1296\n",
+	},
+	{
+		// Cross-subroutine accesses through globals: subroutine bodies
+		// check like any other access.
+		Name: "subcall",
+		Src: `program subcall
+  integer a(1:6)
+  integer i, n
+  n = 6
+  do i = 1, n
+    a(i) = 0
+  enddo
+  call fill(2)
+  call fill(5)
+  print a(2), a(5)
+end
+subroutine fill(k)
+  a(k) = a(k) + n
+end
+`,
+		Instr: 94, Checks: 24, Output: "6 6\n",
+	},
+	{
+		// Non-unit lower bound: checks compare against the declared
+		// range, not a zero base.
+		Name: "negbounds",
+		Src: `program negbounds
+  integer a(-3:3)
+  integer i, s
+  s = 0
+  do i = -3, 3
+    a(i) = i * i
+  enddo
+  do i = -3, 3
+    s = s + a(i)
+  enddo
+  print s
+end
+`,
+		Instr: 183, Checks: 28, Output: "28\n",
+	},
+	{
+		// A failing check: the sixth store violates the upper bound.
+		// Counters freeze at the trap (5 full iterations plus the
+		// partial sixth), output is empty, and the trap position is
+		// the store's subscript.
+		Name: "trap",
+		Src: `program trap
+  integer a(1:5)
+  integer i
+  do i = 1, 6
+    a(i) = i
+  enddo
+  print a(1)
+end
+`,
+		Instr: 55, Checks: 12, Output: "",
+		Trapped:   true,
+		TrapNote:  "check (i <= 5) failed (lhs=6) [a dim 1 upper]",
+		TrapClass: "check",
+		TrapPos:   source.Pos{Line: 5, Col: 5},
+	},
+}

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"nascent"
+	"nascent/internal/vm"
 )
 
 // Job is one independent evaluation: compile Source under Opts and
@@ -114,6 +115,10 @@ type Metrics struct {
 	// FrontendCompiles / FrontendHits split the memo table's traffic.
 	FrontendCompiles int
 	FrontendHits     int
+	// BytecodeCompiles / BytecodeHits split the bytecode memo's traffic
+	// (EngineVM jobs only; tree-walker jobs never touch it).
+	BytecodeCompiles int
+	BytecodeHits     int
 	// Stage wall-clock totals, summed across workers (under full
 	// parallelism the sum exceeds elapsed time).
 	FrontendTime time.Duration
@@ -136,12 +141,29 @@ type Pool struct {
 
 	mu      sync.Mutex
 	memo    map[feKey]*feEntry
+	bcMemo  map[bcKey]*bcEntry
 	metrics Metrics
 }
 
 type feKey struct {
 	hash     [sha256.Size]byte
 	filename string
+}
+
+// bcKey identifies one compiled bytecode program: the front-end key
+// plus the full backend option set. The whole compile pipeline is
+// deterministic, so two jobs with equal keys lower to equivalent IR
+// and can share one immutable vm.Program.
+type bcKey struct {
+	fe   feKey
+	opts nascent.Options
+}
+
+// bcEntry is a once-guarded bytecode memo slot, like feEntry.
+type bcEntry struct {
+	once sync.Once
+	prog *vm.Program
+	err  error
 }
 
 // feEntry is a once-guarded memo slot: the first job to need a front
@@ -160,7 +182,11 @@ func New(workers int) *Pool {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Pool{workers: workers, memo: make(map[feKey]*feEntry)}
+	return &Pool{
+		workers: workers,
+		memo:    make(map[feKey]*feEntry),
+		bcMemo:  make(map[bcKey]*bcEntry),
+	}
 }
 
 // Workers returns the pool's concurrency bound.
@@ -220,8 +246,7 @@ func (p *Pool) Evaluate(jobs []Job) []Result {
 // frontend returns the memoized front end for a job, compiling it on
 // first use. The duration returned is the compile cost when this call
 // populated the entry, zero on a hit.
-func (p *Pool) frontend(job *Job) (*nascent.Frontend, time.Duration, bool, error) {
-	key := feKey{hash: sha256.Sum256([]byte(job.Source)), filename: job.Filename}
+func (p *Pool) frontend(job *Job, key feKey) (*nascent.Frontend, time.Duration, bool, error) {
 	p.mu.Lock()
 	e := p.memo[key]
 	if e == nil {
@@ -243,10 +268,52 @@ func (p *Pool) frontend(job *Job) (*nascent.Frontend, time.Duration, bool, error
 	return e.fe, e.dur, false, e.err
 }
 
+// execute runs a compiled job under its configured engine. EngineVM
+// jobs without a Mutate hook share compiled bytecode through the
+// bytecode memo: the compile pipeline is deterministic, so every job
+// with the same (source, filename, options) lowers to equivalent IR,
+// and one immutable vm.Program serves them all. A Mutate hook (the
+// oracle's miscompilation injector) changes the IR after compilation,
+// so mutated jobs bypass the memo and run through the ordinary
+// per-run dispatch.
+func (p *Pool) execute(job *Job, key feKey, prog *nascent.Program) (nascent.RunResult, error) {
+	if job.Run.Engine != nascent.EngineVM || job.Mutate != nil {
+		return prog.RunWith(job.Run)
+	}
+	opts := job.Opts
+	opts.Filename = "" // ignored by Compile; keep it out of the key
+	bk := bcKey{fe: key, opts: opts}
+	p.mu.Lock()
+	e := p.bcMemo[bk]
+	if e == nil {
+		e = &bcEntry{}
+		p.bcMemo[bk] = e
+	}
+	p.mu.Unlock()
+
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		e.prog, e.err = vm.Compile(prog.IR)
+	})
+	p.mu.Lock()
+	if hit {
+		p.metrics.BytecodeHits++
+	} else {
+		p.metrics.BytecodeCompiles++
+	}
+	p.mu.Unlock()
+	if e.err != nil {
+		return nascent.RunResult{}, e.err
+	}
+	return e.prog.Run(job.Run)
+}
+
 func (p *Pool) runJob(i int, job *Job) Result {
 	var res Result
 
-	fe, feDur, hit, err := p.frontend(job)
+	key := feKey{hash: sha256.Sum256([]byte(job.Source)), filename: job.Filename}
+	fe, feDur, hit, err := p.frontend(job, key)
 	res.Frontend, res.CacheHit = feDur, hit
 	p.emit(Event{Job: i, Name: job.Name, Stage: StageFrontend, Duration: feDur, CacheHit: hit, Err: err})
 	if err != nil {
@@ -271,7 +338,7 @@ func (p *Pool) runJob(i int, job *Job) Result {
 			job.Mutate(prog)
 		}
 		t0 := time.Now()
-		rr, err := prog.RunWith(job.Run)
+		rr, err := p.execute(job, key, prog)
 		res.Run = time.Since(t0)
 		p.emit(Event{Job: i, Name: job.Name, Stage: StageRun, Duration: res.Run, Err: err})
 		if err != nil {

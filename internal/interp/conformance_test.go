@@ -3,282 +3,41 @@ package interp
 import (
 	"testing"
 
-	"nascent/internal/source"
+	"nascent/internal/conformance"
 )
 
-// conformanceCase pins the exact observable behavior of one small MF
-// program under the naive checked build: dynamic non-check
-// instructions, dynamic range checks, output, and (for trapping
-// programs) the trap's note, class, and source position.
-//
-// These counters are the substrate of the paper's Tables 1–3, and the
-// parallel evaluation engine (internal/evalpool) reorders when they
-// are computed — so this corpus exists to make any drift in counting
-// semantics a loud, exact test failure rather than a quiet change in
-// the tables. The values were recorded from the interpreter's cost
-// model (see the package comment) and must only change together with a
-// deliberate, documented cost-model change and a golden-table refresh.
-type conformanceCase struct {
-	name   string
-	src    string
-	instr  uint64 // dynamic non-check instructions (checked build)
-	checks uint64 // dynamic range checks performed
-	output string
-
-	trapped   bool
-	trapNote  string
-	trapClass TrapClass
-	trapPos   source.Pos
-}
-
-var conformanceCorpus = []conformanceCase{
-	{
-		// Repeated scalar subscripts in straight-line code: every load
-		// and store checks both bounds (2 checks per access, 6 accesses).
-		name: "straightline",
-		src: `program straightline
-  integer a(1:10)
-  a(1) = 1
-  a(2) = 2
-  a(1) = a(1) + a(2)
-  print a(1)
-end
-`,
-		instr: 10, checks: 12, output: "3\n",
-	},
-	{
-		// Two sequential do loops: 40 accesses, 2 checks each.
-		name: "doloop",
-		src: `program doloop
-  integer a(1:20)
-  integer i, s
-  s = 0
-  do i = 1, 20
-    a(i) = 2 * i
-  enddo
-  do i = 1, 20
-    s = s + a(i)
-  enddo
-  print s
-end
-`,
-		instr: 475, checks: 80, output: "420\n",
-	},
-	{
-		// Triangular nested loops over a 2-D array: 78 stores + 78
-		// loads, 4 checks per 2-D access.
-		name: "triangular",
-		src: `program triangular
-  integer m(1:12, 1:12)
-  integer i, j, s
-  s = 0
-  do i = 1, 12
-    do j = 1, i
-      m(i, j) = i + j
-    enddo
-  enddo
-  do i = 1, 12
-    do j = 1, i
-      s = s + m(i, j)
-    enddo
-  enddo
-  print s
-end
-`,
-		instr: 2823, checks: 624, output: "1014\n",
-	},
-	{
-		// A while loop is not a do loop: no DoLoopInfo, the condition
-		// re-evaluates every iteration, and its 16 stores check both
-		// bounds plus the final a(16) load.
-		name: "whileloop",
-		src: `program whileloop
-  integer a(1:16)
-  integer i
-  i = 1
-  while (i <= 16)
-    a(i) = i
-    i = i + 1
-  endwhile
-  print a(16)
-end
-`,
-		instr: 169, checks: 34, output: "16\n",
-	},
-	{
-		// Subscripts under if/else: both arms store once per
-		// iteration, so 10 stores + 2 final loads = 24 checks.
-		name: "conditional",
-		src: `program conditional
-  integer a(1:10)
-  integer i
-  do i = 1, 10
-    if (i > 5) then
-      a(i) = i
-    else
-      a(i + 0) = 2 * i
-    endif
-  enddo
-  print a(3), a(8)
-end
-`,
-		instr: 160, checks: 24, output: "6 8\n",
-	},
-	{
-		// Indirect (gather/scatter) subscripts: a(idx(i)) performs the
-		// inner load's checks and the outer store's checks.
-		name: "indirect",
-		src: `program indirect
-  integer idx(1:8)
-  integer a(1:8)
-  integer i, s
-  do i = 1, 8
-    idx(i) = 9 - i
-  enddo
-  s = 0
-  do i = 1, 8
-    a(idx(i)) = i
-  enddo
-  do i = 1, 8
-    s = s + a(i)
-  enddo
-  print s
-end
-`,
-		instr: 292, checks: 64, output: "36\n",
-	},
-	{
-		// Zero-trip loop: the body never executes, so no checks are
-		// performed at all — skipped checks must not count.
-		name: "zerotrip",
-		src: `program zerotrip
-  integer a(1:5)
-  integer i, n
-  n = 0
-  do i = 1, n
-    a(i) = 1
-  enddo
-  print n
-end
-`,
-		instr: 11, checks: 0, output: "0\n",
-	},
-	{
-		// 2-D stencil with real arithmetic: 64 stores + 144 loads at 4
-		// checks each; address arithmetic costs 1 + 2·(dims−1).
-		name: "stencil2d",
-		src: `program stencil2d
-  real u(1:8, 1:8)
-  real s
-  integer i, j
-  do i = 1, 8
-    do j = 1, 8
-      u(i, j) = float(i + j)
-    enddo
-  enddo
-  s = 0.0
-  do i = 2, 7
-    do j = 2, 7
-      s = s + u(i - 1, j) + u(i + 1, j) + u(i, j - 1) + u(i, j + 1)
-    enddo
-  enddo
-  print s
-end
-`,
-		instr: 2603, checks: 832, output: "1296\n",
-	},
-	{
-		// Cross-subroutine accesses through globals: subroutine bodies
-		// check like any other access.
-		name: "subcall",
-		src: `program subcall
-  integer a(1:6)
-  integer i, n
-  n = 6
-  do i = 1, n
-    a(i) = 0
-  enddo
-  call fill(2)
-  call fill(5)
-  print a(2), a(5)
-end
-subroutine fill(k)
-  a(k) = a(k) + n
-end
-`,
-		instr: 94, checks: 24, output: "6 6\n",
-	},
-	{
-		// Non-unit lower bound: checks compare against the declared
-		// range, not a zero base.
-		name: "negbounds",
-		src: `program negbounds
-  integer a(-3:3)
-  integer i, s
-  s = 0
-  do i = -3, 3
-    a(i) = i * i
-  enddo
-  do i = -3, 3
-    s = s + a(i)
-  enddo
-  print s
-end
-`,
-		instr: 183, checks: 28, output: "28\n",
-	},
-	{
-		// A failing check: the sixth store violates the upper bound.
-		// Counters freeze at the trap (5 full iterations plus the
-		// partial sixth), output is empty, and the trap position is
-		// the store's subscript.
-		name: "trap",
-		src: `program trap
-  integer a(1:5)
-  integer i
-  do i = 1, 6
-    a(i) = i
-  enddo
-  print a(1)
-end
-`,
-		instr: 55, checks: 12, output: "",
-		trapped:   true,
-		trapNote:  "check (i <= 5) failed (lhs=6) [a dim 1 upper]",
-		trapClass: TrapCheck,
-		trapPos:   source.Pos{Line: 5, Col: 5},
-	},
-}
-
 // TestConformanceCorpus pins exact dynamic instruction counts, check
-// counts, outputs, and trap observables for the corpus under the naive
-// checked build.
+// counts, outputs, and trap observables for the shared corpus
+// (internal/conformance) under the naive checked build of the
+// tree-walking reference engine. The bytecode VM (internal/vm) runs the
+// same corpus, and the root-level engine tests assert the two engines
+// agree byte for byte.
 func TestConformanceCorpus(t *testing.T) {
-	for _, c := range conformanceCorpus {
+	for _, c := range conformance.Corpus {
 		c := c
-		t.Run(c.name, func(t *testing.T) {
-			res := run(t, c.src, true)
-			if res.Instructions != c.instr {
-				t.Errorf("instructions = %d, want %d", res.Instructions, c.instr)
+		t.Run(c.Name, func(t *testing.T) {
+			res := run(t, c.Src, true)
+			if res.Instructions != c.Instr {
+				t.Errorf("instructions = %d, want %d", res.Instructions, c.Instr)
 			}
-			if res.Checks != c.checks {
-				t.Errorf("checks = %d, want %d", res.Checks, c.checks)
+			if res.Checks != c.Checks {
+				t.Errorf("checks = %d, want %d", res.Checks, c.Checks)
 			}
-			if res.Output != c.output {
-				t.Errorf("output = %q, want %q", res.Output, c.output)
+			if res.Output != c.Output {
+				t.Errorf("output = %q, want %q", res.Output, c.Output)
 			}
-			if res.Trapped != c.trapped {
-				t.Fatalf("trapped = %v, want %v (%s)", res.Trapped, c.trapped, res.TrapNote)
+			if res.Trapped != c.Trapped {
+				t.Fatalf("trapped = %v, want %v (%s)", res.Trapped, c.Trapped, res.TrapNote)
 			}
-			if c.trapped {
-				if res.TrapNote != c.trapNote {
-					t.Errorf("trap note = %q, want %q", res.TrapNote, c.trapNote)
+			if c.Trapped {
+				if res.TrapNote != c.TrapNote {
+					t.Errorf("trap note = %q, want %q", res.TrapNote, c.TrapNote)
 				}
-				if res.TrapClass != c.trapClass {
-					t.Errorf("trap class = %q, want %q", res.TrapClass, c.trapClass)
+				if string(res.TrapClass) != c.TrapClass {
+					t.Errorf("trap class = %q, want %q", res.TrapClass, c.TrapClass)
 				}
-				if res.TrapPos != c.trapPos {
-					t.Errorf("trap pos = %s, want %s", res.TrapPos, c.trapPos)
+				if res.TrapPos != c.TrapPos {
+					t.Errorf("trap pos = %s, want %s", res.TrapPos, c.TrapPos)
 				}
 			}
 		})
@@ -290,21 +49,21 @@ func TestConformanceCorpus(t *testing.T) {
 // instruction counter, only the check counter. (Trapping programs are
 // excluded — their unchecked builds fault instead of trapping.)
 func TestConformanceChecksAreFree(t *testing.T) {
-	for _, c := range conformanceCorpus {
-		if c.trapped {
+	for _, c := range conformance.Corpus {
+		if c.Trapped {
 			continue
 		}
 		c := c
-		t.Run(c.name, func(t *testing.T) {
-			plain := run(t, c.src, false)
-			if plain.Instructions != c.instr {
-				t.Errorf("unchecked instructions = %d, want %d (checks must be free)", plain.Instructions, c.instr)
+		t.Run(c.Name, func(t *testing.T) {
+			plain := run(t, c.Src, false)
+			if plain.Instructions != c.Instr {
+				t.Errorf("unchecked instructions = %d, want %d (checks must be free)", plain.Instructions, c.Instr)
 			}
 			if plain.Checks != 0 {
 				t.Errorf("unchecked build performed %d checks", plain.Checks)
 			}
-			if plain.Output != c.output {
-				t.Errorf("unchecked output = %q, want %q", plain.Output, c.output)
+			if plain.Output != c.Output {
+				t.Errorf("unchecked output = %q, want %q", plain.Output, c.Output)
 			}
 		})
 	}

@@ -1,0 +1,77 @@
+package interp
+
+import (
+	"fmt"
+
+	"nascent/internal/ir"
+)
+
+// Engine selects the execution substrate that runs a program. Both
+// engines implement the same observable contract — identical dynamic
+// instruction counts, check counts, outputs, trap positions, trap
+// classes, and resource budgets — so tables, oracle sweeps, and golden
+// files are byte-identical under either. The tree-walker is the
+// reference implementation; the bytecode VM (internal/vm) is the fast
+// path.
+type Engine uint8
+
+// Execution engines.
+const (
+	// EngineTree is the recursive tree-walking evaluator defined in
+	// this package (the reference engine, and the zero value).
+	EngineTree Engine = iota
+	// EngineVM is the flat-register bytecode VM (internal/vm). It must
+	// be linked into the binary to be selectable; importing the nascent
+	// package (or internal/vm itself) links it.
+	EngineVM
+
+	numEngines = iota
+)
+
+var engineNames = [numEngines]string{"tree", "vm"}
+
+func (e Engine) String() string {
+	if int(e) < len(engineNames) {
+		return engineNames[e]
+	}
+	return fmt.Sprintf("Engine(%d)", uint8(e))
+}
+
+// ParseEngine maps a flag value ("tree" or "vm") to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	for i, n := range engineNames {
+		if s == n {
+			return Engine(i), nil
+		}
+	}
+	return EngineTree, fmt.Errorf("interp: unknown engine %q (want tree or vm)", s)
+}
+
+// engines holds the registered Run implementations. Slot EngineTree is
+// never consulted (Run handles it inline); other engines register at
+// package init time, so the table is read-only by the time any program
+// executes and needs no locking.
+var engines [numEngines]func(*ir.Program, Config) (Result, error)
+
+// RegisterEngine installs an alternative execution engine. It is meant
+// to be called from an init function (internal/vm registers EngineVM);
+// registering after programs have started running is a race.
+func RegisterEngine(e Engine, run func(*ir.Program, Config) (Result, error)) {
+	if int(e) >= numEngines {
+		panic(fmt.Sprintf("interp: RegisterEngine(%v): unknown engine", e))
+	}
+	engines[e] = run
+}
+
+// dispatch routes Run to the configured engine, or reports that the
+// engine is not linked into this binary.
+func dispatch(p *ir.Program, cfg Config) (Result, error) {
+	if int(cfg.Engine) >= numEngines {
+		return Result{}, fmt.Errorf("interp: unknown engine %v", cfg.Engine)
+	}
+	run := engines[cfg.Engine]
+	if run == nil {
+		return Result{}, fmt.Errorf("interp: engine %v not linked (import nascent or nascent/internal/vm)", cfg.Engine)
+	}
+	return run(p, cfg)
+}

@@ -1,0 +1,25 @@
+package interp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Runtime fault errors shared by both execution engines, so a program
+// that faults reports the identical error under the tree-walker and the
+// bytecode VM.
+var (
+	// ErrDivZero: integer division by zero.
+	ErrDivZero = errors.New("interp: integer division by zero")
+	// ErrModZero: mod with a zero divisor.
+	ErrModZero = errors.New("interp: mod by zero")
+)
+
+// SubscriptError reports an out-of-range subscript on an access that
+// carried no range check (a -nocheck build, or a miscompiled program —
+// with naive checking a CheckStmt always traps first). Both engines
+// construct this fault identically.
+func SubscriptError(v int64, array string, lo, hi int64, dim int) error {
+	return fmt.Errorf("interp: subscript %d of %s out of range [%d,%d] (dim %d): unchecked access",
+		v, array, lo, hi, dim)
+}

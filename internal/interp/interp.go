@@ -58,6 +58,10 @@ type Config struct {
 	// Context, when non-nil, cancels the run when its Done channel
 	// closes. Checked on the same cadence as Deadline.
 	Context context.Context
+	// Engine selects the execution substrate (default EngineTree, the
+	// reference tree-walker). Every engine produces identical
+	// observables; see Engine.
+	Engine Engine
 }
 
 // TrapClass distinguishes how a trap was raised.
@@ -182,6 +186,9 @@ func Run(p *ir.Program, cfg Config) (res Result, err error) {
 	if p == nil || len(p.Funcs) == 0 {
 		return Result{}, errors.New("interp: no program")
 	}
+	if cfg.Engine != EngineTree {
+		return dispatch(p, cfg)
+	}
 	if cfg.MaxInstructions == 0 {
 		cfg.MaxInstructions = 2e9
 	}
@@ -192,15 +199,28 @@ func Run(p *ir.Program, cfg Config) (res Result, err error) {
 		cfg.MaxArrayCells = 64 << 20
 	}
 	m := &machine{
-		prog:   p,
-		cfg:    cfg,
-		ivals:  make([]int64, p.NumVars),
-		fvals:  make([]float64, p.NumVars),
-		iarrs:  make([][]int64, p.NumArrays),
-		farrs:  make([][]float64, p.NumArrays),
-		active: make(map[*ir.Func]bool),
+		prog:      p,
+		cfg:       cfg,
+		ivals:     make([]int64, p.NumVars),
+		fvals:     make([]float64, p.NumVars),
+		iarrs:     make([][]int64, p.NumArrays),
+		farrs:     make([][]float64, p.NumArrays),
+		active:    make([]bool, len(p.Funcs)),
+		zeroLists: make([][]*ir.Var, len(p.Funcs)),
 	}
 	m.timed = !cfg.Deadline.IsZero() || cfg.Context != nil
+	// Frame scratch, hoisted out of the call path: the non-param locals
+	// each function must zero on entry are computed once per run, not
+	// once per call.
+	for _, f := range p.Funcs {
+		var zs []*ir.Var
+		for _, v := range f.Locals {
+			if !isParam(f, v) {
+				zs = append(zs, v)
+			}
+		}
+		m.zeroLists[f.Index] = zs
+	}
 
 	// Allocate all arrays up front under the cell budget.
 	cells := int64(0)
@@ -256,20 +276,21 @@ func allArrays(p *ir.Program) []*ir.Array {
 }
 
 type machine struct {
-	prog     *ir.Program
-	cfg      Config
-	ivals    []int64
-	fvals    []float64
-	iarrs    [][]int64
-	farrs    [][]float64
-	instr    uint64
-	checks   uint64
-	inCheck  bool
-	out      strings.Builder
-	active   map[*ir.Func]bool
-	curFn    string // function currently executing, for error tags
-	timed    bool   // a Deadline or Context is configured
-	nextPoll uint64
+	prog      *ir.Program
+	cfg       Config
+	ivals     []int64
+	fvals     []float64
+	iarrs     [][]int64
+	farrs     [][]float64
+	instr     uint64
+	checks    uint64
+	inCheck   bool
+	out       strings.Builder
+	active    []bool       // call-active bit per Func.Index (recursion guard)
+	zeroLists [][]*ir.Var  // per Func.Index: non-param locals zeroed on entry
+	curFn     string       // function currently executing, for error tags
+	timed     bool         // a Deadline or Context is configured
+	nextPoll  uint64
 }
 
 func (m *machine) result() Result {
@@ -306,10 +327,10 @@ func (m *machine) cost(n uint64) {
 }
 
 func (m *machine) exec(f *ir.Func) {
-	if m.active[f] {
+	if m.active[f.Index] {
 		m.fail(fmt.Errorf("%w: %s", ErrRecursion, f.Name))
 	}
-	m.active[f] = true
+	m.active[f.Index] = true
 	prevFn := m.curFn
 	m.curFn = f.Name
 	// Cleanup happens at the Ret below, not in a defer: on a panic the
@@ -335,7 +356,7 @@ func (m *machine) exec(f *ir.Func) {
 			}
 		case *ir.Ret:
 			m.cost(1)
-			delete(m.active, f)
+			m.active[f.Index] = false
 			m.curFn = prevFn
 			return
 		default:
@@ -402,12 +423,10 @@ func (m *machine) execStmt(s ir.Stmt) {
 			}
 		}
 		// Zero the callee's non-param locals and local arrays, Fortran
-		// SAVE-less semantics.
-		for _, v := range callee.Locals {
-			if !isParam(callee, v) {
-				m.ivals[v.ID] = 0
-				m.fvals[v.ID] = 0
-			}
+		// SAVE-less semantics (the zero list is precomputed per run).
+		for _, v := range m.zeroLists[callee.Index] {
+			m.ivals[v.ID] = 0
+			m.fvals[v.ID] = 0
 		}
 		for _, a := range callee.Arrays {
 			if a.Elem == ir.Int {
@@ -426,15 +445,18 @@ func (m *machine) execStmt(s ir.Stmt) {
 			}
 			return
 		}
-		parts := make([]string, len(s.Args))
+		// Write fields directly (separator-joined, newline-terminated)
+		// instead of allocating a per-print parts slice.
 		for i, a := range s.Args {
+			if i > 0 {
+				m.out.WriteByte(' ')
+			}
 			if a.Type() == ir.Float {
-				parts[i] = strconv.FormatFloat(m.evalFloat(a), 'g', 10, 64)
+				m.out.WriteString(strconv.FormatFloat(m.evalFloat(a), 'g', 10, 64))
 			} else {
-				parts[i] = strconv.FormatInt(m.evalInt(a), 10)
+				m.out.WriteString(strconv.FormatInt(m.evalInt(a), 10))
 			}
 		}
-		m.out.WriteString(strings.Join(parts, " "))
 		m.out.WriteByte('\n')
 
 	case *ir.TrapStmt:
@@ -481,8 +503,7 @@ func (m *machine) elemOffset(a *ir.Array, idx []ir.Expr) int64 {
 		v := m.evalInt(e)
 		d := a.Dims[k]
 		if v < d.Lo || v > d.Hi {
-			m.fail(fmt.Errorf("interp: subscript %d of %s out of range [%d,%d] (dim %d): unchecked access",
-				v, a.Name, d.Lo, d.Hi, k+1))
+			m.fail(SubscriptError(v, a.Name, d.Lo, d.Hi, k+1))
 		}
 		off = off*d.Size() + (v - d.Lo)
 	}
@@ -526,7 +547,7 @@ func (m *machine) evalInt(e ir.Expr) int64 {
 			return l * r
 		case ir.OpDiv:
 			if r == 0 {
-				m.fail(errors.New("interp: integer division by zero"))
+				m.fail(ErrDivZero)
 			}
 			return l / r
 		}
@@ -550,7 +571,7 @@ func (m *machine) evalIntCall(e *ir.Call) int64 {
 		l := m.evalInt(e.Args[0])
 		r := m.evalInt(e.Args[1])
 		if r == 0 {
-			m.fail(errors.New("interp: mod by zero"))
+			m.fail(ErrModZero)
 		}
 		return l % r
 	case ir.IntrMin:

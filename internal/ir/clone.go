@@ -11,6 +11,7 @@ package ir
 func (f *Func) Snapshot() *Func {
 	snap := &Func{
 		Name:        f.Name,
+		Index:       f.Index,
 		IsMain:      f.IsMain,
 		Params:      append([]*Var(nil), f.Params...),
 		Locals:      append([]*Var(nil), f.Locals...),

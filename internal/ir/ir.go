@@ -101,6 +101,7 @@ func (p *Program) RegisterFunc(f *Func) {
 	if p.funcByName == nil {
 		p.funcByName = make(map[string]*Func)
 	}
+	f.Index = len(p.Funcs)
 	p.Funcs = append(p.Funcs, f)
 	p.funcByName[f.Name] = f
 	f.Program = p
@@ -129,6 +130,7 @@ func (p *Program) NewArray(name string, elem Type, dims []Bounds, global bool) *
 // Func is one program unit lowered to a CFG.
 type Func struct {
 	Name    string
+	Index   int // dense program-wide index, assigned by RegisterFunc
 	IsMain  bool
 	Params  []*Var // subset of Locals, in declaration order
 	Locals  []*Var // all non-global vars used by the func (incl. params, temps)

@@ -102,6 +102,9 @@ const (
 	InvChecks Invariant = "dynamic-checks"
 	// InvReport: OptReport arithmetic matches the IR it describes.
 	InvReport Invariant = "opt-report"
+	// InvEngine: every execution engine produces the identical Result
+	// (engine-differential mode, Config.Engines).
+	InvEngine Invariant = "engine-identity"
 )
 
 // Divergence is one observable violation of the soundness contract.
@@ -169,6 +172,12 @@ type Config struct {
 	// (<= 0 means sequential). The divergence report is identical at
 	// every value: results are merged in variant order.
 	Jobs int
+	// Engines, when it lists more than one engine, runs every variant
+	// (and the naive baseline) under each and adds the engine-identity
+	// invariant: all engines must produce byte-identical Results. Empty
+	// means just Run.Engine. The soundness contract itself is checked
+	// against the first engine's results.
+	Engines []nascent.Engine
 	// Mutate, when non-nil, is applied to each optimized program before
 	// it is executed. Tests use it to inject deliberate
 	// miscompilations and assert the oracle catches them. It runs on a
@@ -195,6 +204,11 @@ func Verify(src string, cfg Config) (*Report, error) {
 	if runCfg.MaxInstructions == 0 {
 		runCfg.MaxInstructions = 50e6
 	}
+	engines := cfg.Engines
+	if len(engines) == 0 {
+		engines = []nascent.Engine{runCfg.Engine}
+	}
+	runCfg.Engine = engines[0]
 
 	naiveProg, err := nascent.Compile(src, nascent.Options{BoundsChecks: true})
 	if err != nil {
@@ -212,28 +226,89 @@ func Verify(src string, cfg Config) (*Report, error) {
 		runCfg.MaxInstructions = hr
 	}
 
-	jobs := make([]evalpool.Job, len(variants))
-	for i, v := range variants {
+	// One job per variant per engine, variant-major: engine 0 carries
+	// the soundness contract, the rest feed the engine-identity check.
+	ne := len(engines)
+	jobs := make([]evalpool.Job, 0, len(variants)*ne)
+	for _, v := range variants {
 		v := v
-		job := evalpool.Job{
-			Name:   v.String(),
-			Source: src,
-			Opts:   v.Options(),
-			Run:    runCfg,
+		for _, e := range engines {
+			rc := runCfg
+			rc.Engine = e
+			job := evalpool.Job{
+				Name:   fmt.Sprintf("%s@%v", v.String(), e),
+				Source: src,
+				Opts:   v.Options(),
+				Run:    rc,
+			}
+			if cfg.Mutate != nil {
+				job.Mutate = func(p *nascent.Program) { cfg.Mutate(v, p) }
+			}
+			jobs = append(jobs, job)
 		}
-		if cfg.Mutate != nil {
-			job.Mutate = func(p *nascent.Program) { cfg.Mutate(v, p) }
-		}
-		jobs[i] = job
 	}
 	results := evalpool.New(max(cfg.Jobs, 1)).Evaluate(jobs)
 
 	rep := &Report{Variants: len(variants), Naive: naive}
 	naiveIR := naiveProg.Dump()
+
+	// The naive baseline must itself be engine-independent.
+	for _, e := range engines[1:] {
+		rc := runCfg
+		rc.Engine = e
+		other, err := naiveProg.RunWith(rc)
+		if err != nil {
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Variant:   Variant{},
+				Invariant: InvEngine,
+				Detail:    fmt.Sprintf("naive run failed under %v where %v succeeded: %v", e, engines[0], err),
+				NaiveIR:   naiveIR,
+			})
+		} else if other != naive {
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Variant:   Variant{},
+				Invariant: InvEngine,
+				Detail:    fmt.Sprintf("naive results differ: %v=%+v, %v=%+v", engines[0], naive, e, other),
+				NaiveIR:   naiveIR,
+			})
+		}
+	}
+
 	for i, v := range variants {
-		rep.checkVariant(v, results[i], naive, naiveIR)
+		rep.checkVariant(v, results[i*ne], naive, naiveIR)
+		rep.checkEngines(v, engines, results[i*ne:(i+1)*ne])
 	}
 	return rep, nil
+}
+
+// checkEngines asserts the engine-identity invariant across one
+// variant's per-engine results: every engine must agree with engine 0
+// on success/failure, error text, and the full Result.
+func (r *Report) checkEngines(v Variant, engines []nascent.Engine, results []evalpool.Result) {
+	ref := results[0]
+	for k, got := range results[1:] {
+		e := engines[k+1]
+		switch {
+		case (ref.Err == nil) != (got.Err == nil):
+			r.Divergences = append(r.Divergences, Divergence{
+				Variant: v, Invariant: InvEngine,
+				Detail: fmt.Sprintf("%v err=%v, %v err=%v", engines[0], ref.Err, e, got.Err),
+			})
+		case ref.Err != nil:
+			// Both failed: the failure must be the same failure.
+			if ref.Err.Error() != got.Err.Error() {
+				r.Divergences = append(r.Divergences, Divergence{
+					Variant: v, Invariant: InvEngine,
+					Detail: fmt.Sprintf("error text differs: %v=%q, %v=%q", engines[0], ref.Err, e, got.Err),
+				})
+			}
+		case ref.Res != got.Res:
+			r.Divergences = append(r.Divergences, Divergence{
+				Variant: v, Invariant: InvEngine,
+				Detail: fmt.Sprintf("results differ: %v=%+v, %v=%+v", engines[0], ref.Res, e, got.Res),
+			})
+		}
+	}
 }
 
 // checkVariant validates one evaluated variant against the contract and

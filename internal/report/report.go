@@ -33,6 +33,10 @@ type Config struct {
 	// 2–3. They are excluded by default so table output is
 	// reproducible byte for byte.
 	Timings bool
+	// Engine selects the execution substrate for every measurement job
+	// (default the tree-walking reference engine). Table output is
+	// identical under either engine; only wall-clock changes.
+	Engine nascent.Engine
 	// Trace, when non-nil, receives one event per completed job stage.
 	Trace evalpool.TraceFunc
 }
@@ -43,6 +47,7 @@ type Config struct {
 type Runner struct {
 	pool    *evalpool.Pool
 	timings bool
+	engine  nascent.Engine
 }
 
 // New returns a Runner with the given configuration.
@@ -55,7 +60,15 @@ func New(cfg Config) *Runner {
 	if cfg.Trace != nil {
 		pool.SetTrace(cfg.Trace)
 	}
-	return &Runner{pool: pool, timings: cfg.Timings}
+	return &Runner{pool: pool, timings: cfg.Timings, engine: cfg.Engine}
+}
+
+// withEngine stamps the Runner's engine onto every job's run config.
+func (r *Runner) withEngine(jobs []evalpool.Job) []evalpool.Job {
+	for i := range jobs {
+		jobs[i].Run.Engine = r.engine
+	}
+	return jobs
 }
 
 // Metrics returns the aggregate counters of the Runner's pool.

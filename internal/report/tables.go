@@ -25,7 +25,7 @@ func (r *Runner) Table1() (string, error) {
 	for _, p := range suite.Programs {
 		jobs = append(jobs, table1Jobs(p)...)
 	}
-	results := r.pool.Evaluate(jobs)
+	results := r.pool.Evaluate(r.withEngine(jobs))
 
 	var b strings.Builder
 	b.WriteString("Table 1: Program characteristics of benchmark programs\n\n")
@@ -85,7 +85,7 @@ func (r *Runner) grid(rows []rowSpec) ([]rowResult, error) {
 			jobs = append(jobs, optJob(p, row.Scheme, row.Kind, row.Impl))
 		}
 	}
-	results := r.pool.Evaluate(jobs)
+	results := r.pool.Evaluate(r.withEngine(jobs))
 
 	naive := results[:nprog]
 	for j, p := range suite.Programs {

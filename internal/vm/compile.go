@@ -1,0 +1,956 @@
+// Package vm is the bytecode execution engine for Nascent-Go IR: a
+// compile step lowers an ir.Program into flat, register-addressed
+// bytecode, and a dense switch-threaded loop (exec.go) runs it.
+//
+// The VM preserves the tree-walking reference engine's observable
+// contract exactly — identical dynamic instruction counts, dynamic
+// check counts, program output, trap notes, trap classes, trap
+// positions, and resource budgets — so the paper's tables and the
+// soundness oracle are byte-identical under either engine. See
+// DESIGN.md ("Bytecode VM") for the opcode table and the
+// cost-identity argument.
+//
+// # Register model
+//
+// Both value files (int64 and float64) share one layout:
+//
+//	[0, NumVars)                 program variables, slot = Var.ID
+//	[NumVars, NumVars+consts)    pooled constants, materialized once per run
+//	[NumVars+consts, end)        expression scratch, stack-disciplined
+//
+// Variables resolve to frame slots at compile time — there are no map
+// lookups at run time. Because MF has no recursion and calls are
+// statements (never expressions), no caller scratch is live across a
+// call, so a single program-wide scratch area serves every function.
+//
+// # Cost identity
+//
+// The reference engine charges the paper's abstract RISC costs per
+// expression-tree node. The compiler fuses each leaf operand's cost
+// (1 per scalar read, 0 per constant) into the consuming instruction's
+// cost field, so the instruction counter advances by exactly the same
+// deltas at every statement boundary, trap, and fault as in the
+// tree-walker. Work inside a range check's terms is compiled cost-free
+// (the check counter, not the instruction counter, accounts for it),
+// and a cond-check's guard stays an ordinary charged test.
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"nascent/internal/guard"
+	"nascent/internal/ir"
+)
+
+// Opcodes. Operand conventions are noted per opcode; a, b, c are
+// instruction fields, "pool" is the shared int64 operand pool.
+const (
+	opFail uint8 = iota // a=fail message index
+
+	opMovI // a=dst b=src (int regs)
+	opMovF // a=dst b=src (float regs)
+
+	opAddI // a=dst b=l c=r
+	opSubI
+	opMulI
+	opDivI // faults on zero divisor
+	opNegI // a=dst b=x
+
+	opAddF
+	opSubF
+	opMulF
+	opDivF // IEEE semantics, no fault
+	opNegF
+
+	// Comparisons write 0/1 into an int register. The int and float
+	// groups are each contiguous in ir.OpEq..ir.OpGe order.
+	opEqI // a=dst b=l c=r
+	opNeI
+	opLtI
+	opLeI
+	opGtI
+	opGeI
+	opEqF
+	opNeF
+	opLtF
+	opLeF
+	opGtF
+	opGeF
+
+	opAndB // a=dst b=l c=r (0/1 values)
+	opOrB
+	opNotB // a=dst b=x
+
+	opModI  // a=dst b=l c=r; faults on zero divisor
+	opAbsI  // a=dst b=x
+	opMinI  // a=dst b=pool offset c=argc
+	opMaxI
+	opModF // math.Mod
+	opAbsF
+	opSqrtF
+	opMinF // math.Min fold
+	opMaxF
+	opI2F // a=float dst b=int src
+	opF2I // a=int dst b=float src (truncate)
+
+	opLoadI  // a=dst b=pool offset (index regs) c=array ID
+	opLoadF
+	opStoreI // a=val reg b=pool offset c=array ID
+	opStoreF
+	opLoadI1 // 1-D fast path: a=dst b=index reg c=array ID
+	opLoadF1
+	opStoreI1 // a=val reg b=index reg c=array ID
+	opStoreF1
+
+	opCheck    // a=pool offset (coef,reg pairs) b=#terms c=check index, imm=K
+	opTrapStmt // a=trap index
+
+	opJmp   // a=target pc
+	opBr    // c=cond reg, a=pc if nonzero, b=pc if zero
+	opCall  // a=callee func index
+	opRet
+	opPrint // a=pool offset (reg<<1|isFloat entries) b=argc
+	opNop   // cost carrier only (a call's 2+params charge precedes its args)
+
+	// Hot-path specializations. These change only the instruction
+	// encoding, never the observable contract: each carries the same
+	// fused cost the general sequence would, so the counters advance by
+	// identical deltas (see "Cost identity" above).
+
+	opCheck1 // 1-term check: a=reg b=coef c=check index, imm=K
+	opCheck2 // 2-term check: a=pool offset (2 coef,reg pairs) c=check index, imm=K
+
+	// opCheckPair is two adjacent unguarded 1-term checks on the same
+	// register — the lo/hi pair guarding one subscript — in one
+	// dispatch: a=reg, b=pool offset (coef0, K0, index0, coef1, K1,
+	// index1). The pair preserves sequential semantics: the first
+	// check counts and traps before the second runs.
+	opCheckPair
+
+	// Fused compare-and-branch (a test feeding an If or a cond-check
+	// guard): b=l c=r, a=pc if true, imm=pc if false. Contiguous in
+	// ir.OpEq..ir.OpGe order like the plain comparisons.
+	opBrEqI
+	opBrNeI
+	opBrLtI
+	opBrLeI
+	opBrGtI
+	opBrGeI
+	opBrEqF
+	opBrNeF
+	opBrLtF
+	opBrLeF
+	opBrGtF
+	opBrGeF
+
+	// 2-D array fast path: a=dst (or val reg for stores) c=array ID,
+	// imm packs the two index registers (row reg <<32 | column reg).
+	opLoadI2
+	opLoadF2
+	opStoreI2
+	opStoreF2
+)
+
+// instr is one bytecode instruction. cost is the fused abstract
+// instruction cost charged when the instruction executes (0 inside
+// check terms); imm carries the constant of a check.
+type instr struct {
+	imm     int64
+	a, b, c int32
+	cost    uint16
+	op      uint8
+}
+
+// dimInfo is one array dimension with its extent precomputed.
+type dimInfo struct {
+	lo, hi, size int64
+}
+
+// arrayInfo is the compile-time layout of one array: its slab base
+// offset and strides are precomputed so element addressing is pure
+// arithmetic at run time.
+type arrayInfo struct {
+	name   string
+	elem   ir.Type
+	base   int64 // offset into the int or float cell slab
+	length int64
+	dims   []dimInfo
+}
+
+// funcInfo is the frame layout of one function.
+type funcInfo struct {
+	name     string
+	entry    int32   // pc of the entry block
+	params   int     // parameter count (call cost is 2+params)
+	zeroVars []int32 // non-param local slots zeroed on entry (both files)
+	clrArrs  []int32 // local array IDs cleared on entry
+}
+
+// Program is a compiled bytecode program. It is immutable after
+// Compile and safe for concurrent Run calls: all mutable execution
+// state lives in the per-run machine.
+type Program struct {
+	ir     *ir.Program
+	code   []instr
+	funcs  []funcInfo
+	arrays []arrayInfo
+	// arrOrder lists array IDs in the tree-walker's allocation order
+	// (globals first, then per-function), so the cell-budget check
+	// aborts on the same array.
+	arrOrder []int32
+	pool     []int64
+	iconsts  []int64
+	fconsts  []float64
+	checks   []*ir.CheckStmt
+	traps    []*ir.TrapStmt
+	fails    []string
+
+	nIntRegs, nFloatRegs int
+	iCells, fCells       int64 // slab sizes (sum of per-type array lengths)
+	numVars              int   // register slots reserved for program variables
+	mainIdx              int32 // Func.Index of main (execution entry)
+}
+
+// Instructions returns the flat bytecode length (for tests and stats).
+func (p *Program) Instructions() int { return len(p.code) }
+
+// bases fixes the register-file layout for one compile pass.
+type bases struct {
+	iConst, iScratch int32
+	fConst, fScratch int32
+}
+
+// Compile lowers an IR program to bytecode. It never panics: internal
+// invariant violations surface as a stage-tagged *guard.InternalError,
+// and IR constructs the reference engine would only reject at run time
+// (malformed expressions, missing terminators) compile to fail
+// instructions that reproduce the same runtime fault.
+func Compile(p *ir.Program) (vp *Program, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			vp = nil
+			err = &guard.InternalError{Stage: "vm-compile", Recovered: r}
+		}
+	}()
+	if p == nil || len(p.Funcs) == 0 {
+		return nil, fmt.Errorf("vm: no program")
+	}
+
+	// Pass 1 discovers the constant pools and scratch depths; its code
+	// is discarded. Pass 2 re-emits with the final register bases. The
+	// traversal is deterministic, so both passes agree on every pool
+	// offset, jump target, and constant index.
+	nv := int32(p.NumVars)
+	c1 := newCompiler(p, bases{iConst: nv, iScratch: nv, fConst: nv, fScratch: nv})
+	c1.compileAll()
+	b := bases{
+		iConst:   nv,
+		iScratch: nv + int32(len(c1.prog.iconsts)),
+		fConst:   nv,
+		fScratch: nv + int32(len(c1.prog.fconsts)),
+	}
+	c2 := newCompiler(p, b)
+	c2.compileAll()
+	out := c2.prog
+	out.nIntRegs = int(b.iScratch) + int(c2.maxDepthI)
+	out.nFloatRegs = int(b.fScratch) + int(c2.maxDepthF)
+	out.numVars = p.NumVars
+	out.mainIdx = int32(p.Main().Index)
+	return out, nil
+}
+
+type patch struct {
+	instr  int32
+	field  byte // 'a', 'b', or 'i' (imm: a fused branch's false target)
+	target *ir.Block
+}
+
+type compiler struct {
+	p  *ir.Program
+	prog *Program
+	bases
+	iconstIdx map[int64]int32
+	fconstIdx map[uint64]int32
+
+	depthI, maxDepthI int32
+	depthF, maxDepthF int32
+	costFree          bool // inside check terms: emit with zero cost
+	// pairable is the code index of an opCheck1 just emitted for an
+	// unguarded check, eligible to absorb the next one (-1 when the
+	// previous statement was anything else, or a branch target could
+	// land between them).
+	pairable int32
+
+	curFn   *ir.Func
+	blockPC map[*ir.Block]int32
+	patches []patch
+}
+
+func newCompiler(p *ir.Program, b bases) *compiler {
+	return &compiler{
+		p:         p,
+		prog:      &Program{ir: p},
+		bases:     b,
+		iconstIdx: make(map[int64]int32),
+		fconstIdx: make(map[uint64]int32),
+		pairable:  -1,
+	}
+}
+
+func (c *compiler) compileAll() {
+	c.layoutArrays()
+	c.prog.funcs = make([]funcInfo, len(c.p.Funcs))
+	for _, f := range c.p.Funcs {
+		c.prog.funcs[f.Index] = c.fn(f)
+	}
+}
+
+// layoutArrays precomputes every array's slab base and strides, and the
+// tree-walker's allocation order for the run-time cell budget.
+func (c *compiler) layoutArrays() {
+	pr := c.prog
+	pr.arrays = make([]arrayInfo, c.p.NumArrays)
+	ordered := append([]*ir.Array(nil), c.p.GlobalArrays...)
+	for _, f := range c.p.Funcs {
+		ordered = append(ordered, f.Arrays...)
+	}
+	for _, a := range ordered {
+		info := arrayInfo{name: a.Name, elem: a.Elem, length: a.Len()}
+		for _, d := range a.Dims {
+			info.dims = append(info.dims, dimInfo{lo: d.Lo, hi: d.Hi, size: d.Size()})
+		}
+		if a.Elem == ir.Int {
+			info.base = pr.iCells
+			if info.length > 0 {
+				pr.iCells += info.length
+			}
+		} else {
+			info.base = pr.fCells
+			if info.length > 0 {
+				pr.fCells += info.length
+			}
+		}
+		pr.arrays[a.ID] = info
+		pr.arrOrder = append(pr.arrOrder, int32(a.ID))
+	}
+}
+
+func (c *compiler) emit(in instr) int32 {
+	if c.costFree {
+		in.cost = 0
+	}
+	c.prog.code = append(c.prog.code, in)
+	return int32(len(c.prog.code) - 1)
+}
+
+func (c *compiler) emitFail(cost uint16, format string, args ...interface{}) {
+	idx := int32(len(c.prog.fails))
+	c.prog.fails = append(c.prog.fails, fmt.Sprintf(format, args...))
+	c.emit(instr{op: opFail, a: idx, cost: cost})
+}
+
+func (c *compiler) iconst(v int64) int32 {
+	if idx, ok := c.iconstIdx[v]; ok {
+		return c.iConst + idx
+	}
+	idx := int32(len(c.prog.iconsts))
+	c.iconstIdx[v] = idx
+	c.prog.iconsts = append(c.prog.iconsts, v)
+	return c.iConst + idx
+}
+
+func (c *compiler) fconst(v float64) int32 {
+	key := math.Float64bits(v)
+	if idx, ok := c.fconstIdx[key]; ok {
+		return c.fConst + idx
+	}
+	idx := int32(len(c.prog.fconsts))
+	c.fconstIdx[key] = idx
+	c.prog.fconsts = append(c.prog.fconsts, v)
+	return c.fConst + idx
+}
+
+func (c *compiler) pushI() int32 {
+	r := c.iScratch + c.depthI
+	c.depthI++
+	if c.depthI > c.maxDepthI {
+		c.maxDepthI = c.depthI
+	}
+	return r
+}
+
+func (c *compiler) pushF() int32 {
+	r := c.fScratch + c.depthF
+	c.depthF++
+	if c.depthF > c.maxDepthF {
+		c.maxDepthF = c.depthF
+	}
+	return r
+}
+
+// ---------------------------------------------------------------------------
+// Functions, blocks, statements
+
+func (c *compiler) fn(f *ir.Func) funcInfo {
+	c.curFn = f
+	c.blockPC = make(map[*ir.Block]int32, len(f.Blocks))
+	c.patches = c.patches[:0]
+	fi := funcInfo{name: f.Name, entry: int32(len(c.prog.code)), params: len(f.Params)}
+	for _, b := range f.Blocks {
+		c.blockPC[b] = int32(len(c.prog.code))
+		for _, s := range b.Stmts {
+			c.stmt(s)
+			c.depthI, c.depthF = 0, 0 // nothing is live across statements
+		}
+		c.term(b)
+		c.depthI, c.depthF = 0, 0
+	}
+	for _, pt := range c.patches {
+		pc, ok := c.blockPC[pt.target]
+		if !ok {
+			panic(fmt.Sprintf("vm: %s: jump to foreign block b%d", f.Name, pt.target.ID))
+		}
+		switch pt.field {
+		case 'a':
+			c.prog.code[pt.instr].a = pc
+		case 'b':
+			c.prog.code[pt.instr].b = pc
+		default:
+			c.prog.code[pt.instr].imm = int64(pc)
+		}
+	}
+	for _, v := range f.Locals {
+		if !isParam(f, v) {
+			fi.zeroVars = append(fi.zeroVars, int32(v.ID))
+		}
+	}
+	for _, a := range f.Arrays {
+		fi.clrArrs = append(fi.clrArrs, int32(a.ID))
+	}
+	return fi
+}
+
+func isParam(f *ir.Func, v *ir.Var) bool {
+	for _, p := range f.Params {
+		if p == v {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *compiler) stmt(s ir.Stmt) {
+	wasPairable := c.pairable
+	c.pairable = -1
+	switch s := s.(type) {
+	case *ir.AssignStmt:
+		// The assignment itself costs 1, fused into the final
+		// instruction of the source expression.
+		if s.Dst.Type == ir.Int {
+			c.intTo(s.Src, int32(s.Dst.ID), 1)
+		} else {
+			c.floatTo(s.Src, int32(s.Dst.ID), 1)
+		}
+
+	case *ir.StoreStmt:
+		// Subscripts evaluate before the value, as in the reference
+		// engine's elemOffset-then-value order.
+		regs := make([]int32, len(s.Idx))
+		var cost uint16
+		for i, ix := range s.Idx {
+			r, f := c.intOperand(ix)
+			regs[i] = r
+			cost += f
+		}
+		var vreg int32
+		var vf uint16
+		op1, opN := opStoreI1, uint8(opStoreI)
+		if s.Arr.Elem == ir.Int {
+			vreg, vf = c.intOperand(s.Val)
+		} else {
+			vreg, vf = c.floatOperand(s.Val)
+			op1, opN = opStoreF1, opStoreF
+		}
+		cost += vf + uint16(1+2*(len(s.Idx)-1))
+		switch len(regs) {
+		case 1:
+			c.emit(instr{op: op1, a: vreg, b: regs[0], c: int32(s.Arr.ID), cost: cost})
+		case 2:
+			op2 := uint8(opStoreI2)
+			if s.Arr.Elem != ir.Int {
+				op2 = opStoreF2
+			}
+			c.emit(instr{op: op2, a: vreg, c: int32(s.Arr.ID), cost: cost, imm: packRegs(regs[0], regs[1])})
+		default:
+			off := c.poolRegs(regs)
+			c.emit(instr{op: opN, a: vreg, b: off, c: int32(s.Arr.ID), cost: cost})
+		}
+
+	case *ir.CheckStmt:
+		var brIdx int32 = -1
+		var brField byte
+		if s.Guard != nil {
+			// The guard of a cond-check is an ordinary charged test; a
+			// false guard skips the check entirely.
+			brIdx, brField = c.condBr(s.Guard)
+			c.prog.code[brIdx].a = brIdx + 1 // true: fall through to the check
+		}
+		// Term atoms are part of the check: compiled cost-free.
+		c.costFree = true
+		type pair struct {
+			coef int64
+			reg  int32
+		}
+		pairs := make([]pair, 0, len(s.Terms))
+		for _, t := range s.Terms {
+			r, _ := c.intOperand(t.Atom)
+			pairs = append(pairs, pair{t.Coef, r})
+		}
+		c.costFree = false
+		ci := int32(len(c.prog.checks))
+		c.prog.checks = append(c.prog.checks, s)
+		switch {
+		case len(pairs) == 1 && pairs[0].coef == int64(int32(pairs[0].coef)):
+			// The dominant shape: one term with a small coefficient
+			// (every PRX check and most INX checks) needs no pool trip.
+			// Two such checks in a row on the same register — the lo/hi
+			// pair of one subscript — fuse into opCheckPair, absorbing
+			// this one into the previous instruction. Only unguarded
+			// checks fuse: a guard's false edge targets the instruction
+			// after its check, which must stay addressable.
+			if s.Guard == nil && wasPairable >= 0 {
+				prev := &c.prog.code[wasPairable]
+				if prev.op == opCheck1 && prev.a == pairs[0].reg {
+					off := int32(len(c.prog.pool))
+					c.prog.pool = append(c.prog.pool,
+						int64(prev.b), prev.imm, int64(prev.c),
+						pairs[0].coef, s.Const, int64(ci))
+					*prev = instr{op: opCheckPair, a: pairs[0].reg, b: off}
+					break
+				}
+			}
+			idx := c.emit(instr{op: opCheck1, a: pairs[0].reg, b: int32(pairs[0].coef), c: ci, imm: s.Const})
+			if s.Guard == nil {
+				c.pairable = idx
+			}
+		case len(pairs) == 2:
+			off := int32(len(c.prog.pool))
+			c.prog.pool = append(c.prog.pool,
+				pairs[0].coef, int64(pairs[0].reg), pairs[1].coef, int64(pairs[1].reg))
+			c.emit(instr{op: opCheck2, a: off, c: ci, imm: s.Const})
+		default:
+			off := int32(len(c.prog.pool))
+			for _, p := range pairs {
+				c.prog.pool = append(c.prog.pool, p.coef, int64(p.reg))
+			}
+			c.emit(instr{op: opCheck, a: off, b: int32(len(s.Terms)), c: ci, imm: s.Const})
+		}
+		if brIdx >= 0 {
+			// false: skip past the check
+			if brField == 'i' {
+				c.prog.code[brIdx].imm = int64(len(c.prog.code))
+			} else {
+				c.prog.code[brIdx].b = int32(len(c.prog.code))
+			}
+		}
+
+	case *ir.CallStmt:
+		// The reference engine charges the call's 2+params before
+		// evaluating arguments, so the cost rides a nop ahead of the
+		// argument moves (or the call itself when there are none).
+		callee := s.Callee
+		callCost := uint16(2 + len(callee.Params))
+		if len(callee.Params) == 0 {
+			c.emit(instr{op: opCall, a: int32(callee.Index), cost: callCost})
+			return
+		}
+		c.emit(instr{op: opNop, cost: callCost})
+		for i, prm := range callee.Params {
+			if prm.Type == ir.Int {
+				c.intTo(s.Args[i], int32(prm.ID), 0)
+			} else {
+				c.floatTo(s.Args[i], int32(prm.ID), 0)
+			}
+		}
+		c.emit(instr{op: opCall, a: int32(callee.Index)})
+
+	case *ir.PrintStmt:
+		entries := make([]int64, 0, len(s.Args))
+		cost := uint16(1)
+		for _, a := range s.Args {
+			if a.Type() == ir.Float {
+				r, f := c.floatOperand(a)
+				cost += f
+				entries = append(entries, int64(r)<<1|1)
+			} else {
+				r, f := c.intOperand(a)
+				cost += f
+				entries = append(entries, int64(r)<<1)
+			}
+		}
+		off := int32(len(c.prog.pool))
+		c.prog.pool = append(c.prog.pool, entries...)
+		c.emit(instr{op: opPrint, a: off, b: int32(len(s.Args)), cost: cost})
+
+	case *ir.TrapStmt:
+		ti := int32(len(c.prog.traps))
+		c.prog.traps = append(c.prog.traps, s)
+		c.emit(instr{op: opTrapStmt, a: ti})
+
+	default:
+		c.emitFail(0, "interp: unknown statement %T", s)
+	}
+}
+
+func (c *compiler) term(b *ir.Block) {
+	c.pairable = -1 // the next block's first check is a jump target
+	switch t := b.Term.(type) {
+	case *ir.Goto:
+		idx := c.emit(instr{op: opJmp, cost: 1})
+		c.patches = append(c.patches, patch{idx, 'a', t.Target})
+	case *ir.If:
+		idx, ff := c.condBr(t.Cond)
+		c.patches = append(c.patches,
+			patch{idx, 'a', t.Then},
+			patch{idx, ff, t.Else})
+	case *ir.Ret:
+		c.emit(instr{op: opRet, cost: 1})
+	default:
+		c.emitFail(0, "interp: block b%d of %s has no terminator", b.ID, c.curFn.Name)
+	}
+}
+
+// condBr compiles a conditional branch on cond: the emitted branch
+// instruction jumps to its 'a' field when cond holds. The second
+// return value names the field carrying the false target: 'i' (imm)
+// for a fused compare-and-branch, 'b' for a plain opBr. Comparisons —
+// virtually every branch condition — fuse the test into the branch;
+// the fused cost is the test's charge plus the branch's 1, so the
+// counter advances by the same delta as the two-instruction sequence.
+func (c *compiler) condBr(cond ir.Expr) (int32, byte) {
+	d0i, d0f := c.depthI, c.depthF
+	defer func() { c.depthI, c.depthF = d0i, d0f }()
+
+	if e, ok := cond.(*ir.Bin); ok && e.Op.IsComparison() {
+		if e.L.Type() == ir.Float || e.R.Type() == ir.Float {
+			l, lf := c.floatOperand(e.L)
+			r, rf := c.floatOperand(e.R)
+			return c.emit(instr{op: opBrEqF + uint8(e.Op-ir.OpEq), b: l, c: r, cost: lf + rf + 2}), 'i'
+		}
+		l, lf := c.intOperand(e.L)
+		r, rf := c.intOperand(e.R)
+		return c.emit(instr{op: opBrEqI + uint8(e.Op-ir.OpEq), b: l, c: r, cost: lf + rf + 2}), 'i'
+	}
+	g := c.pushI()
+	c.boolTo(cond, g, 0)
+	return c.emit(instr{op: opBr, c: g, cost: 1}), 'b'
+}
+
+// poolRegs appends a register list to the operand pool and returns its
+// offset. Callers must finish compiling sub-operands first: nested
+// expressions append their own pool entries.
+func (c *compiler) poolRegs(regs []int32) int32 {
+	off := int32(len(c.prog.pool))
+	for _, r := range regs {
+		c.prog.pool = append(c.prog.pool, int64(r))
+	}
+	return off
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+//
+// intOperand/floatOperand mirror the reference engine's evalInt /
+// evalFloat leaf handling: constants and scalar reads are not
+// materialized as instructions — the caller fuses their cost (0 and 1
+// respectively) into the consuming instruction — while compound
+// operands compile to self-charging instructions ending in a scratch
+// register.
+
+func (c *compiler) intOperand(e ir.Expr) (reg int32, fuse uint16) {
+	switch e := e.(type) {
+	case *ir.ConstInt:
+		return c.iconst(e.V), 0
+	case *ir.VarRef:
+		return int32(e.Var.ID), 1
+	}
+	r := c.pushI()
+	c.intTo(e, r, 0)
+	return r, 0
+}
+
+func (c *compiler) floatOperand(e ir.Expr) (reg int32, fuse uint16) {
+	switch e := e.(type) {
+	case *ir.ConstFloat:
+		return c.fconst(e.V), 0
+	case *ir.ConstInt:
+		return c.fconst(float64(e.V)), 0
+	case *ir.VarRef:
+		return int32(e.Var.ID), 1
+	}
+	r := c.pushF()
+	c.floatTo(e, r, 0)
+	return r, 0
+}
+
+// intTo compiles e, leaving its value in int register dst. extra is
+// fused into the final instruction's cost (the +1 of an assignment, or
+// an enclosing intrinsic's charge).
+func (c *compiler) intTo(e ir.Expr, dst int32, extra uint16) {
+	d0i, d0f := c.depthI, c.depthF
+	defer func() { c.depthI, c.depthF = d0i, d0f }()
+
+	switch e := e.(type) {
+	case *ir.ConstInt:
+		c.emit(instr{op: opMovI, a: dst, b: c.iconst(e.V), cost: extra})
+	case *ir.VarRef:
+		c.emit(instr{op: opMovI, a: dst, b: int32(e.Var.ID), cost: 1 + extra})
+	case *ir.Load:
+		c.loadTo(e, dst, extra, ir.Int)
+	case *ir.Bin:
+		var op uint8
+		switch e.Op {
+		case ir.OpAdd:
+			op = opAddI
+		case ir.OpSub:
+			op = opSubI
+		case ir.OpMul:
+			op = opMulI
+		case ir.OpDiv:
+			op = opDivI
+		default:
+			// The reference engine evaluates both operands and charges
+			// the op before discovering the operator is not an int op.
+			l, lf := c.intOperand(e.L)
+			r, rf := c.intOperand(e.R)
+			_, _ = l, r
+			c.emitFail(lf+rf+1, "interp: bad int expression %s", ir.ExprString(e))
+			return
+		}
+		l, lf := c.intOperand(e.L)
+		r, rf := c.intOperand(e.R)
+		c.emit(instr{op: op, a: dst, b: l, c: r, cost: lf + rf + 1 + extra})
+	case *ir.Un:
+		if e.Op == ir.OpNeg {
+			x, xf := c.intOperand(e.X)
+			c.emit(instr{op: opNegI, a: dst, b: x, cost: xf + 1 + extra})
+			return
+		}
+		c.emitFail(0, "interp: bad int expression %s", ir.ExprString(e))
+	case *ir.Call:
+		c.intCallTo(e, dst, extra)
+	default:
+		c.emitFail(0, "interp: bad int expression %s", ir.ExprString(e))
+	}
+}
+
+func (c *compiler) intCallTo(e *ir.Call, dst int32, extra uint16) {
+	// Intrinsics charge 1 before their arguments (evalIntCall order).
+	switch e.Fn {
+	case ir.IntrMod:
+		l, lf := c.intOperand(e.Args[0])
+		r, rf := c.intOperand(e.Args[1])
+		c.emit(instr{op: opModI, a: dst, b: l, c: r, cost: lf + rf + 1 + extra})
+	case ir.IntrMin, ir.IntrMax:
+		op := uint8(opMinI)
+		if e.Fn == ir.IntrMax {
+			op = opMaxI
+		}
+		regs := make([]int32, len(e.Args))
+		cost := uint16(1) + extra
+		for i, a := range e.Args {
+			r, f := c.intOperand(a)
+			regs[i] = r
+			cost += f
+		}
+		off := c.poolRegs(regs)
+		c.emit(instr{op: op, a: dst, b: off, c: int32(len(regs)), cost: cost})
+	case ir.IntrAbs:
+		x, xf := c.intOperand(e.Args[0])
+		c.emit(instr{op: opAbsI, a: dst, b: x, cost: xf + 1 + extra})
+	case ir.IntrInt:
+		x, xf := c.floatOperand(e.Args[0])
+		c.emit(instr{op: opF2I, a: dst, b: x, cost: xf + 1 + extra})
+	default:
+		c.emitFail(1, "interp: intrinsic %s does not yield int", e.Fn)
+	}
+}
+
+// floatTo compiles e, leaving its value in float register dst.
+func (c *compiler) floatTo(e ir.Expr, dst int32, extra uint16) {
+	d0i, d0f := c.depthI, c.depthF
+	defer func() { c.depthI, c.depthF = d0i, d0f }()
+
+	switch e := e.(type) {
+	case *ir.ConstFloat:
+		c.emit(instr{op: opMovF, a: dst, b: c.fconst(e.V), cost: extra})
+	case *ir.ConstInt:
+		c.emit(instr{op: opMovF, a: dst, b: c.fconst(float64(e.V)), cost: extra})
+	case *ir.VarRef:
+		c.emit(instr{op: opMovF, a: dst, b: int32(e.Var.ID), cost: 1 + extra})
+	case *ir.Load:
+		c.loadTo(e, dst, extra, ir.Float)
+	case *ir.Bin:
+		var op uint8
+		switch e.Op {
+		case ir.OpAdd:
+			op = opAddF
+		case ir.OpSub:
+			op = opSubF
+		case ir.OpMul:
+			op = opMulF
+		case ir.OpDiv:
+			op = opDivF
+		default:
+			l, lf := c.floatOperand(e.L)
+			r, rf := c.floatOperand(e.R)
+			_, _ = l, r
+			c.emitFail(lf+rf+1, "interp: bad float expression %s", ir.ExprString(e))
+			return
+		}
+		l, lf := c.floatOperand(e.L)
+		r, rf := c.floatOperand(e.R)
+		c.emit(instr{op: op, a: dst, b: l, c: r, cost: lf + rf + 1 + extra})
+	case *ir.Un:
+		if e.Op == ir.OpNeg {
+			x, xf := c.floatOperand(e.X)
+			c.emit(instr{op: opNegF, a: dst, b: x, cost: xf + 1 + extra})
+			return
+		}
+		c.emitFail(0, "interp: bad float expression %s", ir.ExprString(e))
+	case *ir.Call:
+		c.floatCallTo(e, dst, extra)
+	default:
+		c.emitFail(0, "interp: bad float expression %s", ir.ExprString(e))
+	}
+}
+
+func (c *compiler) floatCallTo(e *ir.Call, dst int32, extra uint16) {
+	switch e.Fn {
+	case ir.IntrSqrt:
+		x, xf := c.floatOperand(e.Args[0])
+		c.emit(instr{op: opSqrtF, a: dst, b: x, cost: xf + 1 + extra})
+	case ir.IntrFloat:
+		if e.Args[0].Type() == ir.Int {
+			x, xf := c.intOperand(e.Args[0])
+			c.emit(instr{op: opI2F, a: dst, b: x, cost: xf + 1 + extra})
+			return
+		}
+		// float(x) of a float is the identity with the intrinsic's
+		// charge of 1; fold it into the argument's final instruction.
+		switch arg := e.Args[0].(type) {
+		case *ir.ConstFloat:
+			c.emit(instr{op: opMovF, a: dst, b: c.fconst(arg.V), cost: 1 + extra})
+		case *ir.VarRef:
+			c.emit(instr{op: opMovF, a: dst, b: int32(arg.Var.ID), cost: 2 + extra})
+		default:
+			c.floatTo(e.Args[0], dst, 1+extra)
+		}
+	case ir.IntrAbs:
+		x, xf := c.floatOperand(e.Args[0])
+		c.emit(instr{op: opAbsF, a: dst, b: x, cost: xf + 1 + extra})
+	case ir.IntrMin, ir.IntrMax:
+		op := uint8(opMinF)
+		if e.Fn == ir.IntrMax {
+			op = opMaxF
+		}
+		regs := make([]int32, len(e.Args))
+		cost := uint16(1) + extra
+		for i, a := range e.Args {
+			r, f := c.floatOperand(a)
+			regs[i] = r
+			cost += f
+		}
+		off := c.poolRegs(regs)
+		c.emit(instr{op: op, a: dst, b: off, c: int32(len(regs)), cost: cost})
+	case ir.IntrMod:
+		l, lf := c.floatOperand(e.Args[0])
+		r, rf := c.floatOperand(e.Args[1])
+		c.emit(instr{op: opModF, a: dst, b: l, c: r, cost: lf + rf + 1 + extra})
+	default:
+		c.emitFail(1, "interp: intrinsic %s does not yield float", e.Fn)
+	}
+}
+
+// boolTo compiles a condition, leaving 0/1 in int register dst. Like
+// the reference engine, and/or evaluate both operands (no short
+// circuit) and comparisons go float when either side is float.
+func (c *compiler) boolTo(e ir.Expr, dst int32, extra uint16) {
+	d0i, d0f := c.depthI, c.depthF
+	defer func() { c.depthI, c.depthF = d0i, d0f }()
+
+	switch e := e.(type) {
+	case *ir.Bin:
+		switch e.Op {
+		case ir.OpAnd, ir.OpOr:
+			op := uint8(opAndB)
+			if e.Op == ir.OpOr {
+				op = opOrB
+			}
+			l := c.pushI()
+			c.boolTo(e.L, l, 0)
+			r := c.pushI()
+			c.boolTo(e.R, r, 0)
+			c.emit(instr{op: op, a: dst, b: l, c: r, cost: 1 + extra})
+			return
+		}
+		if e.Op.IsComparison() {
+			if e.L.Type() == ir.Float || e.R.Type() == ir.Float {
+				l, lf := c.floatOperand(e.L)
+				r, rf := c.floatOperand(e.R)
+				c.emit(instr{op: opEqF + uint8(e.Op-ir.OpEq), a: dst, b: l, c: r, cost: lf + rf + 1 + extra})
+			} else {
+				l, lf := c.intOperand(e.L)
+				r, rf := c.intOperand(e.R)
+				c.emit(instr{op: opEqI + uint8(e.Op-ir.OpEq), a: dst, b: l, c: r, cost: lf + rf + 1 + extra})
+			}
+			return
+		}
+	case *ir.Un:
+		if e.Op == ir.OpNot {
+			x := c.pushI()
+			c.boolTo(e.X, x, 0)
+			c.emit(instr{op: opNotB, a: dst, b: x, cost: 1 + extra})
+			return
+		}
+	}
+	c.emitFail(0, "interp: bad bool expression %s", ir.ExprString(e))
+}
+
+// loadTo compiles an array load. want is the evaluation context (the
+// reference engine reads the int or float backing store per context,
+// not per declaration); a context/declaration mismatch is malformed IR
+// and compiles to a fail instruction.
+func (c *compiler) loadTo(e *ir.Load, dst int32, extra uint16, want ir.Type) {
+	if e.Arr.Elem != want {
+		c.emitFail(0, "vm: %s load from %s array %s", want, e.Arr.Elem, e.Arr.Name)
+		return
+	}
+	regs := make([]int32, len(e.Idx))
+	var cost uint16
+	for i, ix := range e.Idx {
+		r, f := c.intOperand(ix)
+		regs[i] = r
+		cost += f
+	}
+	cost += uint16(1+2*(len(e.Idx)-1)) + extra
+	op1, op2, opN := opLoadI1, uint8(opLoadI2), uint8(opLoadI)
+	if want == ir.Float {
+		op1, op2, opN = opLoadF1, opLoadF2, opLoadF
+	}
+	switch len(regs) {
+	case 1:
+		c.emit(instr{op: op1, a: dst, b: regs[0], c: int32(e.Arr.ID), cost: cost})
+	case 2:
+		c.emit(instr{op: op2, a: dst, c: int32(e.Arr.ID), cost: cost, imm: packRegs(regs[0], regs[1])})
+	default:
+		off := c.poolRegs(regs)
+		c.emit(instr{op: opN, a: dst, b: off, c: int32(e.Arr.ID), cost: cost})
+	}
+}
+
+// packRegs packs a 2-D access's two index registers into one imm.
+func packRegs(r0, r1 int32) int64 {
+	return int64(r0)<<32 | int64(uint32(r1))
+}

@@ -1,0 +1,654 @@
+package vm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"nascent/internal/guard"
+	"nascent/internal/interp"
+	"nascent/internal/ir"
+	"nascent/internal/source"
+)
+
+func init() {
+	interp.RegisterEngine(interp.EngineVM, func(p *ir.Program, cfg interp.Config) (interp.Result, error) {
+		vp, err := Compile(p)
+		if err != nil {
+			return interp.Result{}, err
+		}
+		return vp.Run(cfg)
+	})
+}
+
+// pollInterval matches the reference engine's deadline/cancellation
+// cadence: one poll per 2^14 counted instructions.
+const pollInterval = 1 << 14
+
+type frame struct {
+	ret int32 // return pc
+	fn  int32 // caller's Func.Index
+}
+
+// mach is the mutable state of one run. Programs are immutable, so one
+// compiled Program serves any number of concurrent machines.
+type mach struct {
+	p      *Program
+	cfg    interp.Config
+	ireg   []int64
+	freg   []float64
+	icel   []int64 // one flat slab for every int array
+	fcel   []float64
+	active []bool
+	frames []frame
+	fn     int32
+	out    strings.Builder
+}
+
+// Run executes the compiled program from main. It implements exactly
+// the reference engine's contract: same counters, output, traps, and
+// budget errors (see the package comment for the identity argument).
+func (vp *Program) Run(cfg interp.Config) (res interp.Result, err error) {
+	if cfg.MaxInstructions == 0 {
+		cfg.MaxInstructions = 2e9
+	}
+	if cfg.MaxOutputBytes == 0 {
+		cfg.MaxOutputBytes = 1 << 20
+	}
+	if cfg.MaxArrayCells == 0 {
+		cfg.MaxArrayCells = 64 << 20
+	}
+
+	// Enforce the cell budget in the reference engine's allocation
+	// order so the same array trips it, then allocate one slab per
+	// element type instead of one slice per array.
+	cells := int64(0)
+	for _, id := range vp.arrOrder {
+		ar := &vp.arrays[id]
+		if ar.length < 0 {
+			return interp.Result{}, fmt.Errorf("interp: array %s has invalid extent", ar.name)
+		}
+		cells += ar.length
+		if cells > cfg.MaxArrayCells {
+			return interp.Result{}, &interp.ResourceError{Resource: interp.ResArrayCells, Limit: uint64(cfg.MaxArrayCells)}
+		}
+	}
+
+	m := &mach{
+		p:      vp,
+		cfg:    cfg,
+		ireg:   make([]int64, vp.nIntRegs),
+		freg:   make([]float64, vp.nFloatRegs),
+		icel:   make([]int64, vp.iCells),
+		fcel:   make([]float64, vp.fCells),
+		active: make([]bool, len(vp.funcs)),
+	}
+	copy(m.ireg[vp.numVars:], vp.iconsts)
+	copy(m.freg[vp.numVars:], vp.fconsts)
+
+	defer func() {
+		if r := recover(); r != nil {
+			fnName := ""
+			if int(m.fn) < len(vp.funcs) {
+				fnName = vp.funcs[m.fn].name
+			}
+			res = interp.Result{Output: m.out.String()}
+			err = &guard.InternalError{Stage: "vm-run", Fn: fnName, Recovered: r}
+		}
+	}()
+
+	return m.run()
+}
+
+func (m *mach) run() (interp.Result, error) {
+	var (
+		p      = m.p
+		code   = p.code
+		pool   = p.pool
+		ireg   = m.ireg
+		freg   = m.freg
+		icel   = m.icel
+		fcel   = m.fcel
+		funcs  = p.funcs
+		arrays = p.arrays
+
+		maxInstr       = m.cfg.MaxInstructions
+		instrs, checks uint64
+
+		err       error
+		trapped   bool
+		trapNote  string
+		trapClass interp.TrapClass
+		trapPos   source.Pos
+	)
+	// costThr folds the budget bound and the next poll tick into one
+	// compare on the hot path: the instruction counter crossing it means
+	// either the budget is blown or a deadline/context poll is due (the
+	// slow path below tells them apart). Untimed runs never poll, so the
+	// threshold is simply the budget.
+	costThr := maxInstr
+	if !m.cfg.Deadline.IsZero() || m.cfg.Context != nil {
+		costThr = 0
+	}
+	m.fn = p.mainIdx
+	m.active[p.mainIdx] = true
+	pc := funcs[p.mainIdx].entry
+
+loop:
+	for {
+		in := &code[pc]
+		pc++
+		// Central cost charge. Zero-cost instructions (check-term work,
+		// constant moves) skip budget and poll entirely, exactly like
+		// the reference engine's inCheck/zero-cost paths.
+		if c := in.cost; c != 0 {
+			instrs += uint64(c)
+			if instrs > costThr {
+				if instrs > maxInstr {
+					err = &interp.ResourceError{Resource: interp.ResInstructions, Limit: maxInstr}
+					break loop
+				}
+				// A poll tick: one poll per 2^14 counted instructions,
+				// exactly the reference engine's cadence.
+				if e := m.poll(); e != nil {
+					err = e
+					break loop
+				}
+				costThr = instrs + pollInterval - 1
+				if maxInstr < costThr {
+					costThr = maxInstr
+				}
+			}
+		}
+
+		switch in.op {
+		case opMovI:
+			ireg[in.a] = ireg[in.b]
+		case opMovF:
+			freg[in.a] = freg[in.b]
+
+		case opAddI:
+			ireg[in.a] = ireg[in.b] + ireg[in.c]
+		case opSubI:
+			ireg[in.a] = ireg[in.b] - ireg[in.c]
+		case opMulI:
+			ireg[in.a] = ireg[in.b] * ireg[in.c]
+		case opDivI:
+			d := ireg[in.c]
+			if d == 0 {
+				err = interp.ErrDivZero
+				break loop
+			}
+			ireg[in.a] = ireg[in.b] / d
+		case opNegI:
+			ireg[in.a] = -ireg[in.b]
+
+		case opAddF:
+			freg[in.a] = freg[in.b] + freg[in.c]
+		case opSubF:
+			freg[in.a] = freg[in.b] - freg[in.c]
+		case opMulF:
+			freg[in.a] = freg[in.b] * freg[in.c]
+		case opDivF:
+			freg[in.a] = freg[in.b] / freg[in.c]
+		case opNegF:
+			freg[in.a] = -freg[in.b]
+
+		case opEqI:
+			ireg[in.a] = b2i(ireg[in.b] == ireg[in.c])
+		case opNeI:
+			ireg[in.a] = b2i(ireg[in.b] != ireg[in.c])
+		case opLtI:
+			ireg[in.a] = b2i(ireg[in.b] < ireg[in.c])
+		case opLeI:
+			ireg[in.a] = b2i(ireg[in.b] <= ireg[in.c])
+		case opGtI:
+			ireg[in.a] = b2i(ireg[in.b] > ireg[in.c])
+		case opGeI:
+			ireg[in.a] = b2i(ireg[in.b] >= ireg[in.c])
+		case opEqF:
+			ireg[in.a] = b2i(freg[in.b] == freg[in.c])
+		case opNeF:
+			ireg[in.a] = b2i(freg[in.b] != freg[in.c])
+		case opLtF:
+			ireg[in.a] = b2i(freg[in.b] < freg[in.c])
+		case opLeF:
+			ireg[in.a] = b2i(freg[in.b] <= freg[in.c])
+		case opGtF:
+			ireg[in.a] = b2i(freg[in.b] > freg[in.c])
+		case opGeF:
+			ireg[in.a] = b2i(freg[in.b] >= freg[in.c])
+
+		case opAndB:
+			ireg[in.a] = ireg[in.b] & ireg[in.c]
+		case opOrB:
+			ireg[in.a] = ireg[in.b] | ireg[in.c]
+		case opNotB:
+			ireg[in.a] = ireg[in.b] ^ 1
+
+		case opModI:
+			d := ireg[in.c]
+			if d == 0 {
+				err = interp.ErrModZero
+				break loop
+			}
+			ireg[in.a] = ireg[in.b] % d
+		case opAbsI:
+			v := ireg[in.b]
+			if v < 0 {
+				v = -v
+			}
+			ireg[in.a] = v
+		case opMinI:
+			v := ireg[pool[in.b]]
+			for k := int32(1); k < in.c; k++ {
+				if w := ireg[pool[in.b+k]]; w < v {
+					v = w
+				}
+			}
+			ireg[in.a] = v
+		case opMaxI:
+			v := ireg[pool[in.b]]
+			for k := int32(1); k < in.c; k++ {
+				if w := ireg[pool[in.b+k]]; w > v {
+					v = w
+				}
+			}
+			ireg[in.a] = v
+		case opModF:
+			freg[in.a] = math.Mod(freg[in.b], freg[in.c])
+		case opAbsF:
+			freg[in.a] = math.Abs(freg[in.b])
+		case opSqrtF:
+			freg[in.a] = math.Sqrt(freg[in.b])
+		case opMinF:
+			v := freg[pool[in.b]]
+			for k := int32(1); k < in.c; k++ {
+				v = math.Min(v, freg[pool[in.b+k]])
+			}
+			freg[in.a] = v
+		case opMaxF:
+			v := freg[pool[in.b]]
+			for k := int32(1); k < in.c; k++ {
+				v = math.Max(v, freg[pool[in.b+k]])
+			}
+			freg[in.a] = v
+		case opI2F:
+			freg[in.a] = float64(ireg[in.b])
+		case opF2I:
+			ireg[in.a] = int64(freg[in.b])
+
+		case opLoadI1:
+			ar := &arrays[in.c]
+			d := &ar.dims[0]
+			v := ireg[in.b]
+			if v < d.lo || v > d.hi {
+				err = interp.SubscriptError(v, ar.name, d.lo, d.hi, 1)
+				break loop
+			}
+			ireg[in.a] = icel[ar.base+v-d.lo]
+		case opLoadF1:
+			ar := &arrays[in.c]
+			d := &ar.dims[0]
+			v := ireg[in.b]
+			if v < d.lo || v > d.hi {
+				err = interp.SubscriptError(v, ar.name, d.lo, d.hi, 1)
+				break loop
+			}
+			freg[in.a] = fcel[ar.base+v-d.lo]
+		case opStoreI1:
+			ar := &arrays[in.c]
+			d := &ar.dims[0]
+			v := ireg[in.b]
+			if v < d.lo || v > d.hi {
+				err = interp.SubscriptError(v, ar.name, d.lo, d.hi, 1)
+				break loop
+			}
+			icel[ar.base+v-d.lo] = ireg[in.a]
+		case opStoreF1:
+			ar := &arrays[in.c]
+			d := &ar.dims[0]
+			v := ireg[in.b]
+			if v < d.lo || v > d.hi {
+				err = interp.SubscriptError(v, ar.name, d.lo, d.hi, 1)
+				break loop
+			}
+			fcel[ar.base+v-d.lo] = freg[in.a]
+
+		case opLoadI2:
+			ar := &arrays[in.c]
+			off, e := elemOff2(ar, in.imm, ireg)
+			if e != nil {
+				err = e
+				break loop
+			}
+			ireg[in.a] = icel[ar.base+off]
+		case opLoadF2:
+			ar := &arrays[in.c]
+			off, e := elemOff2(ar, in.imm, ireg)
+			if e != nil {
+				err = e
+				break loop
+			}
+			freg[in.a] = fcel[ar.base+off]
+		case opStoreI2:
+			ar := &arrays[in.c]
+			off, e := elemOff2(ar, in.imm, ireg)
+			if e != nil {
+				err = e
+				break loop
+			}
+			icel[ar.base+off] = ireg[in.a]
+		case opStoreF2:
+			ar := &arrays[in.c]
+			off, e := elemOff2(ar, in.imm, ireg)
+			if e != nil {
+				err = e
+				break loop
+			}
+			fcel[ar.base+off] = freg[in.a]
+
+		case opLoadI:
+			ar := &arrays[in.c]
+			off, e := elemOff(ar, pool[in.b:], ireg)
+			if e != nil {
+				err = e
+				break loop
+			}
+			ireg[in.a] = icel[ar.base+off]
+		case opLoadF:
+			ar := &arrays[in.c]
+			off, e := elemOff(ar, pool[in.b:], ireg)
+			if e != nil {
+				err = e
+				break loop
+			}
+			freg[in.a] = fcel[ar.base+off]
+		case opStoreI:
+			ar := &arrays[in.c]
+			off, e := elemOff(ar, pool[in.b:], ireg)
+			if e != nil {
+				err = e
+				break loop
+			}
+			icel[ar.base+off] = ireg[in.a]
+		case opStoreF:
+			ar := &arrays[in.c]
+			off, e := elemOff(ar, pool[in.b:], ireg)
+			if e != nil {
+				err = e
+				break loop
+			}
+			fcel[ar.base+off] = freg[in.a]
+
+		case opCheck1:
+			checks++
+			if lhs := int64(in.b) * ireg[in.a]; lhs > in.imm {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[in.c], lhs)
+				trapped = true
+				break loop
+			}
+
+		case opCheckPair:
+			t := pool[in.b : in.b+6 : in.b+6]
+			v := ireg[in.a]
+			checks++
+			if lhs := t[0] * v; lhs > t[1] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[2]], lhs)
+				trapped = true
+				break loop
+			}
+			checks++
+			if lhs := t[3] * v; lhs > t[4] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[5]], lhs)
+				trapped = true
+				break loop
+			}
+
+		case opCheck2:
+			checks++
+			t := pool[in.a : in.a+4 : in.a+4]
+			if lhs := t[0]*ireg[t[1]] + t[2]*ireg[t[3]]; lhs > in.imm {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[in.c], lhs)
+				trapped = true
+				break loop
+			}
+
+		case opCheck:
+			checks++
+			lhs := int64(0)
+			terms := pool[in.a : in.a+2*in.b]
+			for k := 0; k+1 < len(terms); k += 2 {
+				lhs += terms[k] * ireg[terms[k+1]]
+			}
+			if lhs > in.imm {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[in.c], lhs)
+				trapped = true
+				break loop
+			}
+
+		case opTrapStmt:
+			ts := p.traps[in.a]
+			trapped = true
+			trapNote = fmt.Sprintf("compile-time range violation: %s", ts.Note)
+			trapClass = interp.TrapStatic
+			trapPos = ts.SrcPos
+			break loop
+
+		case opJmp:
+			pc = in.a
+		case opBr:
+			if ireg[in.c] != 0 {
+				pc = in.a
+			} else {
+				pc = in.b
+			}
+
+		case opBrEqI:
+			if ireg[in.b] == ireg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(in.imm)
+			}
+		case opBrNeI:
+			if ireg[in.b] != ireg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(in.imm)
+			}
+		case opBrLtI:
+			if ireg[in.b] < ireg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(in.imm)
+			}
+		case opBrLeI:
+			if ireg[in.b] <= ireg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(in.imm)
+			}
+		case opBrGtI:
+			if ireg[in.b] > ireg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(in.imm)
+			}
+		case opBrGeI:
+			if ireg[in.b] >= ireg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(in.imm)
+			}
+		case opBrEqF:
+			if freg[in.b] == freg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(in.imm)
+			}
+		case opBrNeF:
+			if freg[in.b] != freg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(in.imm)
+			}
+		case opBrLtF:
+			if freg[in.b] < freg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(in.imm)
+			}
+		case opBrLeF:
+			if freg[in.b] <= freg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(in.imm)
+			}
+		case opBrGtF:
+			if freg[in.b] > freg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(in.imm)
+			}
+		case opBrGeF:
+			if freg[in.b] >= freg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(in.imm)
+			}
+
+		case opCall:
+			fi := &funcs[in.a]
+			// Zero locals first, then refuse recursion: the reference
+			// engine's CallStmt/exec order.
+			for _, v := range fi.zeroVars {
+				ireg[v] = 0
+				freg[v] = 0
+			}
+			for _, ai := range fi.clrArrs {
+				ar := &arrays[ai]
+				if ar.elem == ir.Int {
+					clear(icel[ar.base : ar.base+ar.length])
+				} else {
+					clear(fcel[ar.base : ar.base+ar.length])
+				}
+			}
+			if m.active[in.a] {
+				err = fmt.Errorf("%w: %s", interp.ErrRecursion, fi.name)
+				break loop
+			}
+			m.active[in.a] = true
+			m.frames = append(m.frames, frame{ret: pc, fn: m.fn})
+			m.fn = in.a
+			pc = fi.entry
+
+		case opRet:
+			m.active[m.fn] = false
+			n := len(m.frames)
+			if n == 0 {
+				break loop // main returned
+			}
+			fr := m.frames[n-1]
+			m.frames = m.frames[:n-1]
+			pc, m.fn = fr.ret, fr.fn
+
+		case opPrint:
+			if m.out.Len() < m.cfg.MaxOutputBytes {
+				for k := int32(0); k < in.b; k++ {
+					if k > 0 {
+						m.out.WriteByte(' ')
+					}
+					e := pool[in.a+k]
+					if e&1 != 0 {
+						m.out.WriteString(strconv.FormatFloat(freg[e>>1], 'g', 10, 64))
+					} else {
+						m.out.WriteString(strconv.FormatInt(ireg[e>>1], 10))
+					}
+				}
+				m.out.WriteByte('\n')
+			}
+
+		case opNop:
+			// cost carrier only
+
+		case opFail:
+			err = errors.New(p.fails[in.a])
+			break loop
+
+		default:
+			err = fmt.Errorf("vm: bad opcode %d at pc %d", in.op, pc-1)
+			break loop
+		}
+	}
+
+	res := interp.Result{Instructions: instrs, Checks: checks, Output: m.out.String()}
+	if trapped {
+		res.Trapped = true
+		res.TrapNote = trapNote
+		res.TrapClass = trapClass
+		res.TrapPos = trapPos
+	}
+	return res, err
+}
+
+func (m *mach) poll() error {
+	if ctx := m.cfg.Context; ctx != nil {
+		select {
+		case <-ctx.Done():
+			return &interp.ResourceError{Resource: interp.ResCancelled}
+		default:
+		}
+	}
+	if !m.cfg.Deadline.IsZero() && time.Now().After(m.cfg.Deadline) {
+		return &interp.ResourceError{Resource: interp.ResDeadline}
+	}
+	return nil
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// elemOff flattens a multi-dimensional subscript list (index registers
+// in the pool) into a slab offset, mirroring machine.elemOffset.
+func elemOff(ar *arrayInfo, idxRegs []int64, ireg []int64) (int64, error) {
+	off := int64(0)
+	for k := range ar.dims {
+		d := &ar.dims[k]
+		v := ireg[idxRegs[k]]
+		if v < d.lo || v > d.hi {
+			return 0, interp.SubscriptError(v, ar.name, d.lo, d.hi, k+1)
+		}
+		off = off*d.size + (v - d.lo)
+	}
+	return off, nil
+}
+
+// elemOff2 is elemOff for the 2-D fast-path opcodes, whose index
+// registers ride the instruction's imm field instead of the pool.
+// Subscripts fault in dimension order, like elemOff.
+func elemOff2(ar *arrayInfo, imm int64, ireg []int64) (int64, error) {
+	d0, d1 := &ar.dims[0], &ar.dims[1]
+	v0 := ireg[int32(uint64(imm)>>32)]
+	if v0 < d0.lo || v0 > d0.hi {
+		return 0, interp.SubscriptError(v0, ar.name, d0.lo, d0.hi, 1)
+	}
+	v1 := ireg[uint32(imm)]
+	if v1 < d1.lo || v1 > d1.hi {
+		return 0, interp.SubscriptError(v1, ar.name, d1.lo, d1.hi, 2)
+	}
+	return (v0-d0.lo)*d1.size + (v1 - d1.lo), nil
+}
+
+// checkTrap renders one failed range check's trap fields, shared by the
+// general and specialized check opcodes.
+func checkTrap(cs *ir.CheckStmt, lhs int64) (string, interp.TrapClass, source.Pos) {
+	note := fmt.Sprintf("%s failed (lhs=%d) [%s]", cs.String(), lhs, cs.Note)
+	return note, interp.TrapCheck, cs.SrcPos
+}

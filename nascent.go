@@ -30,6 +30,10 @@ import (
 	"nascent/internal/parser"
 	"nascent/internal/rangecheck"
 	"nascent/internal/sem"
+
+	// Link the bytecode VM so RunConfig{Engine: EngineVM} is available
+	// to every importer of the public API.
+	_ "nascent/internal/vm"
 )
 
 // InternalError is a recovered internal invariant violation, tagged with
@@ -192,8 +196,27 @@ type OptReport struct {
 // RunResult is the outcome of executing a program.
 type RunResult = interp.Result
 
-// RunConfig bounds execution.
+// RunConfig bounds execution. Its Engine field selects the execution
+// substrate (EngineTree or EngineVM); both produce identical
+// observables.
 type RunConfig = interp.Config
+
+// Engine selects the execution substrate of a run. Both engines
+// implement the same observable contract — identical dynamic
+// instruction counts, check counts, outputs, traps, and resource
+// budgets — so every table and oracle sweep is engine-independent.
+type Engine = interp.Engine
+
+// Execution engines.
+const (
+	// EngineTree is the reference tree-walking evaluator (the default).
+	EngineTree = interp.EngineTree
+	// EngineVM is the flat-register bytecode VM, the fast path.
+	EngineVM = interp.EngineVM
+)
+
+// ParseEngine maps a flag spelling ("tree" or "vm") to an Engine.
+func ParseEngine(s string) (Engine, error) { return interp.ParseEngine(s) }
 
 // Frontend holds the parse and semantic-analysis artifacts of one
 // source text. The front half of compilation is independent of every
