@@ -20,6 +20,15 @@
 //	-run                                       execute the program (default true)
 //	-verify                                    cross-check every scheme against
 //	                                           naive with the soundness oracle
+//	-chaos seed:rate[:site]                    deterministic fault injection
+//	                                           (see docs/ROBUSTNESS.md); used to
+//	                                           replay CI chaos failures and
+//	                                           quarantined inputs
+//	-chaossweep                                sweep seeds 1..8 at rate 0.05
+//	                                           through every injection site and
+//	                                           assert correct-or-typed-error on
+//	                                           all oracle variants; incompatible
+//	                                           with -chaos
 //
 // Exit codes:
 //
@@ -29,7 +38,8 @@
 //	2  usage error (bad flags or arguments)
 //	3  compile error (parse, semantic, lowering, or optimizer failure)
 //	4  resource exhausted (instruction budget, memory cap, or deadline)
-//	5  oracle divergence (-verify found an optimizer soundness violation)
+//	5  oracle divergence (-verify found an optimizer soundness
+//	   violation, or -chaossweep found a correct-or-typed-error breach)
 //
 // Example:
 //
@@ -45,6 +55,7 @@ import (
 	"strings"
 
 	"nascent"
+	"nascent/internal/chaos"
 	"nascent/internal/oracle"
 )
 
@@ -88,8 +99,22 @@ func run(argv []string, stdout, stderr *os.File) int {
 	stats := fs.Bool("stats", false, "print static/dynamic statistics")
 	doRun := fs.Bool("run", true, "execute the program")
 	verify := fs.Bool("verify", false, "cross-check all schemes against naive with the soundness oracle")
+	chaosFlag := fs.String("chaos", "", "deterministic fault injection spec: seed:rate[:site]")
+	chaosSweep := fs.Bool("chaossweep", false, "sweep chaos seeds 1..8 through the oracle and assert correct-or-typed-error")
 	if err := fs.Parse(argv); err != nil {
 		return exitUsage
+	}
+	if *chaosFlag != "" && *chaosSweep {
+		fmt.Fprintln(stderr, "nacc: -chaos and -chaossweep are mutually exclusive (the sweep owns the injection registry)")
+		return exitUsage
+	}
+	if *chaosFlag != "" {
+		spec, err := chaos.ParseSpec(*chaosFlag)
+		if err != nil {
+			fmt.Fprintf(stderr, "nacc: -chaos: %v\n", err)
+			return exitUsage
+		}
+		chaos.Enable(spec)
 	}
 
 	if fs.NArg() != 1 {
@@ -125,6 +150,9 @@ func run(argv []string, stdout, stderr *os.File) int {
 		return exitUsage
 	}
 
+	if *chaosSweep {
+		return runChaosSweep(file, string(src), engine, stdout, stderr)
+	}
 	if *verify {
 		return runVerify(file, string(src), engine, stdout, stderr)
 	}
@@ -213,6 +241,32 @@ func runVerify(file, src string, engine nascent.Engine, stdout, stderr *os.File)
 		for _, d := range rep.Divergences {
 			fmt.Fprintf(stderr, "nacc: divergence: %s\n", d)
 		}
+		return exitDivergence
+	}
+	return exitOK
+}
+
+// runChaosSweep runs the oracle's fault-injection sweep: seeds 1..8 at
+// rate 0.05 with every site armed, asserting each faulted evaluation is
+// correct or a typed error. Selecting the VM engine sweeps both
+// engines, covering the VM's poll sites as well.
+func runChaosSweep(file, src string, engine nascent.Engine, stdout, stderr *os.File) int {
+	cfg := oracle.ChaosConfig{Jobs: runtime.GOMAXPROCS(0)}
+	if engine == nascent.EngineVM {
+		cfg.Engines = []nascent.Engine{nascent.EngineTree, nascent.EngineVM}
+	} else {
+		cfg.Engines = []nascent.Engine{engine}
+	}
+	rep, err := oracle.ChaosSweep(src, cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "nacc: chaossweep: %v\n", err)
+		if errors.Is(err, nascent.ErrResourceExhausted) {
+			return exitResource
+		}
+		return exitCompile
+	}
+	fmt.Fprintf(stdout, "%s: %s\n", file, rep.Summary())
+	if !rep.OK() {
 		return exitDivergence
 	}
 	return exitOK

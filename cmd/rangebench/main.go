@@ -4,7 +4,7 @@
 // Usage:
 //
 //	rangebench [-table N] [-jobs N] [-engine tree|vm] [-times] [-trace]
-//	           [-cpuprofile file] [-memprofile file]
+//	           [-chaos seed:rate[:site]] [-cpuprofile file] [-memprofile file]
 //
 // With no flags, all three tables are printed. -table 1 prints program
 // characteristics (naive check overhead), -table 2 the seven placement
@@ -30,9 +30,20 @@
 //
 // -trace logs each evaluation job's stages to stderr, followed by the
 // pool's aggregate metrics.
+//
+// -chaos seed:rate[:site] turns on deterministic fault injection (see
+// internal/chaos and docs/ROBUSTNESS.md). The same spec replays the
+// same faults, so a failure logged by CI or a quarantine error is
+// reproducible with one flag.
+//
+// Exit codes: 0 all requested tables complete; 1 a table failed
+// outright; 2 usage or profile-file errors; 3 every table rendered but
+// at least one contains an ERR! cell (partial results — the run must
+// not be mistaken for a complete reproduction).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +51,7 @@ import (
 	"runtime/pprof"
 
 	"nascent"
+	"nascent/internal/chaos"
 	"nascent/internal/evalpool"
 	"nascent/internal/report"
 )
@@ -52,12 +64,21 @@ func main() {
 	trace := flag.Bool("trace", false, "log per-job stage timings to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	chaosFlag := flag.String("chaos", "", "deterministic fault injection spec: seed:rate[:site]")
 	flag.Parse()
 
 	engine, err := nascent.ParseEngine(*engineFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
 		os.Exit(2)
+	}
+	if *chaosFlag != "" {
+		spec, err := chaos.ParseSpec(*chaosFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: -chaos: %v\n", err)
+			os.Exit(2)
+		}
+		chaos.Enable(spec)
 	}
 
 	// Profiles are flushed before the final os.Exit, so the run body
@@ -119,26 +140,45 @@ func run(table, jobs int, engine nascent.Engine, times, trace bool, cpuprofile, 
 		{2, r.Table2},
 		{3, r.Table3},
 	}
-	failed := 0
+	failed, partialTables := 0, 0
 	for _, tb := range tables {
 		if table != 0 && table != tb.n {
 			continue
 		}
 		out, err := tb.f()
-		if err != nil {
+		switch {
+		case errors.Is(err, report.ErrPartial):
+			// The table rendered around its failed cells: print it, then
+			// flag the run as partial so the exit code can't read as a
+			// complete reproduction.
+			fmt.Println(out)
+			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+			partialTables++
+		case err != nil:
 			// The report errors are prefixed with their table number;
 			// keep going so one bad table doesn't mask the others.
 			fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
 			failed++
-			continue
+		default:
+			fmt.Println(out)
 		}
-		fmt.Println(out)
 	}
 	if trace {
 		fmt.Fprintf(os.Stderr, "%s\n", r.Metrics())
 	}
+	if failed > 0 || partialTables > 0 {
+		// A spurious resource error looks like a genuine one; the replay
+		// line ties the failure back to the active injection spec so any
+		// ERR! cell is reproducible with a single flag.
+		if chaos.Active() {
+			fmt.Fprintf(os.Stderr, "rangebench: chaos injection active (replay: -chaos %s)\n", chaos.SpecString())
+		}
+	}
 	if failed > 0 {
 		return 1
+	}
+	if partialTables > 0 {
+		return 3
 	}
 	return 0
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 
+	"nascent/internal/chaos"
 	"nascent/internal/dataflow"
 	"nascent/internal/dom"
 	"nascent/internal/guard"
@@ -195,6 +196,11 @@ func optimizeFunc(f *ir.Func, opts Options, res *Result) error {
 	if failFunc != "" && f.Name == failFunc {
 		panic("core: injected test failure in " + f.Name)
 	}
+	if chaos.Active() && chaos.Fire(chaos.SiteOptPanic, f.Name) {
+		// Contained by optimizeFuncSafe; Optimize restores the naive
+		// body and records the function in Result.Degraded.
+		panic(chaos.PanicValue(chaos.SiteOptPanic, f.Name))
+	}
 	if opts.Rotate {
 		rotateWhileLoops(f)
 	}
@@ -237,6 +243,12 @@ func optimizeFunc(f *ir.Func, opts Options, res *Result) error {
 	c.diagnoseCompileTime()
 	c.eliminate()
 	c.compileTime()
+	if chaos.Active() && chaos.Fire(chaos.SiteOptMalformed, f.Name) {
+		// Malformed-IR fault: drop the entry block's terminator. The
+		// verifier below must flag it, which degrades the function to
+		// its naive snapshot — the malformed body must never ship.
+		f.Entry().Term = nil
+	}
 	return f.Verify()
 }
 

@@ -6,6 +6,8 @@ import (
 	"testing"
 
 	"nascent"
+	"nascent/internal/chaos"
+	"nascent/internal/conformance"
 	"nascent/internal/evalpool"
 	"nascent/internal/suite"
 )
@@ -102,6 +104,57 @@ func TestDeterminismAcrossWorkerCounts(t *testing.T) {
 		if m := pool.Metrics(); m.Jobs != len(jobs) || m.Errors != 0 {
 			t.Errorf("jobs=%d: metrics jobs=%d errors=%d, want %d/0", workers, m.Jobs, m.Errors, len(jobs))
 		}
+	}
+}
+
+// TestConformanceCorpusDeterministicAcrossJobs runs the conformance
+// corpus through the supervised pool at jobs ∈ {1, 4, 16} with chaos
+// off and asserts every pinned observable — instructions, checks,
+// output, trap verdict — exactly, at every worker count. This is the
+// corpus-level half of the chaos-off determinism guarantee (the
+// golden-table half is TestChaosOffDeterminism in internal/report).
+func TestConformanceCorpusDeterministicAcrossJobs(t *testing.T) {
+	if chaos.Active() {
+		t.Fatalf("chaos registry enabled (%s) — determinism test needs it off", chaos.SpecString())
+	}
+	jobs := make([]evalpool.Job, len(conformance.Corpus))
+	for i, c := range conformance.Corpus {
+		jobs[i] = evalpool.Job{
+			Name:     c.Name,
+			Source:   c.Src,
+			Filename: c.Name + ".mf",
+			Opts:     nascent.Options{BoundsChecks: true},
+		}
+	}
+	for _, workers := range []int{1, 4, 16} {
+		workers := workers
+		t.Run(fmt.Sprintf("jobs=%d", workers), func(t *testing.T) {
+			results := evalpool.New(workers).Evaluate(jobs)
+			for i, c := range conformance.Corpus {
+				r := results[i]
+				if r.Err != nil {
+					t.Errorf("%s: %v", c.Name, r.Err)
+					continue
+				}
+				if r.Attempts != 1 {
+					t.Errorf("%s: Attempts = %d, want 1 chaos-off", c.Name, r.Attempts)
+				}
+				res := r.Res
+				if res.Instructions != c.Instr || res.Checks != c.Checks {
+					t.Errorf("%s: instr/checks = %d/%d, want %d/%d",
+						c.Name, res.Instructions, res.Checks, c.Instr, c.Checks)
+				}
+				if res.Output != c.Output {
+					t.Errorf("%s: output = %q, want %q", c.Name, res.Output, c.Output)
+				}
+				if res.Trapped != c.Trapped {
+					t.Errorf("%s: trapped = %v, want %v", c.Name, res.Trapped, c.Trapped)
+				}
+				if c.Trapped && res.TrapNote != c.TrapNote {
+					t.Errorf("%s: trap note = %q, want %q", c.Name, res.TrapNote, c.TrapNote)
+				}
+			}
+		})
 	}
 }
 

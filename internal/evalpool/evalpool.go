@@ -23,6 +23,7 @@
 package evalpool
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"runtime"
@@ -76,6 +77,9 @@ type Result struct {
 	Frontend, Lower, Optimize, Run time.Duration
 	// CacheHit reports that the front end came from the memo table.
 	CacheHit bool
+	// Attempts is how many times the job ran before this result (1
+	// unless supervision retried it after a worker death or timeout).
+	Attempts int
 }
 
 // Stage names used in trace events.
@@ -108,7 +112,10 @@ type TraceFunc func(Event)
 
 // Metrics aggregates what a pool has done across all Evaluate calls.
 type Metrics struct {
-	// Jobs is the number of jobs evaluated (including failed ones).
+	// Jobs is the number of jobs evaluated (including failed ones). An
+	// attempt abandoned at its deadline may still drain to completion on
+	// its orphaned worker, so under fault injection Jobs can exceed the
+	// number of input jobs; with no abnormal failures it matches exactly.
 	Jobs int
 	// Errors is the number of jobs that returned an error.
 	Errors int
@@ -128,6 +135,15 @@ type Metrics struct {
 	// successfully executed job.
 	Instructions uint64
 	Checks       uint64
+	// Supervision counters. Retries counts attempts re-dispatched after
+	// an abnormal failure; WorkerDeaths counts recovered worker panics;
+	// Timeouts counts attempts abandoned at Config.JobTimeout;
+	// Quarantined counts jobs that exhausted MaxAttempts and returned a
+	// *PoisonedInputError. All stay zero when nothing goes wrong.
+	Retries      int
+	WorkerDeaths int
+	Timeouts     int
+	Quarantined  int
 }
 
 // Pool is a bounded-concurrency evaluation engine with a memoized
@@ -137,6 +153,7 @@ type Metrics struct {
 // metrics accumulate. Evaluate itself may be called concurrently.
 type Pool struct {
 	workers int
+	cfg     Config
 	trace   TraceFunc
 
 	mu      sync.Mutex
@@ -179,11 +196,20 @@ type feEntry struct {
 // New returns a pool running at most workers jobs concurrently.
 // workers <= 0 selects GOMAXPROCS.
 func New(workers int) *Pool {
+	return NewSupervised(Config{Workers: workers})
+}
+
+// NewSupervised returns a pool with explicit supervision policy; see
+// Config for the retry/quarantine knobs. Config{} is equivalent to
+// New(0).
+func NewSupervised(cfg Config) *Pool {
+	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return &Pool{
 		workers: workers,
+		cfg:     cfg,
 		memo:    make(map[feKey]*feEntry),
 		bcMemo:  make(map[bcKey]*bcEntry),
 	}
@@ -212,6 +238,21 @@ func (p *Pool) Metrics() Metrics {
 // failures are reported per-result, never as a panic or early exit —
 // one bad variant must not mask the rest of the matrix.
 func (p *Pool) Evaluate(jobs []Job) []Result {
+	return p.EvaluateCtx(context.Background(), jobs)
+}
+
+// EvaluateCtx is Evaluate under a context. Cancelling ctx stops the
+// pool promptly: queued jobs return a cancellation error without
+// running, and in-flight engine runs stop at their next poll point (the
+// attempt context is threaded into each job's RunConfig). Results
+// remain ordered and complete — a cancelled cell holds a typed error,
+// never a hole.
+//
+// Every job runs under supervision: a worker panic or a Config.JobTimeout
+// overrun abandons the attempt and retries the job on a fresh worker
+// with capped exponential backoff, up to Config.MaxAttempts; a job that
+// fails abnormally every time is quarantined behind *PoisonedInputError.
+func (p *Pool) EvaluateCtx(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 	n := p.workers
 	if n > len(jobs) {
@@ -219,7 +260,7 @@ func (p *Pool) Evaluate(jobs []Job) []Result {
 	}
 	if n <= 1 {
 		for i := range jobs {
-			results[i] = p.runJob(i, &jobs[i])
+			results[i] = p.superviseJob(ctx, i, &jobs[i])
 		}
 		return results
 	}
@@ -231,7 +272,7 @@ func (p *Pool) Evaluate(jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = p.runJob(i, &jobs[i])
+				results[i] = p.superviseJob(ctx, i, &jobs[i])
 			}
 		}()
 	}
@@ -384,12 +425,19 @@ func (p *Pool) account(r *Result) {
 }
 
 // String renders the metrics as a one-line summary for -trace output.
+// Supervision counters are appended only when something abnormal
+// happened, so the healthy-path line is unchanged.
 func (m Metrics) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"evalpool: %d jobs (%d errors), frontends %d compiled / %d shared, frontend %s, compile %s, run %s, %d instr, %d checks",
 		m.Jobs, m.Errors, m.FrontendCompiles, m.FrontendHits,
 		m.FrontendTime.Round(time.Millisecond),
 		m.CompileTime.Round(time.Millisecond),
 		m.RunTime.Round(time.Millisecond),
 		m.Instructions, m.Checks)
+	if m.Retries != 0 || m.WorkerDeaths != 0 || m.Timeouts != 0 || m.Quarantined != 0 {
+		s += fmt.Sprintf(", %d retries, %d worker deaths, %d timeouts, %d quarantined",
+			m.Retries, m.WorkerDeaths, m.Timeouts, m.Quarantined)
+	}
+	return s
 }

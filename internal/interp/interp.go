@@ -33,6 +33,7 @@ import (
 	"strings"
 	"time"
 
+	"nascent/internal/chaos"
 	"nascent/internal/guard"
 	"nascent/internal/ir"
 	"nascent/internal/source"
@@ -208,7 +209,10 @@ func Run(p *ir.Program, cfg Config) (res Result, err error) {
 		active:    make([]bool, len(p.Funcs)),
 		zeroLists: make([][]*ir.Var, len(p.Funcs)),
 	}
-	m.timed = !cfg.Deadline.IsZero() || cfg.Context != nil
+	// Chaos injection rides the poll cadence, so an installed spec also
+	// forces polling; with injection off (the normal case) this reads one
+	// atomic and adds nothing to the hot path.
+	m.timed = !cfg.Deadline.IsZero() || cfg.Context != nil || chaos.Active()
 	// Frame scratch, hoisted out of the call path: the non-param locals
 	// each function must zero on entry are computed once per run, not
 	// once per call.
@@ -313,6 +317,9 @@ func (m *machine) cost(n uint64) {
 	}
 	if m.timed && m.instr >= m.nextPoll {
 		m.nextPoll = m.instr + pollInterval
+		if chaos.Active() {
+			m.chaosPoll()
+		}
 		if ctx := m.cfg.Context; ctx != nil {
 			select {
 			case <-ctx.Done():
@@ -323,6 +330,23 @@ func (m *machine) cost(n uint64) {
 		if !m.cfg.Deadline.IsZero() && time.Now().After(m.cfg.Deadline) {
 			m.fail(&ResourceError{Resource: ResDeadline})
 		}
+	}
+}
+
+// chaosPoll fires the tree engine's poll-point injection sites, keyed
+// by the executing function so a fault is deterministic per run: a
+// spurious budget exhaustion, a spurious cancellation (both typed
+// *ResourceError), or an induced panic that the Run boundary must
+// contain as an *InternalError with stage "run".
+func (m *machine) chaosPoll() {
+	if chaos.Fire(chaos.SiteTreeBudget, m.curFn) {
+		m.fail(&ResourceError{Resource: ResInstructions, Limit: m.cfg.MaxInstructions})
+	}
+	if chaos.Fire(chaos.SiteTreeCancel, m.curFn) {
+		m.fail(&ResourceError{Resource: ResCancelled})
+	}
+	if chaos.Fire(chaos.SiteTreePanic, m.curFn) {
+		panic(chaos.PanicValue(chaos.SiteTreePanic, m.curFn))
 	}
 }
 

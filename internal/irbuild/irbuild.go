@@ -13,6 +13,7 @@ import (
 	"sort"
 
 	"nascent/internal/ast"
+	"nascent/internal/chaos"
 	"nascent/internal/ir"
 	"nascent/internal/linform"
 	"nascent/internal/sem"
@@ -29,6 +30,17 @@ type Options struct {
 // computed and unreachable blocks removed, but critical edges not yet
 // split (the optimizer does that).
 func Build(prog *sem.Program, opts Options) (*ir.Program, error) {
+	if chaos.Active() {
+		key := ""
+		if prog.Main != nil {
+			key = prog.Main.Name
+		}
+		if chaos.Fire(chaos.SiteLowerPanic, key) {
+			// Contained by the nascent.CompileTimed boundary as an
+			// *InternalError with stage "lower".
+			panic(chaos.PanicValue(chaos.SiteLowerPanic, key))
+		}
+	}
 	b := &builder{
 		sem:  prog,
 		opts: opts,

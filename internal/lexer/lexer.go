@@ -9,6 +9,7 @@ package lexer
 import (
 	"strings"
 
+	"nascent/internal/chaos"
 	"nascent/internal/source"
 	"nascent/internal/token"
 )
@@ -38,6 +39,11 @@ func New(src string, errs *source.ErrorList) *Lexer {
 // Consecutive newlines are collapsed and leading newlines skipped so the
 // parser never sees an empty statement.
 func Scan(src string, errs *source.ErrorList) []Token {
+	if chaos.Active() {
+		if err := chaos.InjectError(chaos.SiteLexError, chaos.SourceKey(src)); err != nil {
+			errs.Add(source.Pos{Line: 1, Col: 1}, "%s", err.Error())
+		}
+	}
 	lx := New(src, errs)
 	var toks []Token
 	for {

@@ -25,6 +25,7 @@ import (
 	"strconv"
 
 	"nascent/internal/ast"
+	"nascent/internal/chaos"
 	"nascent/internal/lexer"
 	"nascent/internal/source"
 	"nascent/internal/token"
@@ -33,6 +34,11 @@ import (
 // Parse parses src (with file name for diagnostics) into an AST. Errors
 // are accumulated; the returned file covers whatever parsed successfully.
 func Parse(filename, src string) (*ast.File, error) {
+	if chaos.Active() {
+		if err := chaos.InjectError(chaos.SiteParseError, chaos.SourceKey(src)); err != nil {
+			return &ast.File{Name: filename}, err
+		}
+	}
 	var errs source.ErrorList
 	toks := lexer.Scan(src, &errs)
 	p := &parser{toks: toks, errs: &errs}

@@ -1,0 +1,63 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nascent/internal/chaos"
+	"nascent/internal/suite"
+)
+
+// TestTable2Partial forces every semantic analysis to fail and checks
+// the table still renders — every cell as ERR! — behind a typed
+// *PartialError instead of aborting.
+func TestTable2Partial(t *testing.T) {
+	chaos.Enable(chaos.Spec{Seed: 1, Rate: 1, Site: chaos.SiteSemError})
+	t.Cleanup(chaos.Disable)
+
+	out, err := New(Config{Jobs: 4}).Table2()
+	if !errors.Is(err, ErrPartial) {
+		t.Fatalf("err = %v, want ErrPartial", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *PartialError", err)
+	}
+	want := 14 * len(suite.Programs) // 7 schemes x {PRX, INX} x programs
+	if len(pe.Cells) != want {
+		t.Errorf("failed cells = %d, want %d", len(pe.Cells), want)
+	}
+	if !strings.Contains(out, "ERR!") {
+		t.Errorf("partial table does not mark failed cells:\n%s", out)
+	}
+	if !strings.Contains(out, "Table 2:") {
+		t.Errorf("partial table lost its header:\n%s", out)
+	}
+	// Every line must keep the full-table width: an ERR! cell is
+	// column-aligned with its numeric neighbours.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "ERR!") && !strings.HasPrefix(line, "PRX") && !strings.HasPrefix(line, "INX") {
+			t.Errorf("ERR! outside a data row: %q", line)
+		}
+	}
+}
+
+// TestTable1Partial checks Table 1 degrades to marker rows under the
+// same total-failure injection.
+func TestTable1Partial(t *testing.T) {
+	chaos.Enable(chaos.Spec{Seed: 1, Rate: 1, Site: chaos.SiteSemError})
+	t.Cleanup(chaos.Disable)
+
+	out, err := New(Config{Jobs: 4}).Table1()
+	if !errors.Is(err, ErrPartial) {
+		t.Fatalf("err = %v, want ErrPartial", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) || len(pe.Cells) != len(suite.Programs) {
+		t.Fatalf("err = %v, want one failed cell per program", err)
+	}
+	if strings.Count(out, "ERR!") != len(suite.Programs) {
+		t.Errorf("want %d ERR! rows, got:\n%s", len(suite.Programs), out)
+	}
+}

@@ -150,6 +150,10 @@ type Table2Cell struct {
 	Eliminated float64       // percent of dynamic checks eliminated
 	OptTime    time.Duration // range check optimization time ("Range")
 	TotalTime  time.Duration // whole compile ("Nascent")
+	// Err marks a failed measurement. The cell renders as "ERR!" and
+	// the table call returns a *PartialError — one bad cell degrades
+	// one cell, never the whole table.
+	Err error
 }
 
 // optJob is the evaluation of one program under one optimizer
@@ -168,22 +172,27 @@ func optJob(p suite.Program, scheme nascent.Scheme, kind nascent.CheckKind, impl
 	}
 }
 
-// buildCell folds one optimized evaluation into a Table 2/3 cell.
-func buildCell(name string, res evalpool.Result, naiveChecks uint64) (Table2Cell, error) {
+// buildCell folds one optimized evaluation into a Table 2/3 cell. A
+// failed measurement comes back as a cell with Err set, never as a
+// hard error: the caller renders the rest of the table around it.
+func buildCell(name string, res evalpool.Result, naiveChecks uint64) Table2Cell {
 	var cell Table2Cell
 	if res.Err != nil {
-		return cell, res.Err
+		cell.Err = res.Err
+		return cell
 	}
 	cell.OptTime = res.Optimize
 	cell.TotalTime = res.Frontend + res.Lower + res.Optimize
 	if res.Res.Trapped {
-		return cell, fmt.Errorf("%s: optimized run trapped: %s", name, res.Res.TrapNote)
+		cell.Err = fmt.Errorf("%s: optimized run trapped: %s", name, res.Res.TrapNote)
+		return cell
 	}
 	if naiveChecks == 0 {
-		return cell, fmt.Errorf("%s: naive check count is zero", name)
+		cell.Err = fmt.Errorf("%s: naive check count is zero", name)
+		return cell
 	}
 	cell.Eliminated = 100 * (1 - float64(res.Res.Checks)/float64(naiveChecks))
-	return cell, nil
+	return cell
 }
 
 // Measure2 runs one scheme/kind over one program and reports the
@@ -192,7 +201,8 @@ func Measure2(p suite.Program, scheme nascent.Scheme, kind nascent.CheckKind, im
 	r := New(Config{})
 	job := optJob(p, scheme, kind, impl)
 	res := r.pool.Evaluate([]evalpool.Job{job})[0]
-	return buildCell(job.Name, res, naiveChecks)
+	cell := buildCell(job.Name, res, naiveChecks)
+	return cell, cell.Err
 }
 
 // NaiveChecks runs the unoptimized checked build and returns its dynamic

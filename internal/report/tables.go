@@ -33,10 +33,15 @@ func (r *Runner) Table1() (string, error) {
 		"suite", "program", "lines", "subr", "loops",
 		"instr(s)", "instr(d)", "chk(s)", "chk(d)", "s-ratio", "d-ratio")
 	b.WriteString(strings.Repeat("-", 110) + "\n")
+	var failed []CellError
 	for i, p := range suite.Programs {
 		row, err := buildRow1(p, results[2*i], results[2*i+1])
 		if err != nil {
-			return "", fmt.Errorf("table 1: %s: %w", p.Name, err)
+			// Degrade to a marker row: the rest of the table still
+			// renders, and the error is reported through ErrPartial.
+			fmt.Fprintf(&b, "%-8s %-10s   ERR!\n", row.Suite, row.Program)
+			failed = append(failed, CellError{Name: "table1/" + p.Name, Err: err})
+			continue
 		}
 		fmt.Fprintf(&b, "%-8s %-10s %6d %5d %6d | %10d %12d | %8d %10d | %6.0f%% %6.0f%%\n",
 			row.Suite, row.Program, row.Lines, row.Subroutines, row.Loops,
@@ -45,7 +50,7 @@ func (r *Runner) Table1() (string, error) {
 	}
 	b.WriteString("\ninstr = non-check instructions, chk = range checks; (s) static, (d) dynamic.\n")
 	b.WriteString("ratio = checks / other instructions. Paper reports dynamic ratios of 22%-66%.\n")
-	return b.String(), nil
+	return b.String(), partial("table 1", failed)
 }
 
 // rowSpec names one row of Table 2 or 3: a labeled optimizer
@@ -68,8 +73,10 @@ type rowResult struct {
 // grid evaluates every rowSpec over the whole suite in one pool pass.
 // The job matrix is: one naive job per program (the shared
 // denominators), then one job per (row, program). Results come back in
-// row order regardless of completion order.
-func (r *Runner) grid(rows []rowSpec) ([]rowResult, error) {
+// row order regardless of completion order. Failures degrade to cells
+// with Err set (a failed naive denominator poisons its whole program
+// column); the grid itself never aborts.
+func (r *Runner) grid(rows []rowSpec) []rowResult {
 	nprog := len(suite.Programs)
 	jobs := make([]evalpool.Job, 0, nprog+len(rows)*nprog)
 	for _, p := range suite.Programs {
@@ -88,28 +95,39 @@ func (r *Runner) grid(rows []rowSpec) ([]rowResult, error) {
 	results := r.pool.Evaluate(r.withEngine(jobs))
 
 	naive := results[:nprog]
-	for j, p := range suite.Programs {
-		if naive[j].Err != nil {
-			return nil, fmt.Errorf("%s: naive: %w", p.Name, naive[j].Err)
-		}
-	}
 	out := make([]rowResult, len(rows))
 	for i, row := range rows {
 		rr := rowResult{Cells: make([]Table2Cell, nprog)}
 		for j, p := range suite.Programs {
 			res := results[nprog+i*nprog+j]
 			name := fmt.Sprintf("%s/%s/%v", p.Name, row.Label, row.Kind)
-			cell, err := buildCell(name, res, naive[j].Res.Checks)
-			if err != nil {
-				return nil, err
+			if naive[j].Err != nil {
+				rr.Cells[j] = Table2Cell{Err: fmt.Errorf("%s: naive: %w", p.Name, naive[j].Err)}
+				continue
 			}
+			cell := buildCell(name, res, naive[j].Res.Checks)
 			rr.Cells[j] = cell
 			rr.OptT += cell.OptTime
 			rr.TotT += cell.TotalTime
 		}
 		out[i] = rr
 	}
-	return out, nil
+	return out
+}
+
+// cellErrors collects the failed cells of an evaluated grid, labeled
+// by row and program, in render order.
+func cellErrors(rows []rowSpec, evaluated []rowResult) []CellError {
+	var errs []CellError
+	for i, row := range rows {
+		for j, p := range suite.Programs {
+			if err := evaluated[i].Cells[j].Err; err != nil {
+				name := fmt.Sprintf("%s/%s/%v", p.Name, row.Label, row.Kind)
+				errs = append(errs, CellError{Name: name, Err: err})
+			}
+		}
+	}
+	return errs
 }
 
 // Table2 measures the seven placement schemes × {PRX, INX} and renders
@@ -121,10 +139,7 @@ func (r *Runner) Table2() (string, error) {
 			rows = append(rows, rowSpec{Kind: kind, Label: sch.String(), Scheme: sch, Impl: nascent.ImplyFull})
 		}
 	}
-	evaluated, err := r.grid(rows)
-	if err != nil {
-		return "", fmt.Errorf("table 2: %w", err)
-	}
+	evaluated := r.grid(rows)
 
 	var b strings.Builder
 	b.WriteString("Table 2: Percentage of checks eliminated by optimizations")
@@ -143,7 +158,7 @@ func (r *Runner) Table2() (string, error) {
 	if r.timings {
 		b.WriteString("Range = time in the range check optimizer, Nascent = whole compilation, all 10 programs.\n")
 	}
-	return b.String(), nil
+	return b.String(), partial("table 2", cellErrors(rows, evaluated))
 }
 
 // Table3Variant names one row of Table 3.
@@ -173,10 +188,7 @@ func (r *Runner) Table3() (string, error) {
 			rows = append(rows, rowSpec{Kind: kind, Label: v.Label, Scheme: v.Scheme, Impl: v.Impl})
 		}
 	}
-	evaluated, err := r.grid(rows)
-	if err != nil {
-		return "", fmt.Errorf("table 3: %w", err)
-	}
+	evaluated := r.grid(rows)
 
 	var b strings.Builder
 	b.WriteString("Table 3: Percentage of checks eliminated with and without implications between checks\n\n")
@@ -189,7 +201,7 @@ func (r *Runner) Table3() (string, error) {
 	}
 	b.WriteString("\nNI'/SE' disable all implications between checks; LLS' disables only\n")
 	b.WriteString("within-family implications, keeping the preheader->body edges.\n")
-	return b.String(), nil
+	return b.String(), partial("table 3", cellErrors(rows, evaluated))
 }
 
 func (r *Runner) header(b *strings.Builder, k1, k2 string) {
@@ -215,6 +227,12 @@ func abbreviate(name string) string {
 func (r *Runner) writeRow(b *strings.Builder, kind, label string, row rowResult) {
 	fmt.Fprintf(b, "%-5s %-7s", kind, label)
 	for _, cell := range row.Cells {
+		if cell.Err != nil {
+			// Same 10-column width as " %8.2f%%" so the table stays
+			// aligned around a failed cell.
+			fmt.Fprintf(b, " %9s", "ERR!")
+			continue
+		}
 		fmt.Fprintf(b, " %8.2f%%", cell.Eliminated)
 	}
 	if r.timings {
@@ -249,9 +267,11 @@ func (r *Runner) Summarize() ([]SummaryRow, error) {
 			rowSpec{Kind: kind, Label: "LLS'", Scheme: nascent.LLS, Impl: nascent.ImplyCross},
 		)
 	}
-	evaluated, err := r.grid(rows)
-	if err != nil {
-		return nil, err
+	evaluated := r.grid(rows)
+	if errs := cellErrors(rows, evaluated); len(errs) != 0 {
+		// Summarize feeds EXPERIMENTS.md and assertions; a partial
+		// summary has no use, so keep the historical abort semantics.
+		return nil, fmt.Errorf("summarize: %s: %w", errs[0].Name, errs[0].Err)
 	}
 	out := make([]SummaryRow, len(rows))
 	for i, row := range rows {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"nascent/internal/ast"
+	"nascent/internal/chaos"
 	"nascent/internal/source"
 )
 
@@ -166,6 +167,11 @@ func (u *Unit) Program() *Program { return u.program }
 // Analyze type-checks file and builds symbol tables. On error the returned
 // program reflects partial analysis and the error lists all diagnostics.
 func Analyze(file *ast.File) (*Program, error) {
+	if chaos.Active() {
+		if err := chaos.InjectError(chaos.SiteSemError, file.Name); err != nil {
+			return nil, err
+		}
+	}
 	var errs source.ErrorList
 	p := &Program{
 		File:    file,

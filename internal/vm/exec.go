@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"nascent/internal/chaos"
 	"nascent/internal/guard"
 	"nascent/internal/interp"
 	"nascent/internal/ir"
@@ -95,8 +96,11 @@ func (vp *Program) Run(cfg interp.Config) (res interp.Result, err error) {
 			if int(m.fn) < len(vp.funcs) {
 				fnName = vp.funcs[m.fn].name
 			}
+			// Stage "run" matches the tree-walker's containment tag: the
+			// engines share one observable contract, including how their
+			// contained panics are labeled.
 			res = interp.Result{Output: m.out.String()}
-			err = &guard.InternalError{Stage: "vm-run", Fn: fnName, Recovered: r}
+			err = &guard.InternalError{Stage: "run", Fn: fnName, Recovered: r}
 		}
 	}()
 
@@ -129,8 +133,11 @@ func (m *mach) run() (interp.Result, error) {
 	// either the budget is blown or a deadline/context poll is due (the
 	// slow path below tells them apart). Untimed runs never poll, so the
 	// threshold is simply the budget.
+	// An installed chaos spec forces polling too, so the injection sites
+	// get the same cadence as deadline checks; with injection off this
+	// is one atomic read before the loop starts.
 	costThr := maxInstr
-	if !m.cfg.Deadline.IsZero() || m.cfg.Context != nil {
+	if !m.cfg.Deadline.IsZero() || m.cfg.Context != nil || chaos.Active() {
 		costThr = 0
 	}
 	m.fn = p.mainIdx
@@ -595,6 +602,20 @@ loop:
 }
 
 func (m *mach) poll() error {
+	if chaos.Active() {
+		fn := m.p.funcs[m.fn].name
+		if chaos.Fire(chaos.SiteVMBudget, fn) {
+			return &interp.ResourceError{Resource: interp.ResInstructions, Limit: m.cfg.MaxInstructions}
+		}
+		if chaos.Fire(chaos.SiteVMCancel, fn) {
+			return &interp.ResourceError{Resource: interp.ResCancelled}
+		}
+		if chaos.Fire(chaos.SiteVMPanic, fn) {
+			// Recovered by Run's containment boundary as an
+			// *InternalError with stage "run", like the tree engine.
+			panic(chaos.PanicValue(chaos.SiteVMPanic, fn))
+		}
+	}
 	if ctx := m.cfg.Context; ctx != nil {
 		select {
 		case <-ctx.Done():
