@@ -268,6 +268,7 @@ func BenchmarkTableRegeneration(b *testing.B) {
 func BenchmarkEngines(b *testing.B) {
 	progs := make([]*nascent.Program, len(suite.Programs))
 	bytecode := make([]*vm.Program, len(suite.Programs))
+	optimized := make([]*vm.Program, len(suite.Programs))
 	var instrs uint64
 	for i, p := range suite.Programs {
 		cp, err := nascent.Compile(p.Source, nascent.Options{BoundsChecks: true})
@@ -276,6 +277,9 @@ func BenchmarkEngines(b *testing.B) {
 		}
 		progs[i] = cp
 		if bytecode[i], err = vm.Compile(cp.IR); err != nil {
+			b.Fatal(err)
+		}
+		if optimized[i], err = vm.Optimize(bytecode[i]); err != nil {
 			b.Fatal(err)
 		}
 		instrs += runOrFatal(b, cp).Instructions
@@ -289,9 +293,12 @@ func BenchmarkEngines(b *testing.B) {
 				defer wg.Done()
 				for k := w; k < len(progs); k += jobs {
 					var err error
-					if engine == nascent.EngineVM {
+					switch engine {
+					case nascent.EngineVM:
 						_, err = bytecode[k].Run(nascent.RunConfig{})
-					} else {
+					case nascent.EngineVMOpt:
+						_, err = optimized[k].Run(nascent.RunConfig{})
+					default:
 						_, err = progs[k].RunWith(nascent.RunConfig{})
 					}
 					if err != nil {
@@ -305,7 +312,7 @@ func BenchmarkEngines(b *testing.B) {
 			b.Fatal("suite program failed under benchmark")
 		}
 	}
-	for _, engine := range []nascent.Engine{nascent.EngineTree, nascent.EngineVM} {
+	for _, engine := range []nascent.Engine{nascent.EngineTree, nascent.EngineVM, nascent.EngineVMOpt} {
 		for _, jobs := range []int{1, 4} {
 			b.Run(fmt.Sprintf("%v/jobs=%d", engine, jobs), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
@@ -314,6 +321,48 @@ func BenchmarkEngines(b *testing.B) {
 				b.ReportMetric(float64(instrs)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 			})
 		}
+	}
+}
+
+// TestEngineSteadyStateAllocs pins the bytecode engines' per-run
+// allocation ceiling. Machines recycle register files and array slabs
+// through the program's frame pool, so a steady-state run allocates
+// only pool bookkeeping (~1 alloc). The ceiling is loose enough for
+// runtime noise but fails hard if per-run frame allocation regresses.
+func TestEngineSteadyStateAllocs(t *testing.T) {
+	const ceiling = 8.0
+	sp, err := suite.Get("qcd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := nascent.Compile(sp.Source, nascent.Options{BoundsChecks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vp, err := vm.Compile(cp.IR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := vm.Optimize(vp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []struct {
+		name string
+		prog *vm.Program
+	}{{"vm", vp}, {"vmopt", op}} {
+		if _, err := e.prog.Run(nascent.RunConfig{}); err != nil {
+			t.Fatalf("%s: warmup: %v", e.name, err)
+		}
+		n := testing.AllocsPerRun(50, func() {
+			if _, err := e.prog.Run(nascent.RunConfig{}); err != nil {
+				t.Fatalf("%s: run: %v", e.name, err)
+			}
+		})
+		if n > ceiling {
+			t.Errorf("%s: %.1f allocs/run in steady state, want <= %.0f", e.name, n, ceiling)
+		}
+		t.Logf("%s: %.1f allocs/run", e.name, n)
 	}
 }
 

@@ -11,9 +11,10 @@
 //	-scheme naive|NI|CS|LNI|SE|LI|LLS|ALL|MCM  placement scheme (default naive)
 //	-kind   PRX|INX                            check construction (default PRX)
 //	-impl   full|none|cross                    implication mode (default full)
-//	-engine tree|vm                            execution engine (default tree);
-//	                                           with -verify, vm also enables the
-//	                                           tree-vs-vm engine-identity sweep
+//	-engine tree|vm|vmopt                      execution engine (default tree);
+//	                                           with -verify, vm or vmopt also
+//	                                           enables the engine-identity sweep
+//	                                           across every selected engine
 //	-nocheck                                   compile without range checks
 //	-dump                                      print the optimized IR, do not run
 //	-stats                                     print static/dynamic statistics
@@ -92,7 +93,7 @@ func run(argv []string, stdout, stderr *os.File) int {
 	schemeFlag := fs.String("scheme", "naive", "placement scheme: naive|NI|CS|LNI|SE|LI|LLS|ALL|MCM")
 	kindFlag := fs.String("kind", "PRX", "check construction: PRX|INX")
 	implFlag := fs.String("impl", "full", "implications: full|none|cross")
-	engineFlag := fs.String("engine", "tree", "execution engine: tree|vm")
+	engineFlag := fs.String("engine", "tree", "execution engine: tree|vm|vmopt")
 	noCheck := fs.Bool("nocheck", false, "compile without range checks")
 	dump := fs.Bool("dump", false, "print the IR instead of running")
 	cig := fs.Bool("cig", false, "print the check implication graph instead of running")
@@ -221,13 +222,12 @@ func run(argv []string, stdout, stderr *os.File) int {
 // runVerify compiles and executes the source under every optimizing
 // variant and compares each against the naive baseline. The sweep is
 // sharded across all CPUs; the report is identical to a sequential run.
-// Selecting the VM engine additionally runs every variant under both
-// engines and asserts the engine-identity invariant.
+// Selecting a bytecode engine additionally runs every variant under the
+// tree walker and each bytecode tier up to the selected one, asserting
+// the engine-identity invariant across all of them.
 func runVerify(file, src string, engine nascent.Engine, stdout, stderr *os.File) int {
 	cfg := oracle.Config{Jobs: runtime.GOMAXPROCS(0)}
-	if engine == nascent.EngineVM {
-		cfg.Engines = []nascent.Engine{nascent.EngineTree, nascent.EngineVM}
-	}
+	cfg.Engines = engineSweep(engine)
 	rep, err := oracle.Verify(src, cfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "nacc: verify: %v\n", err)
@@ -246,14 +246,27 @@ func runVerify(file, src string, engine nascent.Engine, stdout, stderr *os.File)
 	return exitOK
 }
 
+// engineSweep lists the engines an identity sweep covers for a selected
+// engine: the tree walker plus each bytecode tier up to the selection.
+func engineSweep(engine nascent.Engine) []nascent.Engine {
+	switch engine {
+	case nascent.EngineVM:
+		return []nascent.Engine{nascent.EngineTree, nascent.EngineVM}
+	case nascent.EngineVMOpt:
+		return []nascent.Engine{nascent.EngineTree, nascent.EngineVM, nascent.EngineVMOpt}
+	}
+	return nil
+}
+
 // runChaosSweep runs the oracle's fault-injection sweep: seeds 1..8 at
 // rate 0.05 with every site armed, asserting each faulted evaluation is
-// correct or a typed error. Selecting the VM engine sweeps both
-// engines, covering the VM's poll sites as well.
+// correct or a typed error. Selecting a bytecode engine sweeps the tree
+// walker and each bytecode tier up to it, covering the poll sites of
+// both the plain and the optimized interpreter loop.
 func runChaosSweep(file, src string, engine nascent.Engine, stdout, stderr *os.File) int {
 	cfg := oracle.ChaosConfig{Jobs: runtime.GOMAXPROCS(0)}
-	if engine == nascent.EngineVM {
-		cfg.Engines = []nascent.Engine{nascent.EngineTree, nascent.EngineVM}
+	if sweep := engineSweep(engine); sweep != nil {
+		cfg.Engines = sweep
 	} else {
 		cfg.Engines = []nascent.Engine{engine}
 	}

@@ -1,0 +1,190 @@
+package main
+
+// -benchjson: machine-readable engine benchmark, emitting the same
+// schema as the committed BENCH_*.json files so CI (or a reviewer) can
+// regenerate them with one command instead of hand-editing `go test
+// -bench` output.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"nascent"
+	"nascent/internal/suite"
+	"nascent/internal/vm"
+)
+
+// benchDoc mirrors the committed BENCH_*.json schema.
+type benchDoc struct {
+	Benchmark   string             `json:"benchmark"`
+	Description string             `json:"description"`
+	Date        string             `json:"date"`
+	Host        benchHost          `json:"host"`
+	Command     string             `json:"command"`
+	Results     []benchResult      `json:"results"`
+	Speedup     map[string]float64 `json:"speedup"`
+	Notes       string             `json:"notes"`
+}
+
+type benchHost struct {
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPU    string `json:"cpu"`
+	Cores  int    `json:"cores"`
+}
+
+type benchResult struct {
+	Name       string  `json:"name"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	MinstrPerS float64 `json:"minstr_per_s"`
+	BytesPerOp int64   `json:"bytes_per_op"`
+	AllocsPerO int64   `json:"allocs_per_op"`
+}
+
+// cpuModel best-effort reads the CPU model string for the host block.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return runtime.GOARCH
+}
+
+// runBenchJSON executes the whole Table-1 suite, compiled naive, under
+// every engine, and writes one BENCH-schema JSON document to path
+// ("-" = stdout). Programs compile outside the timer; ns/op is pure
+// execution. Exit codes match the table path: 0 ok, 1 a run failed,
+// 2 the output file could not be written.
+func runBenchJSON(path string) int {
+	type compiled struct {
+		name string
+		tree *nascent.Program
+		vm   *vm.Program
+		opt  *vm.Program
+	}
+	progs := make([]compiled, 0, len(suite.Programs))
+	var instrs uint64
+	for _, p := range suite.Programs {
+		cp, err := nascent.Compile(p.Source, nascent.Options{BoundsChecks: true})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %s: %v\n", p.Name, err)
+			return 1
+		}
+		bc, err := vm.Compile(cp.IR)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %s: vm compile: %v\n", p.Name, err)
+			return 1
+		}
+		opt, err := vm.Optimize(bc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %s: vm optimize: %v\n", p.Name, err)
+			return 1
+		}
+		res, err := cp.RunWith(nascent.RunConfig{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %s: run: %v\n", p.Name, err)
+			return 1
+		}
+		instrs += res.Instructions
+		progs = append(progs, compiled{name: p.Name, tree: cp, vm: bc, opt: opt})
+	}
+
+	engines := []struct {
+		name string
+		run  func(compiled) error
+	}{
+		{"tree", func(c compiled) error { _, err := c.tree.RunWith(nascent.RunConfig{}); return err }},
+		{"vm", func(c compiled) error { _, err := c.vm.Run(nascent.RunConfig{}); return err }},
+		{"vmopt", func(c compiled) error { _, err := c.opt.Run(nascent.RunConfig{}); return err }},
+	}
+	doc := benchDoc{
+		Benchmark: "rangebench -benchjson",
+		Description: "Suite-wide execution of the 10 Table-1 programs compiled naive " +
+			"(all range checks live): tree-walking reference interpreter vs bytecode VM " +
+			"vs superinstruction-optimized VM. Programs are compiled outside the timer; " +
+			"ns/op and allocs/op are pure execution. All engines execute identical " +
+			"dynamic instruction streams (conformance-pinned), so ns/op ratios are " +
+			"true engine speedups.",
+		Date: time.Now().Format("2006-01-02"),
+		Host: benchHost{
+			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+			CPU: cpuModel(), Cores: runtime.NumCPU(),
+		},
+		Command: "rangebench -benchjson " + path,
+		Speedup: map[string]float64{},
+		Notes: "vmopt rewrites the vm bytecode with copy propagation, dead-code " +
+			"elimination, and superinstruction fusion (check+access, check-run " +
+			"blocks including two-register checks, affine 2-D subscripts, float " +
+			"binop chains into loads and stores, loop latches with threaded " +
+			"back edges) and reuses machine frames across runs; every observable " +
+			"(counters, traps, output) is pinned identical by the conformance " +
+			"corpus and golden tables.",
+	}
+	nsPer := map[string]float64{}
+	for _, eng := range engines {
+		eng := eng
+		var failed error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for _, c := range progs {
+					if err := eng.run(c); err != nil {
+						failed = err
+					}
+				}
+			}
+		})
+		if failed != nil {
+			fmt.Fprintf(os.Stderr, "rangebench: %s: %v\n", eng.name, failed)
+			return 1
+		}
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		nsPer[eng.name] = ns
+		doc.Results = append(doc.Results, benchResult{
+			Name:       eng.name,
+			NsPerOp:    int64(ns),
+			MinstrPerS: roundTo(float64(instrs)/ns*1e3, 1),
+			BytesPerOp: r.AllocedBytesPerOp(),
+			AllocsPerO: r.AllocsPerOp(),
+		})
+	}
+	doc.Speedup["vm_over_tree"] = roundTo(nsPer["tree"]/nsPer["vm"], 2)
+	doc.Speedup["vmopt_over_vm"] = roundTo(nsPer["vm"]/nsPer["vmopt"], 2)
+	doc.Speedup["vmopt_over_tree"] = roundTo(nsPer["tree"]/nsPer["vmopt"], 2)
+
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+		return 2
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		os.Stdout.Write(out)
+		return 0
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "rangebench: %v\n", err)
+		return 2
+	}
+	return 0
+}
+
+func roundTo(v float64, digits int) float64 {
+	scale := 1.0
+	for i := 0; i < digits; i++ {
+		scale *= 10
+	}
+	return float64(int64(v*scale+0.5)) / scale
+}

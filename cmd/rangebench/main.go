@@ -3,17 +3,23 @@
 //
 // Usage:
 //
-//	rangebench [-table N] [-jobs N] [-engine tree|vm] [-times] [-trace]
-//	           [-chaos seed:rate[:site]] [-cpuprofile file] [-memprofile file]
+//	rangebench [-table N] [-jobs N] [-engine tree|vm|vmopt] [-times] [-trace]
+//	           [-benchjson path] [-chaos seed:rate[:site]]
+//	           [-cpuprofile file] [-memprofile file]
 //
 // With no flags, all three tables are printed. -table 1 prints program
 // characteristics (naive check overhead), -table 2 the seven placement
 // schemes × {PRX, INX}, -table 3 the implication ablation.
 //
 // -engine selects the execution substrate: the tree-walking reference
-// interpreter (default) or the bytecode VM. Table output is
-// byte-identical under either engine — the CI pipeline diffs them —
-// so the flag only changes wall-clock.
+// interpreter (default), the bytecode VM, or the superinstruction-
+// optimized VM. Table output is byte-identical under every engine —
+// the CI pipeline diffs them — so the flag only changes wall-clock.
+//
+// -benchjson path benchmarks the whole suite under all three engines
+// and writes one BENCH-schema JSON document to path ("-" for stdout)
+// instead of printing tables; the committed BENCH_*.json files are
+// regenerated this way.
 //
 // -cpuprofile / -memprofile write pprof profiles of the whole run, for
 // chasing interpreter hot spots (`go tool pprof`).
@@ -59,7 +65,8 @@ import (
 func main() {
 	table := flag.Int("table", 0, "table to print (1, 2, or 3; 0 = all)")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "number of parallel evaluation workers")
-	engineFlag := flag.String("engine", "tree", "execution engine: tree (reference) or vm (bytecode)")
+	engineFlag := flag.String("engine", "tree", "execution engine: tree (reference), vm (bytecode), or vmopt (optimized bytecode)")
+	benchJSON := flag.String("benchjson", "", "benchmark all engines and write BENCH-schema JSON to this path (- for stdout)")
 	times := flag.Bool("times", false, "include wall-clock columns (non-reproducible) in tables 2-3")
 	trace := flag.Bool("trace", false, "log per-job stage timings to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -79,6 +86,10 @@ func main() {
 			os.Exit(2)
 		}
 		chaos.Enable(spec)
+	}
+
+	if *benchJSON != "" {
+		os.Exit(runBenchJSON(*benchJSON))
 	}
 
 	// Profiles are flushed before the final os.Exit, so the run body

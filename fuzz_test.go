@@ -3,10 +3,12 @@ package nascent_test
 import (
 	"fmt"
 	"math/rand"
+	"reflect"
 	"strings"
 	"testing"
 
 	"nascent"
+	"nascent/internal/conformance"
 	"nascent/internal/oracle"
 )
 
@@ -239,6 +241,52 @@ func FuzzPipeline(f *testing.F) {
 		}
 		if !rep.OK() {
 			t.Fatalf("%s\nsource:\n%s", rep.Summary(), src)
+		}
+	})
+}
+
+// FuzzEngineIdentity fuzzes the execution-engine contract directly:
+// for any input that compiles, the tree-walking reference, the
+// bytecode VM, and the optimized VM must produce identical observables
+// — instruction and check counters, output, trap note/class/position —
+// or identical error text. The seed corpus is the conformance suite,
+// whose cases pin exactly these observables, plus generator output so
+// mutation starts from loop-heavy programs that exercise fusion.
+func FuzzEngineIdentity(f *testing.F) {
+	for _, c := range conformance.Corpus {
+		f.Add(c.Src)
+	}
+	for seed := int64(1); seed <= 6; seed++ {
+		f.Add(generate(seed))
+	}
+	engines := []nascent.Engine{nascent.EngineTree, nascent.EngineVM, nascent.EngineVMOpt}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := nascent.Compile(src, nascent.Options{BoundsChecks: true})
+		if err != nil {
+			return
+		}
+		type run struct {
+			res nascent.RunResult
+			err error
+		}
+		var runs [3]run
+		for i, e := range engines {
+			runs[i].res, runs[i].err = p.RunWith(nascent.RunConfig{
+				MaxInstructions: 200000,
+				Engine:          e,
+			})
+		}
+		for i := 1; i < len(runs); i++ {
+			ref, got := runs[0], runs[i]
+			if (ref.err == nil) != (got.err == nil) ||
+				(ref.err != nil && ref.err.Error() != got.err.Error()) {
+				t.Fatalf("engine %v error mismatch: tree=%v %v=%v\nsource:\n%s",
+					engines[i], ref.err, engines[i], got.err, src)
+			}
+			if ref.err == nil && !reflect.DeepEqual(ref.res, got.res) {
+				t.Fatalf("engine %v observables diverge:\ntree:  %+v\n%v: %+v\nsource:\n%s",
+					engines[i], ref.res, engines[i], got.res, src)
+			}
 		}
 	})
 }

@@ -123,7 +123,8 @@ type Metrics struct {
 	FrontendCompiles int
 	FrontendHits     int
 	// BytecodeCompiles / BytecodeHits split the bytecode memo's traffic
-	// (EngineVM jobs only; tree-walker jobs never touch it).
+	// (EngineVM and EngineVMOpt jobs only; tree-walker jobs never touch
+	// it).
 	BytecodeCompiles int
 	BytecodeHits     int
 	// Stage wall-clock totals, summed across workers (under full
@@ -167,13 +168,15 @@ type feKey struct {
 	filename string
 }
 
-// bcKey identifies one compiled bytecode program: the front-end key
-// plus the full backend option set. The whole compile pipeline is
-// deterministic, so two jobs with equal keys lower to equivalent IR
-// and can share one immutable vm.Program.
+// bcKey identifies one compiled bytecode program: the front-end key,
+// the full backend option set, and the engine tier (plain vm and the
+// optimized vmopt rewrite are distinct programs). The whole compile
+// pipeline is deterministic, so two jobs with equal keys lower to
+// equivalent IR and can share one immutable vm.Program.
 type bcKey struct {
-	fe   feKey
-	opts nascent.Options
+	fe     feKey
+	opts   nascent.Options
+	engine nascent.Engine
 }
 
 // bcEntry is a once-guarded bytecode memo slot, like feEntry.
@@ -309,21 +312,24 @@ func (p *Pool) frontend(job *Job, key feKey) (*nascent.Frontend, time.Duration, 
 	return e.fe, e.dur, false, e.err
 }
 
-// execute runs a compiled job under its configured engine. EngineVM
-// jobs without a Mutate hook share compiled bytecode through the
-// bytecode memo: the compile pipeline is deterministic, so every job
-// with the same (source, filename, options) lowers to equivalent IR,
-// and one immutable vm.Program serves them all. A Mutate hook (the
-// oracle's miscompilation injector) changes the IR after compilation,
-// so mutated jobs bypass the memo and run through the ordinary
-// per-run dispatch.
+// execute runs a compiled job under its configured engine. Bytecode
+// jobs (EngineVM and EngineVMOpt) without a Mutate hook share compiled
+// programs through the bytecode memo: the compile pipeline is
+// deterministic, so every job with the same (source, filename,
+// options, engine) lowers to equivalent IR, and one immutable
+// vm.Program serves them all — EngineVMOpt entries additionally run
+// the superinstruction optimizer once and share the rewritten program.
+// A Mutate hook (the oracle's miscompilation injector) changes the IR
+// after compilation, so mutated jobs bypass the memo and run through
+// the ordinary per-run dispatch.
 func (p *Pool) execute(job *Job, key feKey, prog *nascent.Program) (nascent.RunResult, error) {
-	if job.Run.Engine != nascent.EngineVM || job.Mutate != nil {
+	eng := job.Run.Engine
+	if (eng != nascent.EngineVM && eng != nascent.EngineVMOpt) || job.Mutate != nil {
 		return prog.RunWith(job.Run)
 	}
 	opts := job.Opts
 	opts.Filename = "" // ignored by Compile; keep it out of the key
-	bk := bcKey{fe: key, opts: opts}
+	bk := bcKey{fe: key, opts: opts, engine: eng}
 	p.mu.Lock()
 	e := p.bcMemo[bk]
 	if e == nil {
@@ -335,7 +341,11 @@ func (p *Pool) execute(job *Job, key feKey, prog *nascent.Program) (nascent.RunR
 	hit := true
 	e.once.Do(func() {
 		hit = false
-		e.prog, e.err = vm.Compile(prog.IR)
+		if eng == nascent.EngineVMOpt {
+			e.prog, e.err = vm.CompileOptimized(prog.IR)
+		} else {
+			e.prog, e.err = vm.Compile(prog.IR)
+		}
 	})
 	p.mu.Lock()
 	if hit {

@@ -145,7 +145,10 @@ func TestSkipRunAndMutate(t *testing.T) {
 
 func TestTraceEvents(t *testing.T) {
 	pool := evalpool.New(4)
-	type key struct{ job int; stage string }
+	type key struct {
+		job   int
+		stage string
+	}
 	seen := map[key]int{}
 	pool.SetTrace(func(ev evalpool.Event) { seen[key{ev.Job, ev.Stage}]++ })
 

@@ -24,11 +24,18 @@ const (
 	// be linked into the binary to be selectable; importing the nascent
 	// package (or internal/vm itself) links it.
 	EngineVM
+	// EngineVMOpt is the bytecode VM running optimized bytecode: the
+	// post-compile pipeline in internal/vm (copy propagation, dead-store
+	// elimination, superinstruction fusion, frame reuse) rewrites the
+	// program between vm.Compile and execution. Observables are
+	// byte-identical to the other engines; only dispatch count and
+	// wall-clock change. Linked together with EngineVM.
+	EngineVMOpt
 
 	numEngines = iota
 )
 
-var engineNames = [numEngines]string{"tree", "vm"}
+var engineNames = [numEngines]string{"tree", "vm", "vmopt"}
 
 func (e Engine) String() string {
 	if int(e) < len(engineNames) {
@@ -37,14 +44,14 @@ func (e Engine) String() string {
 	return fmt.Sprintf("Engine(%d)", uint8(e))
 }
 
-// ParseEngine maps a flag value ("tree" or "vm") to an Engine.
+// ParseEngine maps a flag value ("tree", "vm", or "vmopt") to an Engine.
 func ParseEngine(s string) (Engine, error) {
 	for i, n := range engineNames {
 		if s == n {
 			return Engine(i), nil
 		}
 	}
-	return EngineTree, fmt.Errorf("interp: unknown engine %q (want tree or vm)", s)
+	return EngineTree, fmt.Errorf("interp: unknown engine %q (want tree, vm, or vmopt)", s)
 }
 
 // engines holds the registered Run implementations. Slot EngineTree is

@@ -290,10 +290,10 @@ type machine struct {
 	checks    uint64
 	inCheck   bool
 	out       strings.Builder
-	active    []bool       // call-active bit per Func.Index (recursion guard)
-	zeroLists [][]*ir.Var  // per Func.Index: non-param locals zeroed on entry
-	curFn     string       // function currently executing, for error tags
-	timed     bool         // a Deadline or Context is configured
+	active    []bool      // call-active bit per Func.Index (recursion guard)
+	zeroLists [][]*ir.Var // per Func.Index: non-param locals zeroed on entry
+	curFn     string      // function currently executing, for error tags
+	timed     bool        // a Deadline or Context is configured
 	nextPoll  uint64
 }
 

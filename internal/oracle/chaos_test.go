@@ -50,7 +50,7 @@ func TestChaosSweepClean(t *testing.T) {
 func oracleSweepConfig() ChaosConfig {
 	return ChaosConfig{
 		Jobs:    8,
-		Engines: []nascent.Engine{nascent.EngineTree, nascent.EngineVM},
+		Engines: []nascent.Engine{nascent.EngineTree, nascent.EngineVM, nascent.EngineVMOpt},
 		// The probe program runs in microseconds; a tight attempt bound
 		// keeps the injected-hang cost of the sweep low.
 		JobTimeout: 250 * time.Millisecond,

@@ -89,6 +89,37 @@ func TestGoldenTablesVM(t *testing.T) {
 	}
 }
 
+// TestGoldenTablesVMOpt regenerates Tables 1–3 under the optimized
+// bytecode engine and diffs them against the same engine-independent
+// golden files. Superinstruction fusion and dead-code elimination
+// rewrite the dispatch stream but may never move a counter, trap, or
+// output byte; a fusion pattern that miscounts shows up here as a
+// golden diff.
+func TestGoldenTablesVMOpt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tables in short mode")
+	}
+	funcs := tableFuncs(report.New(report.Config{Jobs: 4, Engine: nascent.EngineVMOpt}))
+	for n := 1; n <= 3; n++ {
+		n := n
+		t.Run(fmt.Sprintf("table%d", n), func(t *testing.T) {
+			got, err := funcs[n]()
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", "golden", fmt.Sprintf("table%d.txt", n))
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run TestGoldenTables with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("table %d under the vmopt engine drifted from golden %s\n--- vmopt ---\n%s\n--- golden ---\n%s",
+					n, path, got, want)
+			}
+		})
+	}
+}
+
 // TestParallelMatchesSequential is the engine's core safety claim: a
 // pool with many workers renders byte-identical tables to the
 // sequential pool. Run under -race in CI, it doubles as a data-race

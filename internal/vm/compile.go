@@ -38,6 +38,7 @@ package vm
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"nascent/internal/guard"
 	"nascent/internal/ir"
@@ -82,9 +83,9 @@ const (
 	opOrB
 	opNotB // a=dst b=x
 
-	opModI  // a=dst b=l c=r; faults on zero divisor
-	opAbsI  // a=dst b=x
-	opMinI  // a=dst b=pool offset c=argc
+	opModI // a=dst b=l c=r; faults on zero divisor
+	opAbsI // a=dst b=x
+	opMinI // a=dst b=pool offset c=argc
 	opMaxI
 	opModF // math.Mod
 	opAbsF
@@ -94,7 +95,7 @@ const (
 	opI2F // a=float dst b=int src
 	opF2I // a=int dst b=float src (truncate)
 
-	opLoadI  // a=dst b=pool offset (index regs) c=array ID
+	opLoadI // a=dst b=pool offset (index regs) c=array ID
 	opLoadF
 	opStoreI // a=val reg b=pool offset c=array ID
 	opStoreF
@@ -106,9 +107,9 @@ const (
 	opCheck    // a=pool offset (coef,reg pairs) b=#terms c=check index, imm=K
 	opTrapStmt // a=trap index
 
-	opJmp   // a=target pc
-	opBr    // c=cond reg, a=pc if nonzero, b=pc if zero
-	opCall  // a=callee func index
+	opJmp  // a=target pc
+	opBr   // c=cond reg, a=pc if nonzero, b=pc if zero
+	opCall // a=callee func index
 	opRet
 	opPrint // a=pool offset (reg<<1|isFloat entries) b=argc
 	opNop   // cost carrier only (a call's 2+params charge precedes its args)
@@ -210,6 +211,11 @@ type Program struct {
 	iCells, fCells       int64 // slab sizes (sum of per-type array lengths)
 	numVars              int   // register slots reserved for program variables
 	mainIdx              int32 // Func.Index of main (execution entry)
+
+	// mpool recycles machines (register files + array slabs) across
+	// runs of this program; a pointer so Program copies stay legal.
+	mpool     *sync.Pool
+	optimized bool // rewritten by Optimize (opt.go)
 }
 
 // Instructions returns the flat bytecode length (for tests and stats).
@@ -257,6 +263,7 @@ func Compile(p *ir.Program) (vp *Program, err error) {
 	out.nFloatRegs = int(b.fScratch) + int(c2.maxDepthF)
 	out.numVars = p.NumVars
 	out.mainIdx = int32(p.Main().Index)
+	out.mpool = new(sync.Pool)
 	return out, nil
 }
 
@@ -267,7 +274,7 @@ type patch struct {
 }
 
 type compiler struct {
-	p  *ir.Program
+	p    *ir.Program
 	prog *Program
 	bases
 	iconstIdx map[int64]int32

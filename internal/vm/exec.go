@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"math"
 	"strconv"
-	"strings"
 	"time"
 
 	"nascent/internal/chaos"
@@ -35,7 +34,10 @@ type frame struct {
 }
 
 // mach is the mutable state of one run. Programs are immutable, so one
-// compiled Program serves any number of concurrent machines.
+// compiled Program serves any number of concurrent machines. Machines
+// recycle through the program's frame pool: repeated runs (bench
+// -times, oracle sweeps, evalpool) reuse the register files and array
+// slabs instead of reallocating them.
 type mach struct {
 	p      *Program
 	cfg    interp.Config
@@ -46,13 +48,30 @@ type mach struct {
 	active []bool
 	frames []frame
 	fn     int32
-	out    strings.Builder
+	out    []byte
+	disp   *DispatchStats
 }
 
 // Run executes the compiled program from main. It implements exactly
 // the reference engine's contract: same counters, output, traps, and
 // budget errors (see the package comment for the identity argument).
-func (vp *Program) Run(cfg interp.Config) (res interp.Result, err error) {
+func (vp *Program) Run(cfg interp.Config) (interp.Result, error) {
+	return vp.runWith(cfg, nil)
+}
+
+// RunDispatch is Run with dispatch accounting: the returned stats
+// count the dispatch-loop iterations the run performed per opcode, the
+// deterministic proxy CI pins instead of wall clock.
+func (vp *Program) RunDispatch(cfg interp.Config) (interp.Result, DispatchStats, error) {
+	ds := DispatchStats{Static: len(vp.code)}
+	res, err := vp.runWith(cfg, &ds)
+	return res, ds, err
+}
+
+// Optimized reports whether this program went through Optimize.
+func (vp *Program) Optimized() bool { return vp.optimized }
+
+func (vp *Program) runWith(cfg interp.Config, disp *DispatchStats) (res interp.Result, err error) {
 	if cfg.MaxInstructions == 0 {
 		cfg.MaxInstructions = 2e9
 	}
@@ -78,6 +97,52 @@ func (vp *Program) Run(cfg interp.Config) (res interp.Result, err error) {
 		}
 	}
 
+	m := vp.getMach(cfg)
+	m.disp = disp
+
+	defer func() {
+		if r := recover(); r != nil {
+			fnName := ""
+			if int(m.fn) < len(vp.funcs) {
+				fnName = vp.funcs[m.fn].name
+			}
+			// Stage "run" matches the tree-walker's containment tag: the
+			// engines share one observable contract, including how their
+			// contained panics are labeled. The machine is not returned
+			// to the pool: a panic may have interrupted it anywhere.
+			res = interp.Result{Output: string(m.out)}
+			err = &guard.InternalError{Stage: "run", Fn: fnName, Recovered: r}
+		}
+	}()
+
+	res, err = m.run()
+	vp.putMach(m)
+	return res, err
+}
+
+// getMach returns a reset machine, reusing a pooled one when
+// available. A reused machine only has to restore what a run observes:
+// variables zero, constants in place, slabs zero, no active frames, no
+// output. The steady state of a repeated run is allocation-free.
+func (vp *Program) getMach(cfg interp.Config) *mach {
+	if vp.mpool != nil {
+		if v := vp.mpool.Get(); v != nil {
+			m := v.(*mach)
+			clear(m.ireg)
+			clear(m.freg)
+			copy(m.ireg[vp.numVars:], vp.iconsts)
+			copy(m.freg[vp.numVars:], vp.fconsts)
+			clear(m.icel)
+			clear(m.fcel)
+			clear(m.active)
+			m.frames = m.frames[:0]
+			m.out = m.out[:0]
+			m.cfg = cfg
+			m.fn = 0
+			m.disp = nil
+			return m
+		}
+	}
 	m := &mach{
 		p:      vp,
 		cfg:    cfg,
@@ -89,22 +154,13 @@ func (vp *Program) Run(cfg interp.Config) (res interp.Result, err error) {
 	}
 	copy(m.ireg[vp.numVars:], vp.iconsts)
 	copy(m.freg[vp.numVars:], vp.fconsts)
+	return m
+}
 
-	defer func() {
-		if r := recover(); r != nil {
-			fnName := ""
-			if int(m.fn) < len(vp.funcs) {
-				fnName = vp.funcs[m.fn].name
-			}
-			// Stage "run" matches the tree-walker's containment tag: the
-			// engines share one observable contract, including how their
-			// contained panics are labeled.
-			res = interp.Result{Output: m.out.String()}
-			err = &guard.InternalError{Stage: "run", Fn: fnName, Recovered: r}
-		}
-	}()
-
-	return m.run()
+func (vp *Program) putMach(m *mach) {
+	if vp.mpool != nil {
+		vp.mpool.Put(m)
+	}
 }
 
 func (m *mach) run() (interp.Result, error) {
@@ -127,6 +183,8 @@ func (m *mach) run() (interp.Result, error) {
 		trapNote  string
 		trapClass interp.TrapClass
 		trapPos   source.Pos
+
+		disp = m.disp
 	)
 	// costThr folds the budget bound and the next poll tick into one
 	// compare on the hot path: the instruction counter crossing it means
@@ -148,25 +206,20 @@ loop:
 	for {
 		in := &code[pc]
 		pc++
+		if disp != nil {
+			disp.count(in.op)
+		}
 		// Central cost charge. Zero-cost instructions (check-term work,
 		// constant moves) skip budget and poll entirely, exactly like
-		// the reference engine's inCheck/zero-cost paths.
+		// the reference engine's inCheck/zero-cost paths. Fused
+		// check+access opcodes split their charge: the pre-check part
+		// rides in.cost here, the post-check part is recharged after
+		// the checks pass (see recharge).
 		if c := in.cost; c != 0 {
 			instrs += uint64(c)
 			if instrs > costThr {
-				if instrs > maxInstr {
-					err = &interp.ResourceError{Resource: interp.ResInstructions, Limit: maxInstr}
+				if costThr, err = m.recharge(instrs, maxInstr); err != nil {
 					break loop
-				}
-				// A poll tick: one poll per 2^14 counted instructions,
-				// exactly the reference engine's cadence.
-				if e := m.poll(); e != nil {
-					err = e
-					break loop
-				}
-				costThr = instrs + pollInterval - 1
-				if maxInstr < costThr {
-					costThr = maxInstr
 				}
 			}
 		}
@@ -563,19 +616,19 @@ loop:
 			pc, m.fn = fr.ret, fr.fn
 
 		case opPrint:
-			if m.out.Len() < m.cfg.MaxOutputBytes {
+			if len(m.out) < m.cfg.MaxOutputBytes {
 				for k := int32(0); k < in.b; k++ {
 					if k > 0 {
-						m.out.WriteByte(' ')
+						m.out = append(m.out, ' ')
 					}
 					e := pool[in.a+k]
 					if e&1 != 0 {
-						m.out.WriteString(strconv.FormatFloat(freg[e>>1], 'g', 10, 64))
+						m.out = strconv.AppendFloat(m.out, freg[e>>1], 'g', 10, 64)
 					} else {
-						m.out.WriteString(strconv.FormatInt(ireg[e>>1], 10))
+						m.out = strconv.AppendInt(m.out, ireg[e>>1], 10)
 					}
 				}
-				m.out.WriteByte('\n')
+				m.out = append(m.out, '\n')
 			}
 
 		case opNop:
@@ -585,13 +638,886 @@ loop:
 			err = errors.New(p.fails[in.a])
 			break loop
 
+		// ---- fused opcodes (emitted only by Optimize) ----
+
+		case opAffLoadI1, opAffLoadF1, opAffStoreI1, opAffStoreF1:
+			// One collapsed affine 1-D access: subscript coef*reg+off
+			// with the chain's arithmetic folded into the pool tuple.
+			t := pool[in.b : in.b+2 : in.b+2]
+			ar := &arrays[in.c]
+			d := &ar.dims[0]
+			idx := t[0]*ireg[in.imm] + t[1]
+			if idx < d.lo || idx > d.hi {
+				err = interp.SubscriptError(idx, ar.name, d.lo, d.hi, 1)
+				break loop
+			}
+			switch in.op {
+			case opAffLoadI1:
+				ireg[in.a] = icel[ar.base+idx-d.lo]
+			case opAffLoadF1:
+				freg[in.a] = fcel[ar.base+idx-d.lo]
+			case opAffStoreI1:
+				icel[ar.base+idx-d.lo] = ireg[in.a]
+			default:
+				fcel[ar.base+idx-d.lo] = freg[in.a]
+			}
+
+		case opC1LoadI1, opC1LoadF1, opC1StoreI1, opC1StoreF1:
+			// Check+access on one subscript register. The pool tuple is
+			// one [coef, K, checkIdx] triple followed by the access's
+			// [coef, off]; the access cost is deferred in imm's low 16
+			// bits and charged only after the check passes, keeping the
+			// instruction counter exact at trap exits. The pair and
+			// double-pair families below are the same body with the
+			// checks unrolled.
+			t := pool[in.b : in.b+5 : in.b+5]
+			v := ireg[in.imm>>16]
+			checks++
+			if lhs := t[0] * v; lhs > t[1] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[2]], lhs)
+				trapped = true
+				break loop
+			}
+			if dc := uint64(uint16(in.imm)); dc != 0 {
+				instrs += dc
+				if instrs > costThr {
+					if costThr, err = m.recharge(instrs, maxInstr); err != nil {
+						break loop
+					}
+				}
+			}
+			ar := &arrays[in.c]
+			d := &ar.dims[0]
+			idx := t[3]*v + t[4]
+			if idx < d.lo || idx > d.hi {
+				err = interp.SubscriptError(idx, ar.name, d.lo, d.hi, 1)
+				break loop
+			}
+			switch in.op {
+			case opC1LoadI1:
+				ireg[in.a] = icel[ar.base+idx-d.lo]
+			case opC1LoadF1:
+				freg[in.a] = fcel[ar.base+idx-d.lo]
+			case opC1StoreI1:
+				icel[ar.base+idx-d.lo] = ireg[in.a]
+			default:
+				fcel[ar.base+idx-d.lo] = freg[in.a]
+			}
+
+		case opCPLoadI1, opCPLoadF1, opCPStoreI1, opCPStoreF1:
+			t := pool[in.b : in.b+8 : in.b+8]
+			v := ireg[in.imm>>16]
+			checks++
+			if lhs := t[0] * v; lhs > t[1] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[2]], lhs)
+				trapped = true
+				break loop
+			}
+			checks++
+			if lhs := t[3] * v; lhs > t[4] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[5]], lhs)
+				trapped = true
+				break loop
+			}
+			if dc := uint64(uint16(in.imm)); dc != 0 {
+				instrs += dc
+				if instrs > costThr {
+					if costThr, err = m.recharge(instrs, maxInstr); err != nil {
+						break loop
+					}
+				}
+			}
+			ar := &arrays[in.c]
+			d := &ar.dims[0]
+			idx := t[6]*v + t[7]
+			if idx < d.lo || idx > d.hi {
+				err = interp.SubscriptError(idx, ar.name, d.lo, d.hi, 1)
+				break loop
+			}
+			switch in.op {
+			case opCPLoadI1:
+				ireg[in.a] = icel[ar.base+idx-d.lo]
+			case opCPLoadF1:
+				freg[in.a] = fcel[ar.base+idx-d.lo]
+			case opCPStoreI1:
+				icel[ar.base+idx-d.lo] = ireg[in.a]
+			default:
+				fcel[ar.base+idx-d.lo] = freg[in.a]
+			}
+
+		case opCP2LoadI1, opCP2LoadF1, opCP2StoreI1, opCP2StoreF1:
+			t := pool[in.b : in.b+14 : in.b+14]
+			v := ireg[in.imm>>16]
+			checks++
+			if lhs := t[0] * v; lhs > t[1] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[2]], lhs)
+				trapped = true
+				break loop
+			}
+			checks++
+			if lhs := t[3] * v; lhs > t[4] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[5]], lhs)
+				trapped = true
+				break loop
+			}
+			checks++
+			if lhs := t[6] * v; lhs > t[7] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[8]], lhs)
+				trapped = true
+				break loop
+			}
+			checks++
+			if lhs := t[9] * v; lhs > t[10] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[11]], lhs)
+				trapped = true
+				break loop
+			}
+			if dc := uint64(uint16(in.imm)); dc != 0 {
+				instrs += dc
+				if instrs > costThr {
+					if costThr, err = m.recharge(instrs, maxInstr); err != nil {
+						break loop
+					}
+				}
+			}
+			ar := &arrays[in.c]
+			d := &ar.dims[0]
+			idx := t[12]*v + t[13]
+			if idx < d.lo || idx > d.hi {
+				err = interp.SubscriptError(idx, ar.name, d.lo, d.hi, 1)
+				break loop
+			}
+			switch in.op {
+			case opCP2LoadI1:
+				ireg[in.a] = icel[ar.base+idx-d.lo]
+			case opCP2LoadF1:
+				freg[in.a] = fcel[ar.base+idx-d.lo]
+			case opCP2StoreI1:
+				icel[ar.base+idx-d.lo] = ireg[in.a]
+			default:
+				fcel[ar.base+idx-d.lo] = freg[in.a]
+			}
+
+		case opCPQLoadI2, opCPQLoadF2, opCPQStoreI2, opCPQStoreF2:
+			// Two check pairs + a 2-D access with affine subscripts:
+			// pair 0 guards the row root register, pair 1 the column
+			// root. imm packs deferredCost<<48 | rowReg<<24 | colReg.
+			t := pool[in.b : in.b+16 : in.b+16]
+			v0 := ireg[int32(uint64(in.imm)>>24)&0xffffff]
+			v1 := ireg[int32(in.imm)&0xffffff]
+			checks++
+			if lhs := t[0] * v0; lhs > t[1] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[2]], lhs)
+				trapped = true
+				break loop
+			}
+			checks++
+			if lhs := t[3] * v0; lhs > t[4] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[5]], lhs)
+				trapped = true
+				break loop
+			}
+			checks++
+			if lhs := t[6] * v1; lhs > t[7] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[8]], lhs)
+				trapped = true
+				break loop
+			}
+			checks++
+			if lhs := t[9] * v1; lhs > t[10] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[11]], lhs)
+				trapped = true
+				break loop
+			}
+			if dc := uint64(uint16(uint64(in.imm) >> 48)); dc != 0 {
+				instrs += dc
+				if instrs > costThr {
+					if costThr, err = m.recharge(instrs, maxInstr); err != nil {
+						break loop
+					}
+				}
+			}
+			ar := &arrays[in.c]
+			d0, d1 := &ar.dims[0], &ar.dims[1]
+			i0 := t[12]*v0 + t[13]
+			i1 := t[14]*v1 + t[15]
+			if i0 < d0.lo || i0 > d0.hi {
+				err = interp.SubscriptError(i0, ar.name, d0.lo, d0.hi, 1)
+				break loop
+			}
+			if i1 < d1.lo || i1 > d1.hi {
+				err = interp.SubscriptError(i1, ar.name, d1.lo, d1.hi, 2)
+				break loop
+			}
+			off := (i0-d0.lo)*d1.size + (i1 - d1.lo)
+			switch in.op {
+			case opCPQLoadI2:
+				ireg[in.a] = icel[ar.base+off]
+			case opCPQLoadF2:
+				freg[in.a] = fcel[ar.base+off]
+			case opCPQStoreI2:
+				icel[ar.base+off] = ireg[in.a]
+			default:
+				fcel[ar.base+off] = freg[in.a]
+			}
+
+		case opBinStoreI1:
+			// a(idx) = x op y in one dispatch: pool tuple is
+			// [kind, srcL, srcR, coef, off], idx register in a.
+			t := pool[in.b : in.b+5 : in.b+5]
+			var v int64
+			switch t[0] {
+			case 0:
+				v = ireg[t[1]] + ireg[t[2]]
+			case 1:
+				v = ireg[t[1]] - ireg[t[2]]
+			default:
+				v = ireg[t[1]] * ireg[t[2]]
+			}
+			ar := &arrays[in.c]
+			d := &ar.dims[0]
+			idx := t[3]*ireg[in.a] + t[4]
+			if idx < d.lo || idx > d.hi {
+				err = interp.SubscriptError(idx, ar.name, d.lo, d.hi, 1)
+				break loop
+			}
+			icel[ar.base+idx-d.lo] = v
+		case opBinStoreF1:
+			t := pool[in.b : in.b+5 : in.b+5]
+			var v float64
+			switch t[0] {
+			case 0:
+				v = freg[t[1]] + freg[t[2]]
+			case 1:
+				v = freg[t[1]] - freg[t[2]]
+			default:
+				v = freg[t[1]] * freg[t[2]]
+			}
+			ar := &arrays[in.c]
+			d := &ar.dims[0]
+			idx := t[3]*ireg[in.a] + t[4]
+			if idx < d.lo || idx > d.hi {
+				err = interp.SubscriptError(idx, ar.name, d.lo, d.hi, 1)
+				break loop
+			}
+			fcel[ar.base+idx-d.lo] = v
+
+		case opCPBinStoreI1, opCPBinStoreF1:
+			// Check pair + binop + 1-D store: the whole checked
+			// a(idx) = x op y statement. The binop and store cost is
+			// deferred past the pair.
+			t := pool[in.b : in.b+11 : in.b+11]
+			v := ireg[in.a]
+			checks++
+			if lhs := t[0] * v; lhs > t[1] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[2]], lhs)
+				trapped = true
+				break loop
+			}
+			checks++
+			if lhs := t[3] * v; lhs > t[4] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[5]], lhs)
+				trapped = true
+				break loop
+			}
+			if dc := uint64(in.imm); dc != 0 {
+				instrs += dc
+				if instrs > costThr {
+					if costThr, err = m.recharge(instrs, maxInstr); err != nil {
+						break loop
+					}
+				}
+			}
+			ar := &arrays[in.c]
+			d := &ar.dims[0]
+			idx := t[9]*v + t[10]
+			if idx < d.lo || idx > d.hi {
+				err = interp.SubscriptError(idx, ar.name, d.lo, d.hi, 1)
+				break loop
+			}
+			if in.op == opCPBinStoreI1 {
+				var val int64
+				switch t[6] {
+				case 0:
+					val = ireg[t[7]] + ireg[t[8]]
+				case 1:
+					val = ireg[t[7]] - ireg[t[8]]
+				default:
+					val = ireg[t[7]] * ireg[t[8]]
+				}
+				icel[ar.base+idx-d.lo] = val
+			} else {
+				var val float64
+				switch t[6] {
+				case 0:
+					val = freg[t[7]] + freg[t[8]]
+				case 1:
+					val = freg[t[7]] - freg[t[8]]
+				default:
+					val = freg[t[7]] * freg[t[8]]
+				}
+				fcel[ar.base+idx-d.lo] = val
+			}
+
+		case opCPQBinStoreI2, opCPQBinStoreF2:
+			// Two check pairs + binop + 2-D store: the whole checked
+			// m(i,j) = x op y statement. Kinds 3-5 run an integer binop
+			// and convert the result to float. The binop, store, and
+			// chain cost is deferred past both pairs.
+			t := pool[in.b : in.b+19 : in.b+19]
+			v0 := ireg[int32(uint64(in.imm)>>24)&0xffffff]
+			v1 := ireg[int32(in.imm)&0xffffff]
+			checks++
+			if lhs := t[0] * v0; lhs > t[1] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[2]], lhs)
+				trapped = true
+				break loop
+			}
+			checks++
+			if lhs := t[3] * v0; lhs > t[4] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[5]], lhs)
+				trapped = true
+				break loop
+			}
+			checks++
+			if lhs := t[6] * v1; lhs > t[7] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[8]], lhs)
+				trapped = true
+				break loop
+			}
+			checks++
+			if lhs := t[9] * v1; lhs > t[10] {
+				trapNote, trapClass, trapPos = checkTrap(p.checks[t[11]], lhs)
+				trapped = true
+				break loop
+			}
+			if dc := uint64(uint16(uint64(in.imm) >> 48)); dc != 0 {
+				instrs += dc
+				if instrs > costThr {
+					if costThr, err = m.recharge(instrs, maxInstr); err != nil {
+						break loop
+					}
+				}
+			}
+			ar := &arrays[in.c]
+			d0, d1 := &ar.dims[0], &ar.dims[1]
+			i0 := t[15]*v0 + t[16]
+			i1 := t[17]*v1 + t[18]
+			if i0 < d0.lo || i0 > d0.hi {
+				err = interp.SubscriptError(i0, ar.name, d0.lo, d0.hi, 1)
+				break loop
+			}
+			if i1 < d1.lo || i1 > d1.hi {
+				err = interp.SubscriptError(i1, ar.name, d1.lo, d1.hi, 2)
+				break loop
+			}
+			off := (i0-d0.lo)*d1.size + (i1 - d1.lo)
+			if in.op == opCPQBinStoreI2 {
+				var val int64
+				switch t[12] {
+				case 0:
+					val = ireg[t[13]] + ireg[t[14]]
+				case 1:
+					val = ireg[t[13]] - ireg[t[14]]
+				default:
+					val = ireg[t[13]] * ireg[t[14]]
+				}
+				icel[ar.base+off] = val
+			} else {
+				var val float64
+				switch t[12] {
+				case 0:
+					val = freg[t[13]] + freg[t[14]]
+				case 1:
+					val = freg[t[13]] - freg[t[14]]
+				case 2:
+					val = freg[t[13]] * freg[t[14]]
+				case 3:
+					val = float64(ireg[t[13]] + ireg[t[14]])
+				case 4:
+					val = float64(ireg[t[13]] - ireg[t[14]])
+				default:
+					val = float64(ireg[t[13]] * ireg[t[14]])
+				}
+				fcel[ar.base+off] = val
+			}
+
+		case opCheckBlock:
+			// A run of consecutive opCheckPair instructions in one
+			// dispatch; the per-pair body matches opCheckPair's. Entry
+			// costs are deferred: each is charged immediately before its
+			// pair, where the unfused run charged it, so the counter and
+			// poll cadence match at every trap exit. preChecks (e[1])
+			// counts pairs the fuser proved implied by earlier entries —
+			// charged and counted, never evaluated. reg < 0 is a
+			// trailing implied lump with no pair of its own.
+			t := pool[in.b : in.b+9*int32(in.imm)]
+			for ; len(t) >= 9; t = t[9:] {
+				if dc := uint64(t[0]); dc != 0 {
+					instrs += dc
+					if instrs > costThr {
+						if costThr, err = m.recharge(instrs, maxInstr); err != nil {
+							break loop
+						}
+					}
+				}
+				checks += uint64(t[1])
+				r := t[2]
+				if r < 0 {
+					if r == -1 {
+						continue
+					}
+					// Absorbed opCheck1/opCheck2: one evaluated
+					// two-register term [_, _, -2, ra, rb, ca, cb, K, idx].
+					checks++
+					if lhs := t[5]*ireg[t[3]] + t[6]*ireg[t[4]]; lhs > t[7] {
+						trapNote, trapClass, trapPos = checkTrap(p.checks[t[8]], lhs)
+						trapped = true
+						break loop
+					}
+					continue
+				}
+				v := ireg[r]
+				checks += 2
+				if lhs := t[3] * v; lhs > t[4] {
+					checks--
+					trapNote, trapClass, trapPos = checkTrap(p.checks[t[5]], lhs)
+					trapped = true
+					break loop
+				}
+				if lhs := t[6] * v; lhs > t[7] {
+					trapNote, trapClass, trapPos = checkTrap(p.checks[t[8]], lhs)
+					trapped = true
+					break loop
+				}
+			}
+
+		case opAddJmp:
+			// Loop latch: reg += delta; goto target.
+			ireg[in.b] += in.imm
+			pc = in.a
+		case opIncBrEqI:
+			v := ireg[in.b] + int64(int32(uint32(in.imm)))
+			ireg[in.b] = v
+			if v == ireg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(uint64(in.imm) >> 32)
+			}
+		case opIncBrNeI:
+			v := ireg[in.b] + int64(int32(uint32(in.imm)))
+			ireg[in.b] = v
+			if v != ireg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(uint64(in.imm) >> 32)
+			}
+		case opIncBrLtI:
+			v := ireg[in.b] + int64(int32(uint32(in.imm)))
+			ireg[in.b] = v
+			if v < ireg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(uint64(in.imm) >> 32)
+			}
+		case opIncBrLeI:
+			v := ireg[in.b] + int64(int32(uint32(in.imm)))
+			ireg[in.b] = v
+			if v <= ireg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(uint64(in.imm) >> 32)
+			}
+		case opIncBrGtI:
+			v := ireg[in.b] + int64(int32(uint32(in.imm)))
+			ireg[in.b] = v
+			if v > ireg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(uint64(in.imm) >> 32)
+			}
+		case opIncBrGeI:
+			v := ireg[in.b] + int64(int32(uint32(in.imm)))
+			ireg[in.b] = v
+			if v >= ireg[in.c] {
+				pc = in.a
+			} else {
+				pc = int32(uint64(in.imm) >> 32)
+			}
+
+		case opBinBinF:
+			// Two chained float binops; pure, so both charges ride the
+			// central cost. The second op's code folds side and kind
+			// into one jump table: 0-3 t k z, 4-7 z k t, 8-11 t k t.
+			t := pool[in.b : in.b+5 : in.b+5]
+			var u float64
+			switch t[0] {
+			case 0:
+				u = freg[t[1]] + freg[t[2]]
+			case 1:
+				u = freg[t[1]] - freg[t[2]]
+			case 2:
+				u = freg[t[1]] * freg[t[2]]
+			default:
+				u = freg[t[1]] / freg[t[2]]
+			}
+			switch t[3] {
+			case 0:
+				freg[in.a] = u + freg[t[4]]
+			case 1:
+				freg[in.a] = u - freg[t[4]]
+			case 2:
+				freg[in.a] = u * freg[t[4]]
+			case 3:
+				freg[in.a] = u / freg[t[4]]
+			case 4:
+				freg[in.a] = freg[t[4]] + u
+			case 5:
+				freg[in.a] = freg[t[4]] - u
+			case 6:
+				freg[in.a] = freg[t[4]] * u
+			case 7:
+				freg[in.a] = freg[t[4]] / u
+			case 8:
+				freg[in.a] = u + u
+			case 9:
+				freg[in.a] = u - u
+			case 10:
+				freg[in.a] = u * u
+			default:
+				freg[in.a] = u / u
+			}
+
+		case opLoadBinF1:
+			// Affine 1-D float load + binop; the binop's charge defers
+			// past the load's bounds fault. t[2] folds side and kind:
+			// 0-3 v k s, 4-7 s k v, 8-11 v k v.
+			t := pool[in.b : in.b+4 : in.b+4]
+			ar := &arrays[in.c]
+			d := &ar.dims[0]
+			idx := t[0]*ireg[uint64(in.imm)>>32] + t[1]
+			if idx < d.lo || idx > d.hi {
+				err = interp.SubscriptError(idx, ar.name, d.lo, d.hi, 1)
+				break loop
+			}
+			v := fcel[ar.base+idx-d.lo]
+			if dc := uint64(uint32(in.imm)); dc != 0 {
+				instrs += dc
+				if instrs > costThr {
+					if costThr, err = m.recharge(instrs, maxInstr); err != nil {
+						break loop
+					}
+				}
+			}
+			switch t[2] {
+			case 0:
+				freg[in.a] = v + freg[t[3]]
+			case 1:
+				freg[in.a] = v - freg[t[3]]
+			case 2:
+				freg[in.a] = v * freg[t[3]]
+			case 3:
+				freg[in.a] = v / freg[t[3]]
+			case 4:
+				freg[in.a] = freg[t[3]] + v
+			case 5:
+				freg[in.a] = freg[t[3]] - v
+			case 6:
+				freg[in.a] = freg[t[3]] * v
+			case 7:
+				freg[in.a] = freg[t[3]] / v
+			case 8:
+				freg[in.a] = v + v
+			case 9:
+				freg[in.a] = v - v
+			case 10:
+				freg[in.a] = v * v
+			default:
+				freg[in.a] = v / v
+			}
+
+		case opLLBinF1:
+			// Two affine 1-D float loads + binop. dc1 charges between
+			// the loads' fault points, dc2 after the second — the
+			// unfused charge order exactly.
+			t := pool[in.b : in.b+6 : in.b+6]
+			u := uint64(in.imm)
+			ar0 := &arrays[in.c]
+			d0 := &ar0.dims[0]
+			i0 := t[0]*ireg[u>>48] + t[1]
+			if i0 < d0.lo || i0 > d0.hi {
+				err = interp.SubscriptError(i0, ar0.name, d0.lo, d0.hi, 1)
+				break loop
+			}
+			x := fcel[ar0.base+i0-d0.lo]
+			if dc := (u >> 16) & 0xffff; dc != 0 {
+				instrs += dc
+				if instrs > costThr {
+					if costThr, err = m.recharge(instrs, maxInstr); err != nil {
+						break loop
+					}
+				}
+			}
+			ar1 := &arrays[t[2]]
+			d1 := &ar1.dims[0]
+			i1 := t[3]*ireg[(u>>32)&0xffff] + t[4]
+			if i1 < d1.lo || i1 > d1.hi {
+				err = interp.SubscriptError(i1, ar1.name, d1.lo, d1.hi, 1)
+				break loop
+			}
+			y := fcel[ar1.base+i1-d1.lo]
+			if dc := u & 0xffff; dc != 0 {
+				instrs += dc
+				if instrs > costThr {
+					if costThr, err = m.recharge(instrs, maxInstr); err != nil {
+						break loop
+					}
+				}
+			}
+			switch t[5] {
+			case 0:
+				freg[in.a] = x + y
+			case 1:
+				freg[in.a] = x - y
+			case 2:
+				freg[in.a] = x * y
+			case 3:
+				freg[in.a] = x / y
+			case 4:
+				freg[in.a] = y + x
+			case 5:
+				freg[in.a] = y - x
+			case 6:
+				freg[in.a] = y * x
+			default:
+				freg[in.a] = y / x
+			}
+
+		case opLoadBinF2:
+			// Affine 2-D float load + binop; the binop's charge defers
+			// past the load's faults. t[4] folds side and kind like
+			// opLoadBinF1.
+			t := pool[in.b : in.b+6 : in.b+6]
+			u := uint64(in.imm)
+			ar := &arrays[in.c]
+			d0, d1 := &ar.dims[0], &ar.dims[1]
+			i0 := t[0]*ireg[u>>48] + t[1]
+			if i0 < d0.lo || i0 > d0.hi {
+				err = interp.SubscriptError(i0, ar.name, d0.lo, d0.hi, 1)
+				break loop
+			}
+			i1 := t[2]*ireg[(u>>32)&0xffff] + t[3]
+			if i1 < d1.lo || i1 > d1.hi {
+				err = interp.SubscriptError(i1, ar.name, d1.lo, d1.hi, 2)
+				break loop
+			}
+			v := fcel[ar.base+(i0-d0.lo)*d1.size+(i1-d1.lo)]
+			if dc := u & 0xffffffff; dc != 0 {
+				instrs += dc
+				if instrs > costThr {
+					if costThr, err = m.recharge(instrs, maxInstr); err != nil {
+						break loop
+					}
+				}
+			}
+			switch t[4] {
+			case 0:
+				freg[in.a] = v + freg[t[5]]
+			case 1:
+				freg[in.a] = v - freg[t[5]]
+			case 2:
+				freg[in.a] = v * freg[t[5]]
+			case 3:
+				freg[in.a] = v / freg[t[5]]
+			case 4:
+				freg[in.a] = freg[t[5]] + v
+			case 5:
+				freg[in.a] = freg[t[5]] - v
+			case 6:
+				freg[in.a] = freg[t[5]] * v
+			case 7:
+				freg[in.a] = freg[t[5]] / v
+			case 8:
+				freg[in.a] = v + v
+			case 9:
+				freg[in.a] = v - v
+			case 10:
+				freg[in.a] = v * v
+			default:
+				freg[in.a] = v / v
+			}
+
+		case opAffLoadI2, opAffLoadF2, opAffStoreI2, opAffStoreF2:
+			// One collapsed affine 2-D access; subscripts fault in
+			// dimension order like elemOff2.
+			t := pool[in.b : in.b+4 : in.b+4]
+			ar := &arrays[in.c]
+			d0, d1 := &ar.dims[0], &ar.dims[1]
+			i0 := t[0]*ireg[uint64(in.imm)>>32] + t[1]
+			if i0 < d0.lo || i0 > d0.hi {
+				err = interp.SubscriptError(i0, ar.name, d0.lo, d0.hi, 1)
+				break loop
+			}
+			i1 := t[2]*ireg[uint32(in.imm)] + t[3]
+			if i1 < d1.lo || i1 > d1.hi {
+				err = interp.SubscriptError(i1, ar.name, d1.lo, d1.hi, 2)
+				break loop
+			}
+			off := (i0-d0.lo)*d1.size + (i1 - d1.lo)
+			switch in.op {
+			case opAffLoadI2:
+				ireg[in.a] = icel[ar.base+off]
+			case opAffLoadF2:
+				freg[in.a] = fcel[ar.base+off]
+			case opAffStoreI2:
+				icel[ar.base+off] = ireg[in.a]
+			default:
+				fcel[ar.base+off] = freg[in.a]
+			}
+
+		case opBinStoreF2:
+			// m(s0,s1) = x op y, unchecked, affine subscripts. Cost is
+			// central: binop, chains, and store were all charged before
+			// the store's fault.
+			t := pool[in.b : in.b+7 : in.b+7]
+			var v float64
+			switch t[0] {
+			case 0:
+				v = freg[t[1]] + freg[t[2]]
+			case 1:
+				v = freg[t[1]] - freg[t[2]]
+			case 2:
+				v = freg[t[1]] * freg[t[2]]
+			default:
+				v = freg[t[1]] / freg[t[2]]
+			}
+			ar := &arrays[in.c]
+			d0, d1 := &ar.dims[0], &ar.dims[1]
+			i0 := t[3]*ireg[uint64(in.imm)>>32] + t[4]
+			if i0 < d0.lo || i0 > d0.hi {
+				err = interp.SubscriptError(i0, ar.name, d0.lo, d0.hi, 1)
+				break loop
+			}
+			i1 := t[5]*ireg[uint32(in.imm)] + t[6]
+			if i1 < d1.lo || i1 > d1.hi {
+				err = interp.SubscriptError(i1, ar.name, d1.lo, d1.hi, 2)
+				break loop
+			}
+			fcel[ar.base+(i0-d0.lo)*d1.size+(i1-d1.lo)] = v
+
+		case opBinBinStoreF1:
+			// a(s) = (x k0 y) k1 z, unchecked 1-D affine store. Value
+			// chain is opBinBinF's; cost is central.
+			t := pool[in.b : in.b+7 : in.b+7]
+			var u float64
+			switch t[0] {
+			case 0:
+				u = freg[t[1]] + freg[t[2]]
+			case 1:
+				u = freg[t[1]] - freg[t[2]]
+			case 2:
+				u = freg[t[1]] * freg[t[2]]
+			default:
+				u = freg[t[1]] / freg[t[2]]
+			}
+			var v float64
+			switch t[3] {
+			case 0:
+				v = u + freg[t[4]]
+			case 1:
+				v = u - freg[t[4]]
+			case 2:
+				v = u * freg[t[4]]
+			case 3:
+				v = u / freg[t[4]]
+			case 4:
+				v = freg[t[4]] + u
+			case 5:
+				v = freg[t[4]] - u
+			case 6:
+				v = freg[t[4]] * u
+			case 7:
+				v = freg[t[4]] / u
+			case 8:
+				v = u + u
+			case 9:
+				v = u - u
+			case 10:
+				v = u * u
+			default:
+				v = u / u
+			}
+			ar := &arrays[in.c]
+			d := &ar.dims[0]
+			idx := t[5]*ireg[in.a] + t[6]
+			if idx < d.lo || idx > d.hi {
+				err = interp.SubscriptError(idx, ar.name, d.lo, d.hi, 1)
+				break loop
+			}
+			fcel[ar.base+idx-d.lo] = v
+
+		case opBinBinStoreF2:
+			// m(s0,s1) = (x k0 y) k1 z, unchecked 2-D affine store.
+			t := pool[in.b : in.b+9 : in.b+9]
+			var u float64
+			switch t[0] {
+			case 0:
+				u = freg[t[1]] + freg[t[2]]
+			case 1:
+				u = freg[t[1]] - freg[t[2]]
+			case 2:
+				u = freg[t[1]] * freg[t[2]]
+			default:
+				u = freg[t[1]] / freg[t[2]]
+			}
+			var v float64
+			switch t[3] {
+			case 0:
+				v = u + freg[t[4]]
+			case 1:
+				v = u - freg[t[4]]
+			case 2:
+				v = u * freg[t[4]]
+			case 3:
+				v = u / freg[t[4]]
+			case 4:
+				v = freg[t[4]] + u
+			case 5:
+				v = freg[t[4]] - u
+			case 6:
+				v = freg[t[4]] * u
+			case 7:
+				v = freg[t[4]] / u
+			case 8:
+				v = u + u
+			case 9:
+				v = u - u
+			case 10:
+				v = u * u
+			default:
+				v = u / u
+			}
+			ar := &arrays[in.c]
+			d0, d1 := &ar.dims[0], &ar.dims[1]
+			i0 := t[5]*ireg[uint64(in.imm)>>32] + t[6]
+			if i0 < d0.lo || i0 > d0.hi {
+				err = interp.SubscriptError(i0, ar.name, d0.lo, d0.hi, 1)
+				break loop
+			}
+			i1 := t[7]*ireg[uint32(in.imm)] + t[8]
+			if i1 < d1.lo || i1 > d1.hi {
+				err = interp.SubscriptError(i1, ar.name, d1.lo, d1.hi, 2)
+				break loop
+			}
+			fcel[ar.base+(i0-d0.lo)*d1.size+(i1-d1.lo)] = v
+
 		default:
 			err = fmt.Errorf("vm: bad opcode %d at pc %d", in.op, pc-1)
 			break loop
 		}
 	}
 
-	res := interp.Result{Instructions: instrs, Checks: checks, Output: m.out.String()}
+	res := interp.Result{Instructions: instrs, Checks: checks, Output: string(m.out)}
 	if trapped {
 		res.Trapped = true
 		res.TrapNote = trapNote
@@ -599,6 +1525,26 @@ loop:
 		res.TrapPos = trapPos
 	}
 	return res, err
+}
+
+// recharge is the cost-charge slow path, shared by the central charge
+// and the fused opcodes' deferred (post-check) charges: the counter
+// crossed the threshold, so either the budget is blown or a
+// deadline/context poll is due. Returns the next threshold.
+func (m *mach) recharge(instrs, maxInstr uint64) (uint64, error) {
+	if instrs > maxInstr {
+		return 0, &interp.ResourceError{Resource: interp.ResInstructions, Limit: maxInstr}
+	}
+	// A poll tick: one poll per 2^14 counted instructions, exactly the
+	// reference engine's cadence.
+	if e := m.poll(); e != nil {
+		return 0, e
+	}
+	thr := instrs + pollInterval - 1
+	if maxInstr < thr {
+		thr = maxInstr
+	}
+	return thr, nil
 }
 
 func (m *mach) poll() error {

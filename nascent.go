@@ -213,9 +213,14 @@ const (
 	EngineTree = interp.EngineTree
 	// EngineVM is the flat-register bytecode VM, the fast path.
 	EngineVM = interp.EngineVM
+	// EngineVMOpt is the bytecode VM running post-compile-optimized
+	// bytecode (copy propagation, dead-store elimination,
+	// superinstruction fusion, frame reuse). Same observables as the
+	// other engines, fewer dispatches.
+	EngineVMOpt = interp.EngineVMOpt
 )
 
-// ParseEngine maps a flag spelling ("tree" or "vm") to an Engine.
+// ParseEngine maps a flag spelling ("tree", "vm", or "vmopt") to an Engine.
 func ParseEngine(s string) (Engine, error) { return interp.ParseEngine(s) }
 
 // Frontend holds the parse and semantic-analysis artifacts of one

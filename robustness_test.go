@@ -13,16 +13,17 @@ import (
 // TestOracleSuitePrograms runs the differential oracle over every
 // benchmark program in the paper's Table 1 suite: each program is
 // compiled naive and under all twenty optimizer variants, executed
-// under BOTH execution engines, and checked against the soundness
-// contract plus the engine-identity invariant (tree and VM must
-// produce byte-identical Results for every variant).
+// under ALL THREE execution engines, and checked against the soundness
+// contract plus the engine-identity invariant (tree, VM, and the
+// superinstruction-optimized VM must produce byte-identical Results
+// for every variant).
 func TestOracleSuitePrograms(t *testing.T) {
 	for _, p := range suite.Programs {
 		p := p
 		t.Run(p.Name, func(t *testing.T) {
 			t.Parallel()
 			rep, err := oracle.Verify(p.Source, oracle.Config{
-				Engines: []nascent.Engine{nascent.EngineTree, nascent.EngineVM},
+				Engines: []nascent.Engine{nascent.EngineTree, nascent.EngineVM, nascent.EngineVMOpt},
 			})
 			if err != nil {
 				t.Fatalf("baseline failed: %v", err)
