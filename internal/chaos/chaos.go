@@ -300,6 +300,45 @@ func Records() []Record {
 // Fired returns how many injections have fired since the last Enable.
 func Fired() uint64 { return fired.Load() }
 
+// drillMu serializes scoped drills: injection is process-global, so at
+// most one request-scoped arming may be live at a time. A plain Mutex
+// with TryLock (rather than blocking) lets a service answer "drill
+// already in progress" instead of queueing chaos behind chaos.
+var drillMu sync.Mutex
+
+// ErrDrillBusy reports that another scoped drill holds the registry.
+var ErrDrillBusy = errors.New("chaos: a drill is already in progress")
+
+// AcquireDrill arms the registry with spec for the scope of one request
+// and returns a release function that disarms it. It fails with
+// ErrDrillBusy when another drill holds the registry (drills never
+// queue) and with an error when injection is already enabled globally
+// (a process started with -chaos owns its spec for its lifetime).
+//
+// Scoping is temporal, not spatial: while a drill is live, every
+// injection site in the process is armed, so concurrent organic
+// requests may observe injected faults too — and must heal through the
+// same supervision machinery. Fired records are reset on acquire, so
+// Fired()/Records() read back exactly what this drill provoked (plus
+// any collateral hits on concurrent traffic).
+func AcquireDrill(s Spec) (release func(), err error) {
+	if !drillMu.TryLock() {
+		return nil, ErrDrillBusy
+	}
+	if Active() {
+		drillMu.Unlock()
+		return nil, errors.New("chaos: injection already enabled globally; refusing scoped drill")
+	}
+	Enable(s)
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			Disable()
+			drillMu.Unlock()
+		})
+	}, nil
+}
+
 // ErrInjected is the sentinel matched by errors.Is for every fault this
 // package injects as an error value.
 var ErrInjected = errors.New("chaos: injected fault")

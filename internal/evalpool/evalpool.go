@@ -57,6 +57,21 @@ type Job struct {
 	// it runs on the worker goroutine and must only touch the program
 	// it is handed.
 	Mutate func(*nascent.Program)
+	// Precompiled, when non-nil, bypasses the compile pipeline
+	// entirely: the pool executes it directly under supervision
+	// (retry/backoff, quarantine, job timeout, worker chaos sites).
+	// Source/Opts should still describe the program for labeling and
+	// replay purposes, but are not recompiled. The handle must be safe
+	// for concurrent Run calls — the service layer shares one compiled
+	// program across every request that hits its cache entry.
+	Precompiled Runner
+}
+
+// Runner is a precompiled program handle a Precompiled job executes
+// directly. Both *vm.Program and the service layer's tree-engine
+// adapter satisfy it; implementations must be safe for concurrent use.
+type Runner interface {
+	Run(cfg nascent.RunConfig) (nascent.RunResult, error)
 }
 
 // Result is the outcome of one Job. Exactly one of Err / (Prog, Res)
@@ -287,6 +302,18 @@ func (p *Pool) EvaluateCtx(ctx context.Context, jobs []Job) []Result {
 	return results
 }
 
+// SubmitCtx runs one job to completion under the pool's supervision
+// policy (retry/backoff, quarantine, job timeout) on the calling
+// goroutine's attempt supervisor. Unlike EvaluateCtx it does not pass
+// through the pool's worker queue: the caller is expected to bound its
+// own concurrency (the service layer's admission limiter does), while
+// the pool contributes supervision, the memo tables, and metrics.
+// Cancelling ctx stops an in-flight engine run at its next poll point
+// and surfaces a typed cancellation error.
+func (p *Pool) SubmitCtx(ctx context.Context, job Job) Result {
+	return p.superviseJob(ctx, 0, &job)
+}
+
 // frontend returns the memoized front end for a job, compiling it on
 // first use. The duration returned is the compile cost when this call
 // populated the entry, zero on a hit.
@@ -363,6 +390,27 @@ func (p *Pool) execute(job *Job, key feKey, prog *nascent.Program) (nascent.RunR
 func (p *Pool) runJob(i int, job *Job) Result {
 	var res Result
 
+	if job.Precompiled != nil {
+		// Precompiled job: execute directly, skipping the compile
+		// pipeline. Supervision (worker chaos sites, retry, timeout)
+		// wraps this path exactly like a compiled one.
+		if !job.SkipRun {
+			t0 := time.Now()
+			rr, err := job.Precompiled.Run(job.Run)
+			res.Run = time.Since(t0)
+			p.emit(Event{Job: i, Name: job.Name, Stage: StageRun, Duration: res.Run, Err: err})
+			if err != nil {
+				res.Err = fmt.Errorf("%s: run: %w", job.Name, err)
+				p.account(&res)
+				return res
+			}
+			res.Res = rr
+		}
+		res.CacheHit = true // the compile came from the caller's cache
+		p.account(&res)
+		return res
+	}
+
 	key := feKey{hash: sha256.Sum256([]byte(job.Source)), filename: job.Filename}
 	fe, feDur, hit, err := p.frontend(job, key)
 	res.Frontend, res.CacheHit = feDur, hit
@@ -433,6 +481,53 @@ func (p *Pool) account(r *Result) {
 	m.Instructions += r.Res.Instructions
 	m.Checks += r.Res.Checks
 }
+
+// MetricsSnapshot is the JSON-serializable form of Metrics, served by
+// nascentd's GET /metrics. Field names are wire format: stable,
+// snake_case, durations in nanoseconds. A unit test pins the exact
+// field set — extending it is fine, renaming or dropping is a wire
+// break.
+type MetricsSnapshot struct {
+	Jobs             int    `json:"jobs"`
+	Errors           int    `json:"errors"`
+	FrontendCompiles int    `json:"frontend_compiles"`
+	FrontendHits     int    `json:"frontend_hits"`
+	BytecodeCompiles int    `json:"bytecode_compiles"`
+	BytecodeHits     int    `json:"bytecode_hits"`
+	FrontendTimeNS   int64  `json:"frontend_time_ns"`
+	CompileTimeNS    int64  `json:"compile_time_ns"`
+	RunTimeNS        int64  `json:"run_time_ns"`
+	Instructions     uint64 `json:"instructions"`
+	Checks           uint64 `json:"checks"`
+	Retries          int    `json:"retries"`
+	WorkerDeaths     int    `json:"worker_deaths"`
+	Timeouts         int    `json:"timeouts"`
+	Quarantined      int    `json:"quarantined"`
+}
+
+// Snapshot converts the counters to their wire form.
+func (m Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Jobs:             m.Jobs,
+		Errors:           m.Errors,
+		FrontendCompiles: m.FrontendCompiles,
+		FrontendHits:     m.FrontendHits,
+		BytecodeCompiles: m.BytecodeCompiles,
+		BytecodeHits:     m.BytecodeHits,
+		FrontendTimeNS:   m.FrontendTime.Nanoseconds(),
+		CompileTimeNS:    m.CompileTime.Nanoseconds(),
+		RunTimeNS:        m.RunTime.Nanoseconds(),
+		Instructions:     m.Instructions,
+		Checks:           m.Checks,
+		Retries:          m.Retries,
+		WorkerDeaths:     m.WorkerDeaths,
+		Timeouts:         m.Timeouts,
+		Quarantined:      m.Quarantined,
+	}
+}
+
+// MetricsSnapshot returns the pool's aggregate counters in wire form.
+func (p *Pool) MetricsSnapshot() MetricsSnapshot { return p.Metrics().Snapshot() }
 
 // String renders the metrics as a one-line summary for -trace output.
 // Supervision counters are appended only when something abnormal

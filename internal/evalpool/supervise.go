@@ -121,6 +121,11 @@ func (p *Pool) superviseJob(ctx context.Context, i int, job *Job) Result {
 	if maxAttempts <= 0 {
 		maxAttempts = defaultMaxAttempts
 	}
+	// The replay spec is captured at the FIRST abnormal failure, not at
+	// quarantine time: a scoped drill (chaos.AcquireDrill) can disarm
+	// the registry while the last retry is still backing off, and a
+	// quarantine error without its spec is not replayable.
+	spec := ""
 	for attempt := 0; ; attempt++ {
 		if err := ctx.Err(); err != nil {
 			p.accountSupervised()
@@ -131,6 +136,9 @@ func (p *Pool) superviseJob(ctx context.Context, i int, job *Job) Result {
 		if !abnormal(res.Err) {
 			return res
 		}
+		if spec == "" {
+			spec = chaos.SpecString()
+		}
 		if attempt+1 >= maxAttempts {
 			p.mu.Lock()
 			p.metrics.Quarantined++
@@ -140,7 +148,7 @@ func (p *Pool) superviseJob(ctx context.Context, i int, job *Job) Result {
 				Job:       job.Name,
 				Attempts:  attempt + 1,
 				LastErr:   res.Err,
-				ChaosSpec: chaos.SpecString(),
+				ChaosSpec: spec,
 			}
 			return res
 		}

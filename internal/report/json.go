@@ -1,0 +1,132 @@
+package report
+
+// JSON rendering of the paper's tables, for nascentd's GET /report.
+// The wire documents carry the structured measurements AND the
+// canonical fixed-width text rendering, so a service client can diff
+// its table byte-for-byte against rangebench output.
+
+import (
+	"fmt"
+
+	"nascent/internal/suite"
+)
+
+// Doc is the JSON form of one rendered table. Exactly one of
+// Characteristics (table 1) or Rows (tables 2–3) is populated.
+type Doc struct {
+	Table    int      `json:"table"`
+	Programs []string `json:"programs"`
+	// Characteristics is Table 1: one row per suite program.
+	Characteristics []Table1RowDoc `json:"characteristics,omitempty"`
+	// Rows is Table 2 or 3: one row per (kind, scheme/variant).
+	Rows []GridRowDoc `json:"rows,omitempty"`
+	// Errors lists failed cells ("name: error"); a non-empty list
+	// means the table is partial, mirroring rangebench's ERR! cells.
+	Errors []string `json:"errors,omitempty"`
+	// Text is the canonical fixed-width rendering — byte-identical to
+	// rangebench's output for the same configuration.
+	Text string `json:"text"`
+}
+
+// Table1RowDoc is the wire form of Table1Row.
+type Table1RowDoc struct {
+	Program     string  `json:"program"`
+	Suite       string  `json:"suite"`
+	Lines       int     `json:"lines"`
+	Subroutines int     `json:"subroutines"`
+	Loops       int     `json:"loops"`
+	StaticInstr uint64  `json:"static_instr"`
+	DynInstr    uint64  `json:"dyn_instr"`
+	StaticChk   int     `json:"static_checks"`
+	DynChk      uint64  `json:"dyn_checks"`
+	StaticRatio float64 `json:"static_ratio"`
+	DynRatio    float64 `json:"dyn_ratio"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// GridRowDoc is one Table 2/3 row on the wire.
+type GridRowDoc struct {
+	Kind  string    `json:"kind"`
+	Label string    `json:"label"`
+	Cells []CellDoc `json:"cells"`
+}
+
+// CellDoc is one (row, program) cell on the wire.
+type CellDoc struct {
+	Program string `json:"program"`
+	// Eliminated is the percentage of dynamic checks eliminated; nil
+	// when the cell failed.
+	Eliminated *float64 `json:"eliminated,omitempty"`
+	Error      string   `json:"error,omitempty"`
+}
+
+// programNames lists the suite programs in table column order.
+func programNames() []string {
+	names := make([]string, len(suite.Programs))
+	for i, p := range suite.Programs {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Doc measures table (1, 2, or 3) and returns its JSON document. A
+// partial table (some cells failed) still returns a document — the
+// failures ride Doc.Errors — together with the *PartialError.
+func (r *Runner) Doc(table int) (*Doc, error) {
+	switch table {
+	case 1:
+		rows, errs := r.measure1()
+		text, terr := renderTable1(rows, errs)
+		doc := &Doc{Table: 1, Programs: programNames(), Text: text}
+		for i, row := range rows {
+			rd := Table1RowDoc{
+				Program: suite.Programs[i].Name, Suite: suite.Programs[i].Suite,
+				Lines: row.Lines, Subroutines: row.Subroutines, Loops: row.Loops,
+				StaticInstr: row.StaticInstr, DynInstr: row.DynInstr,
+				StaticChk: row.StaticChk, DynChk: row.DynChk,
+				StaticRatio: row.StaticRatio, DynRatio: row.DynRatio,
+			}
+			if errs[i] != nil {
+				rd.Error = errs[i].Error()
+				doc.Errors = append(doc.Errors, fmt.Sprintf("table1/%s: %v", suite.Programs[i].Name, errs[i]))
+			}
+			doc.Characteristics = append(doc.Characteristics, rd)
+		}
+		return doc, terr
+	case 2, 3:
+		specs := table2Specs()
+		if table == 3 {
+			specs = table3Specs()
+		}
+		evaluated := r.grid(specs)
+		var text string
+		var terr error
+		if table == 2 {
+			text, terr = r.renderTable2(specs, evaluated)
+		} else {
+			text, terr = r.renderTable3(specs, evaluated)
+		}
+		doc := &Doc{Table: table, Programs: programNames(), Text: text}
+		for i, spec := range specs {
+			row := GridRowDoc{Kind: spec.Kind.String(), Label: spec.Label}
+			for j, p := range suite.Programs {
+				cell := evaluated[i].Cells[j]
+				cd := CellDoc{Program: p.Name}
+				if cell.Err != nil {
+					cd.Error = cell.Err.Error()
+				} else {
+					v := cell.Eliminated
+					cd.Eliminated = &v
+				}
+				row.Cells = append(row.Cells, cd)
+			}
+			doc.Rows = append(doc.Rows, row)
+		}
+		for _, ce := range cellErrors(specs, evaluated) {
+			doc.Errors = append(doc.Errors, fmt.Sprintf("%s: %v", ce.Name, ce.Err))
+		}
+		return doc, terr
+	default:
+		return nil, fmt.Errorf("report: no table %d (want 1, 2, or 3)", table)
+	}
+}

@@ -63,6 +63,15 @@ func New(cfg Config) *Runner {
 	return &Runner{pool: pool, timings: cfg.Timings, engine: cfg.Engine}
 }
 
+// NewOnPool returns a Runner that measures on an existing pool instead
+// of creating its own. nascentd uses it so report requests share the
+// service pool's memoized front ends (and its supervision policy)
+// across requests. Config.Jobs and Config.Trace are ignored — the pool
+// owns both.
+func NewOnPool(pool *evalpool.Pool, cfg Config) *Runner {
+	return &Runner{pool: pool, timings: cfg.Timings, engine: cfg.Engine}
+}
+
 // withEngine stamps the Runner's engine onto every job's run config.
 func (r *Runner) withEngine(jobs []evalpool.Job) []evalpool.Job {
 	for i := range jobs {

@@ -19,14 +19,31 @@ func Table2() (string, error) { return New(Config{}).Table2() }
 // Table3 renders the paper's Table 3 on a sequential Runner.
 func Table3() (string, error) { return New(Config{}).Table3() }
 
-// Table1 measures every suite program and renders the paper's Table 1.
-func (r *Runner) Table1() (string, error) {
+// measure1 evaluates the Table 1 job matrix: one row per suite
+// program, with per-row errors aligned by index (nil = measured).
+func (r *Runner) measure1() ([]Table1Row, []error) {
 	var jobs []evalpool.Job
 	for _, p := range suite.Programs {
 		jobs = append(jobs, table1Jobs(p)...)
 	}
 	results := r.pool.Evaluate(r.withEngine(jobs))
+	rows := make([]Table1Row, len(suite.Programs))
+	errs := make([]error, len(suite.Programs))
+	for i, p := range suite.Programs {
+		rows[i], errs[i] = buildRow1(p, results[2*i], results[2*i+1])
+	}
+	return rows, errs
+}
 
+// Table1 measures every suite program and renders the paper's Table 1.
+func (r *Runner) Table1() (string, error) {
+	rows, errs := r.measure1()
+	return renderTable1(rows, errs)
+}
+
+// renderTable1 renders measured rows; failed rows degrade to ERR!
+// markers and surface through a *PartialError.
+func renderTable1(rows []Table1Row, errs []error) (string, error) {
 	var b strings.Builder
 	b.WriteString("Table 1: Program characteristics of benchmark programs\n\n")
 	fmt.Fprintf(&b, "%-8s %-10s %6s %5s %6s | %10s %12s | %8s %10s | %7s %7s\n",
@@ -35,7 +52,7 @@ func (r *Runner) Table1() (string, error) {
 	b.WriteString(strings.Repeat("-", 110) + "\n")
 	var failed []CellError
 	for i, p := range suite.Programs {
-		row, err := buildRow1(p, results[2*i], results[2*i+1])
+		row, err := rows[i], errs[i]
 		if err != nil {
 			// Degrade to a marker row: the rest of the table still
 			// renders, and the error is reported through ErrPartial.
@@ -130,17 +147,27 @@ func cellErrors(rows []rowSpec, evaluated []rowResult) []CellError {
 	return errs
 }
 
-// Table2 measures the seven placement schemes × {PRX, INX} and renders
-// the paper's Table 2 (percent of dynamic checks eliminated).
-func (r *Runner) Table2() (string, error) {
+// table2Specs lists the Table 2 rows: the seven placement schemes ×
+// {PRX, INX} with full implications.
+func table2Specs() []rowSpec {
 	var rows []rowSpec
 	for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
 		for _, sch := range nascent.OptimizedSchemes {
 			rows = append(rows, rowSpec{Kind: kind, Label: sch.String(), Scheme: sch, Impl: nascent.ImplyFull})
 		}
 	}
-	evaluated := r.grid(rows)
+	return rows
+}
 
+// Table2 measures the seven placement schemes × {PRX, INX} and renders
+// the paper's Table 2 (percent of dynamic checks eliminated).
+func (r *Runner) Table2() (string, error) {
+	rows := table2Specs()
+	return r.renderTable2(rows, r.grid(rows))
+}
+
+// renderTable2 renders an evaluated Table 2 grid.
+func (r *Runner) renderTable2(rows []rowSpec, evaluated []rowResult) (string, error) {
 	var b strings.Builder
 	b.WriteString("Table 2: Percentage of checks eliminated by optimizations")
 	if r.timings {
@@ -179,17 +206,27 @@ var Table3Variants = []Table3Variant{
 	{"LLS'", nascent.LLS, nascent.ImplyCross},
 }
 
-// Table3 measures the implication ablation and renders the paper's
-// Table 3.
-func (r *Runner) Table3() (string, error) {
+// table3Specs lists the Table 3 rows: each scheme with full
+// implications and its primed ablated variant, × {PRX, INX}.
+func table3Specs() []rowSpec {
 	var rows []rowSpec
 	for _, kind := range []nascent.CheckKind{nascent.PRX, nascent.INX} {
 		for _, v := range Table3Variants {
 			rows = append(rows, rowSpec{Kind: kind, Label: v.Label, Scheme: v.Scheme, Impl: v.Impl})
 		}
 	}
-	evaluated := r.grid(rows)
+	return rows
+}
 
+// Table3 measures the implication ablation and renders the paper's
+// Table 3.
+func (r *Runner) Table3() (string, error) {
+	rows := table3Specs()
+	return r.renderTable3(rows, r.grid(rows))
+}
+
+// renderTable3 renders an evaluated Table 3 grid.
+func (r *Runner) renderTable3(rows []rowSpec, evaluated []rowResult) (string, error) {
 	var b strings.Builder
 	b.WriteString("Table 3: Percentage of checks eliminated with and without implications between checks\n\n")
 	r.header(&b, "kind", "variant")

@@ -1,0 +1,157 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitGoroutines polls until the goroutine count settles back to at
+// most base (plus slack for runtime background goroutines).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines did not settle: %d now, %d at start", runtime.NumGoroutine(), base)
+}
+
+// TestLimiterSheds pins the admission contract: maxConcurrent slots,
+// maxQueue waiters, everything beyond shed immediately with a typed
+// 429, queued waiters cancellable with a typed timeout — and no
+// goroutine leaks from any path.
+func TestLimiterSheds(t *testing.T) {
+	base := runtime.NumGoroutine()
+	l := newLimiter(2, 1)
+
+	// Fill both slots.
+	rel1, apiErr := l.acquire(context.Background())
+	if apiErr != nil {
+		t.Fatalf("acquire 1: %v", apiErr)
+	}
+	rel2, apiErr := l.acquire(context.Background())
+	if apiErr != nil {
+		t.Fatalf("acquire 2: %v", apiErr)
+	}
+
+	// One waiter fits the queue.
+	queuedCtx, cancelQueued := context.WithCancel(context.Background())
+	defer cancelQueued()
+	var wg sync.WaitGroup
+	queuedErr := make(chan *Error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rel, apiErr := l.acquire(queuedCtx)
+		if apiErr == nil {
+			rel()
+		}
+		queuedErr <- apiErr
+	}()
+	// Wait for the waiter to be counted before probing the shed path.
+	for i := 0; l.queued.Load() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if l.queued.Load() != 1 {
+		t.Fatalf("queued = %d, want 1", l.queued.Load())
+	}
+
+	// The queue is full: the next request is shed, not blocked.
+	start := time.Now()
+	_, apiErr = l.acquire(context.Background())
+	if apiErr == nil {
+		t.Fatal("over-queue acquire admitted")
+	}
+	if apiErr.Class != ClassShed || apiErr.Status != http.StatusTooManyRequests {
+		t.Fatalf("shed error = %+v, want class %q status 429", apiErr, ClassShed)
+	}
+	if apiErr.RetryAfter <= 0 {
+		t.Error("shed error has no Retry-After")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("shedding blocked for %v; must be immediate", d)
+	}
+
+	// Cancelling a queued waiter yields a typed resource error.
+	cancelQueued()
+	wg.Wait()
+	if e := <-queuedErr; e == nil || e.Class != ClassResource {
+		t.Fatalf("cancelled waiter error = %+v, want class %q", e, ClassResource)
+	}
+
+	rel1()
+	rel2()
+	rel2() // release is idempotent
+
+	// All slots free again: admission works.
+	rel3, apiErr := l.acquire(context.Background())
+	if apiErr != nil {
+		t.Fatalf("acquire after release: %v", apiErr)
+	}
+	rel3()
+
+	st := l.stats()
+	if st.Shed != 1 {
+		t.Errorf("shed counter = %d, want 1", st.Shed)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestHTTPShedding drives the shed path through the full HTTP stack:
+// saturate slots and queue with held admissions, then observe a typed
+// 429 with the Retry-After header on a real request.
+func TestHTTPShedding(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := newTestServer(t, func(c *Config) {
+		c.MaxConcurrent = 1
+		c.MaxQueue = 1
+	})
+
+	// Hold the only slot.
+	release, apiErr := s.admit(context.Background())
+	if apiErr != nil {
+		t.Fatalf("admit: %v", apiErr)
+	}
+	// Park one request in the queue slot.
+	queuedCtx, cancelQueued := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		rel, apiErr := s.limiter.acquire(queuedCtx)
+		if apiErr == nil {
+			rel()
+		}
+	}()
+	for i := 0; s.limiter.queued.Load() == 0 && i < 1000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+
+	// A real request now sheds with a typed 429.
+	w := do(t, s, "POST", "/run", RunRequest{CompileRequest: CompileRequest{Source: progOK}}, nil)
+	e := wantError(t, w, http.StatusTooManyRequests, ClassShed)
+	if e.RetryAfter <= 0 {
+		t.Error("shed body has no retry_after")
+	}
+	if got := w.Header().Get("Retry-After"); got == "" {
+		t.Error("shed response has no Retry-After header")
+	}
+
+	cancelQueued()
+	<-done
+	release()
+
+	// With the slot free the same request is admitted and succeeds.
+	var resp RunResponse
+	w = do(t, s, "POST", "/run", RunRequest{CompileRequest: CompileRequest{Source: progOK}}, &resp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-release run status = %d, body %s", w.Code, w.Body.String())
+	}
+	waitGoroutines(t, base)
+}

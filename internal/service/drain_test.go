@@ -1,0 +1,128 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// progSpin loops forever; only a budget, deadline, or cancellation
+// stops it. Drain tests use it as a guaranteed in-flight request.
+const progSpin = `program spin
+  real a(2)
+  integer i
+  i = 1
+  while (i > 0)
+    a(1) = a(1) + 1.0
+  endwhile
+  print a(1)
+end
+`
+
+// TestDrainGate: after Drain, guarded endpoints serve typed 503s with
+// Retry-After, healthz reports draining, and metrics stays available.
+func TestDrainGate(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.DrainTimeout = 100 * time.Millisecond })
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.Drain(ctx) // no in-flight work: returns promptly
+
+	w := do(t, s, "POST", "/run", RunRequest{CompileRequest: CompileRequest{Source: progOK}}, nil)
+	e := wantError(t, w, http.StatusServiceUnavailable, ClassDraining)
+	if e.RetryAfter <= 0 || w.Header().Get("Retry-After") == "" {
+		t.Error("draining response missing Retry-After")
+	}
+
+	var health struct {
+		Status string `json:"status"`
+	}
+	w = do(t, s, "GET", "/healthz", nil, &health)
+	if w.Code != http.StatusServiceUnavailable || health.Status != "draining" {
+		t.Errorf("healthz while draining = %d %q, want 503 draining", w.Code, health.Status)
+	}
+
+	var m metricsDoc
+	w = do(t, s, "GET", "/metrics", nil, &m)
+	if w.Code != http.StatusOK || !m.Draining {
+		t.Errorf("metrics while draining = %d draining=%v, want 200 true", w.Code, m.Draining)
+	}
+
+	// Drain is idempotent.
+	s.Drain(ctx)
+}
+
+// TestDrainCancelsInflight: a request still running at the drain
+// deadline is cancelled at its next engine poll point and returns a
+// typed resource error; Drain itself returns once the handler unwinds,
+// and no goroutines leak.
+func TestDrainCancelsInflight(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := newTestServer(t, func(c *Config) {
+		c.DrainTimeout = 150 * time.Millisecond
+		c.Ceilings.MaxTimeout = 30 * time.Second // per-request timeout must not win the race
+	})
+
+	raw, _ := json.Marshal(RunRequest{CompileRequest: CompileRequest{Source: progSpin}})
+	respCh := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		req := httptest.NewRequest("POST", "/run", bytes.NewReader(raw))
+		w := httptest.NewRecorder()
+		s.Handler().ServeHTTP(w, req)
+		respCh <- w
+	}()
+
+	// Wait until the spin request is admitted and executing.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.limiter.stats().InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("spin request never admitted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	start := time.Now()
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Drain(dctx)
+	elapsed := time.Since(start)
+	if elapsed >= 10*time.Second {
+		t.Fatalf("drain blocked for %v; deadline did not fire", elapsed)
+	}
+
+	w := <-respCh
+	e := wantError(t, w, http.StatusRequestTimeout, ClassResource)
+	if e.NaccExit != 4 {
+		t.Errorf("cancelled in-flight run nacc_exit = %d, want 4", e.NaccExit)
+	}
+	waitGoroutines(t, base)
+}
+
+// TestDrainWaitsForFastInflight: a request that finishes before the
+// drain deadline completes normally — draining never truncates work
+// that can still finish in time.
+func TestDrainWaitsForFastInflight(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.DrainTimeout = 5 * time.Second })
+
+	// Hold a synthetic in-flight registration, start the drain, then
+	// complete the work shortly after: Drain must wait for it.
+	release, apiErr := s.admit(context.Background())
+	if apiErr != nil {
+		t.Fatalf("admit: %v", apiErr)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		release()
+	}()
+	start := time.Now()
+	dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	s.Drain(dctx)
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("drain returned in %v, before in-flight work completed", elapsed)
+	}
+}

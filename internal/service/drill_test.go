@@ -1,0 +1,176 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+
+	"nascent"
+	"nascent/internal/chaos"
+	"nascent/internal/evalpool"
+)
+
+// findDrillSeed searches for a deterministic seed whose fate function
+// satisfies pred over the drill job's attempt keys.
+func findDrillSeed(t *testing.T, rate float64, site chaos.Site, pred func(chaos.Spec) bool) chaos.Spec {
+	t.Helper()
+	for seed := uint64(1); seed < 5000; seed++ {
+		spec := chaos.Spec{Seed: seed, Rate: rate, Site: site}
+		if pred(spec) {
+			return spec
+		}
+	}
+	t.Fatal("no seed found")
+	return chaos.Spec{}
+}
+
+func TestDrillDisabled(t *testing.T) {
+	s := newTestServer(t, nil) // AllowDrill off
+	w := do(t, s, "POST", "/drill", DrillRequest{Spec: "1:1", Run: RunRequest{CompileRequest: CompileRequest{Source: progOK}}}, nil)
+	wantError(t, w, http.StatusForbidden, ClassDrill)
+}
+
+func TestDrillBadSpec(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.AllowDrill = true })
+	w := do(t, s, "POST", "/drill", DrillRequest{Spec: "not-a-spec", Run: RunRequest{CompileRequest: CompileRequest{Source: progOK}}}, nil)
+	wantError(t, w, http.StatusBadRequest, ClassDrill)
+}
+
+func TestDrillBusy(t *testing.T) {
+	s := newTestServer(t, func(c *Config) { c.AllowDrill = true })
+	release, err := chaos.AcquireDrill(chaos.Spec{Seed: 1, Rate: 1, Site: chaos.SiteWorkerSlow})
+	if err != nil {
+		t.Fatalf("AcquireDrill: %v", err)
+	}
+	defer release()
+	w := do(t, s, "POST", "/drill", DrillRequest{Spec: "1:1:pool.worker.slow", Run: RunRequest{CompileRequest: CompileRequest{Source: progOK}}}, nil)
+	wantError(t, w, http.StatusConflict, ClassDrill)
+}
+
+// TestDrillHeals: a fault that fires on the first attempt but not the
+// second is healed by supervised retry — the drill reports Healed with
+// the run's real result.
+func TestDrillHeals(t *testing.T) {
+	if chaos.Active() {
+		t.Fatal("chaos already enabled")
+	}
+	s := newTestServer(t, func(c *Config) { c.AllowDrill = true })
+	spec := findDrillSeed(t, 0.5, chaos.SiteWorkerKill, func(sp chaos.Spec) bool {
+		return chaos.Decide(sp, chaos.SiteWorkerKill, chaos.AttemptKey("drill", 0)) &&
+			!chaos.Decide(sp, chaos.SiteWorkerKill, chaos.AttemptKey("drill", 1))
+	})
+
+	var resp DrillResponse
+	w := do(t, s, "POST", "/drill", DrillRequest{
+		Spec: spec.String(),
+		Run:  RunRequest{CompileRequest: CompileRequest{Source: progOK}},
+	}, &resp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	if resp.Error != nil {
+		t.Fatalf("drill failed instead of healing: %+v", resp.Error)
+	}
+	if !resp.Healed || resp.Attempts != 2 {
+		t.Errorf("healed=%v attempts=%d, want healed in 2 attempts", resp.Healed, resp.Attempts)
+	}
+	if resp.Fired == 0 {
+		t.Error("drill reports zero injections fired")
+	}
+	if resp.Result == nil || resp.Result.Output == "" {
+		t.Errorf("healed drill has no result: %+v", resp.Result)
+	}
+	if chaos.Active() {
+		t.Error("injection still armed after the drill returned")
+	}
+
+	// The healed run's observables match an uninjected run exactly.
+	prog, err := nascent.Compile(progOK, nascent.Options{BoundsChecks: true, Filename: "input.mf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := prog.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Output != want.Output || resp.Result.Checks != want.Checks {
+		t.Errorf("healed run diverges: output %q checks %d, want %q / %d",
+			resp.Result.Output, resp.Result.Checks, want.Output, want.Checks)
+	}
+}
+
+// TestDrillQuarantineRoundTrip is the replay-spec contract end to end:
+// inject an unhealable fault via POST /drill, read the exact
+// "seed:rate[:site]" spec back out of the typed error body, re-parse
+// it, and replay it against a fresh supervised pool to reproduce the
+// same quarantine — the path an operator follows from a production log
+// line to `nacc -chaos`.
+func TestDrillQuarantineRoundTrip(t *testing.T) {
+	if chaos.Active() {
+		t.Fatal("chaos already enabled")
+	}
+	s := newTestServer(t, func(c *Config) { c.AllowDrill = true })
+	spec := chaos.Spec{Seed: 7, Rate: 1, Site: chaos.SiteWorkerKill} // rate 1: every attempt dies
+
+	var resp DrillResponse
+	w := do(t, s, "POST", "/drill", DrillRequest{
+		Spec: spec.String(),
+		Run:  RunRequest{CompileRequest: CompileRequest{Source: progOK}},
+	}, &resp)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status = %d, body %s", w.Code, w.Body.String())
+	}
+	if resp.Error == nil {
+		t.Fatalf("rate-1 worker-kill drill did not fail: %+v", resp)
+	}
+	if resp.Error.Class != ClassPoisoned {
+		t.Fatalf("error class = %q, want %q", resp.Error.Class, ClassPoisoned)
+	}
+	if resp.Error.ChaosSpec != spec.String() {
+		t.Fatalf("chaos_spec = %q, want the armed spec %q", resp.Error.ChaosSpec, spec.String())
+	}
+	if resp.Error.Attempts == 0 {
+		t.Error("quarantine error has no attempt count")
+	}
+	if resp.Healed {
+		t.Error("quarantined drill claims it healed")
+	}
+
+	// Replay: parse the spec out of the error body and reproduce the
+	// quarantine on a fresh pool, exactly as -chaos would.
+	parsed, err := chaos.ParseSpec(resp.Error.ChaosSpec)
+	if err != nil {
+		t.Fatalf("replay spec %q does not parse: %v", resp.Error.ChaosSpec, err)
+	}
+	if parsed != spec {
+		t.Fatalf("replay spec round-trip changed: %+v vs %+v", parsed, spec)
+	}
+	release, err := chaos.AcquireDrill(parsed)
+	if err != nil {
+		t.Fatalf("arm replay: %v", err)
+	}
+	defer release()
+	pool := evalpool.NewSupervised(evalpool.Config{Workers: 1})
+	res := pool.Evaluate([]evalpool.Job{{
+		Name: "drill", Source: progOK, Filename: "replay.mf",
+		Opts: nascent.Options{BoundsChecks: true},
+	}})
+	var pe *evalpool.PoisonedInputError
+	if !errors.As(res[0].Err, &pe) {
+		t.Fatalf("replay err = %v, want PoisonedInputError", res[0].Err)
+	}
+	if pe.ChaosSpec != resp.Error.ChaosSpec {
+		t.Errorf("replayed quarantine spec = %q, want %q", pe.ChaosSpec, resp.Error.ChaosSpec)
+	}
+
+	// The service-level metrics recorded the quarantine.
+	release() // disarm before reading metrics so currentChaos is quiet
+	var m metricsDoc
+	do(t, s, "GET", "/metrics", nil, &m)
+	if m.Pool.Quarantined == 0 || m.Pool.WorkerDeaths == 0 {
+		t.Errorf("pool metrics missed the drill: %+v", m.Pool)
+	}
+	if m.Requests.Drill == 0 {
+		t.Errorf("drill counter = %d, want > 0", m.Requests.Drill)
+	}
+}
