@@ -24,6 +24,12 @@
 //     (scheme, engine) pair to naive/tree and probes for recovery
 //   - SIGTERM/SIGINT drain gracefully: stop admitting, finish or
 //     cancel in-flight work within -drain-timeout, flush metrics
+//   - -progcache dir persists compiled bytecode programs on disk
+//     (content-addressed, CRC-sealed): a restarted server answers
+//     /compile and /run for known programs without parsing source
+//   - -fleet N shards /report measurement runs across N worker
+//     processes (this binary self-exec'd with -fleet-worker), with
+//     member loss supervised by retry and quarantine
 //
 // Usage:
 //
@@ -38,10 +44,12 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/exec"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"nascent/internal/fleet"
 	"nascent/internal/service"
 )
 
@@ -66,6 +74,9 @@ func run(argv []string) int {
 	maxAttempts := fs.Int("max-attempts", 3, "supervised attempts before quarantine")
 	breakerThreshold := fs.Int("breaker-threshold", 3, "consecutive quarantines that trip a (scheme, engine) breaker")
 	breakerCooldown := fs.Duration("breaker-cooldown", 30*time.Second, "breaker cooldown before a recovery probe")
+	progCacheDir := fs.String("progcache", "", "disk-backed compiled-program cache directory (warm restarts skip the frontend)")
+	fleetN := fs.Int("fleet", 0, "shard /report runs across N worker processes (0 = in-process)")
+	fleetWorker := fs.Bool("fleet-worker", false, "serve the fleet worker protocol on stdin/stdout (internal; spawned by -fleet)")
 	if err := fs.Parse(argv); err != nil {
 		return 2
 	}
@@ -73,16 +84,30 @@ func run(argv []string) int {
 		fmt.Fprintln(os.Stderr, "usage: nascentd [flags]")
 		return 2
 	}
+	if *fleetWorker {
+		if err := fleet.ServeWorker(os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "nascentd: fleet worker: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	cfg := service.Config{
 		MaxConcurrent:    *maxConcurrent,
 		MaxQueue:         *maxQueue,
 		CacheEntries:     *cacheEntries,
+		ProgCacheDir:     *progCacheDir,
 		MaxSourceBytes:   *maxSource,
 		DrainTimeout:     *drainTimeout,
 		AllowDrill:       *allowDrill,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
+	}
+	if *fleetN > 0 {
+		cfg.FleetWorkers = *fleetN
+		cfg.FleetCommand = func(i int) *exec.Cmd {
+			return exec.Command(os.Args[0], "-fleet-worker")
+		}
 	}
 	cfg.Ceilings.MaxInstructions = *maxInstr
 	cfg.Ceilings.MaxArrayCells = *maxCells

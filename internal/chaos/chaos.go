@@ -87,6 +87,16 @@ const (
 	// SiteWorkerSlow delays a worker briefly before the job runs
 	// (the job still completes correctly). Keyed by job name.
 	SiteWorkerSlow Site = "pool.worker.slow"
+	// SiteFleetKill terminates a fleet worker PROCESS mid-job
+	// (os.Exit, not a panic): the coordinator must observe the pipe
+	// close, fail the in-flight attempts as member loss, respawn the
+	// member, and retry elsewhere. Keyed by "job#attempt", so a retried
+	// attempt re-rolls its fate.
+	SiteFleetKill Site = "fleet.worker.kill"
+	// SiteFleetHang stalls a fleet worker process indefinitely; the
+	// coordinator's attempt deadline must kill and replace the member.
+	// Keyed by "job#attempt".
+	SiteFleetHang Site = "fleet.worker.hang"
 )
 
 // Sites lists every injection site, in pipeline order.
@@ -96,6 +106,7 @@ var Sites = []Site{
 	SiteTreeBudget, SiteTreeCancel, SiteTreePanic,
 	SiteVMBudget, SiteVMCancel, SiteVMPanic,
 	SiteWorkerKill, SiteWorkerHang, SiteWorkerSlow,
+	SiteFleetKill, SiteFleetHang,
 }
 
 // KnownSite reports whether s names a registered injection site.

@@ -1,0 +1,56 @@
+package evalpool
+
+import (
+	"reflect"
+	"testing"
+
+	"nascent"
+	"nascent/internal/progcache"
+)
+
+// TestDiskCacheWarmStart runs the same bytecode job through two pools
+// sharing one cache directory: the first compiles and persists, the
+// second decodes from disk (BytecodeDiskHits) and produces an
+// identical result.
+func TestDiskCacheWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	src := "program p\n  real a(6)\n  integer i\n  do i = 1, 6\n    a(i) = float(i)\n  enddo\n  print a(6)\nend\n"
+	job := Job{
+		Name:     "warm",
+		Source:   src,
+		Filename: "warm.mf",
+		Opts:     nascent.Options{BoundsChecks: true, Scheme: nascent.LLS},
+		Run:      nascent.RunConfig{Engine: nascent.EngineVMOpt},
+	}
+
+	open := func() *progcache.Cache {
+		c, err := progcache.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	p1 := New(1)
+	p1.SetDiskCache(open())
+	cold := p1.Evaluate([]Job{job})
+	if cold[0].Err != nil {
+		t.Fatalf("cold: %v", cold[0].Err)
+	}
+	if m := p1.Metrics(); m.BytecodeCompiles != 1 || m.BytecodeDiskHits != 0 {
+		t.Fatalf("cold pool metrics: %+v", m)
+	}
+
+	p2 := New(1)
+	p2.SetDiskCache(open())
+	warm := p2.Evaluate([]Job{job})
+	if warm[0].Err != nil {
+		t.Fatalf("warm: %v", warm[0].Err)
+	}
+	if m := p2.Metrics(); m.BytecodeDiskHits != 1 || m.BytecodeCompiles != 0 {
+		t.Fatalf("warm pool never hit disk: %+v", m)
+	}
+	if !reflect.DeepEqual(cold[0].Res, warm[0].Res) {
+		t.Fatalf("warm result diverges:\ncold: %+v\nwarm: %+v", cold[0].Res, warm[0].Res)
+	}
+}

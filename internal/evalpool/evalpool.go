@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"nascent"
+	"nascent/internal/progcache"
 	"nascent/internal/vm"
 )
 
@@ -139,9 +140,11 @@ type Metrics struct {
 	FrontendHits     int
 	// BytecodeCompiles / BytecodeHits split the bytecode memo's traffic
 	// (EngineVM and EngineVMOpt jobs only; tree-walker jobs never touch
-	// it).
+	// it). BytecodeDiskHits counts memo fills satisfied by the disk
+	// cache — a decode instead of a compile.
 	BytecodeCompiles int
 	BytecodeHits     int
+	BytecodeDiskHits int
 	// Stage wall-clock totals, summed across workers (under full
 	// parallelism the sum exceeds elapsed time).
 	FrontendTime time.Duration
@@ -171,6 +174,7 @@ type Pool struct {
 	workers int
 	cfg     Config
 	trace   TraceFunc
+	disk    *progcache.Cache // nil = memory-only; see SetDiskCache
 
 	mu      sync.Mutex
 	memo    map[feKey]*feEntry
@@ -235,6 +239,15 @@ func NewSupervised(cfg Config) *Pool {
 
 // Workers returns the pool's concurrency bound.
 func (p *Pool) Workers() int { return p.workers }
+
+// SetDiskCache layers a disk-backed program cache under the bytecode
+// memo: memo fills consult it before compiling (a warm process decodes
+// instead of compiling) and write fresh compiles back for the next
+// process. Install it before Evaluate. The disk is strictly an
+// accelerator — any read failure falls through to a compile, and the
+// decoded program is bit-identical to a compiled one by the codec's
+// conformance suite.
+func (p *Pool) SetDiskCache(c *progcache.Cache) { p.disk = c }
 
 // SetTrace installs a trace hook (nil disables tracing). Install it
 // before Evaluate; the hook applies to subsequent jobs.
@@ -366,8 +379,30 @@ func (p *Pool) execute(job *Job, key feKey, prog *nascent.Program) (nascent.RunR
 	p.mu.Unlock()
 
 	hit := true
+	diskHit := false
 	e.once.Do(func() {
 		hit = false
+		if p.disk != nil {
+			filename := job.Filename
+			if filename == "" {
+				filename = "input.mf"
+			}
+			dk := progcache.KeyOf(job.Source, filename, opts, eng)
+			if ent, err := p.disk.Get(dk); err == nil {
+				// Warm start: the program comes off disk bit-identical to
+				// a fresh compile (the codec round-trip is pinned by the
+				// progio suite), so the bytecode stage costs one decode.
+				e.prog = ent.Prog
+				diskHit = true
+				return
+			}
+			defer func() {
+				if e.err == nil {
+					// Best-effort persist for the next process.
+					p.disk.Put(dk, &progcache.Entry{Prog: e.prog, StaticChecks: prog.StaticChecks(), Opt: prog.Opt})
+				}
+			}()
+		}
 		if eng == nascent.EngineVMOpt {
 			e.prog, e.err = vm.CompileOptimized(prog.IR)
 		} else {
@@ -375,9 +410,12 @@ func (p *Pool) execute(job *Job, key feKey, prog *nascent.Program) (nascent.RunR
 		}
 	})
 	p.mu.Lock()
-	if hit {
+	switch {
+	case hit:
 		p.metrics.BytecodeHits++
-	} else {
+	case diskHit:
+		p.metrics.BytecodeDiskHits++
+	default:
 		p.metrics.BytecodeCompiles++
 	}
 	p.mu.Unlock()
@@ -494,6 +532,7 @@ type MetricsSnapshot struct {
 	FrontendHits     int    `json:"frontend_hits"`
 	BytecodeCompiles int    `json:"bytecode_compiles"`
 	BytecodeHits     int    `json:"bytecode_hits"`
+	BytecodeDiskHits int    `json:"bytecode_disk_hits"`
 	FrontendTimeNS   int64  `json:"frontend_time_ns"`
 	CompileTimeNS    int64  `json:"compile_time_ns"`
 	RunTimeNS        int64  `json:"run_time_ns"`
@@ -514,6 +553,7 @@ func (m Metrics) Snapshot() MetricsSnapshot {
 		FrontendHits:     m.FrontendHits,
 		BytecodeCompiles: m.BytecodeCompiles,
 		BytecodeHits:     m.BytecodeHits,
+		BytecodeDiskHits: m.BytecodeDiskHits,
 		FrontendTimeNS:   m.FrontendTime.Nanoseconds(),
 		CompileTimeNS:    m.CompileTime.Nanoseconds(),
 		RunTimeNS:        m.RunTime.Nanoseconds(),

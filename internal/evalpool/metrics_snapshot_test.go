@@ -30,7 +30,7 @@ func TestMetricsSnapshotFields(t *testing.T) {
 	want := []string{
 		"jobs", "errors",
 		"frontend_compiles", "frontend_hits",
-		"bytecode_compiles", "bytecode_hits",
+		"bytecode_compiles", "bytecode_hits", "bytecode_disk_hits",
 		"frontend_time_ns", "compile_time_ns", "run_time_ns",
 		"instructions", "checks",
 		"retries", "worker_deaths", "timeouts", "quarantined",

@@ -1,0 +1,558 @@
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nascent"
+	"nascent/internal/chaos"
+	"nascent/internal/evalpool"
+	"nascent/internal/interp"
+	"nascent/internal/progcache"
+	"nascent/internal/progio"
+	"nascent/internal/vm"
+)
+
+// Config configures a Fleet. Every zero field selects a default except
+// Command, which is required.
+type Config struct {
+	// Workers is the number of worker processes (<= 0 selects 2).
+	Workers int
+	// Command builds the command for worker i. The process must serve
+	// the fleet protocol on its stdin/stdout (ServeWorker); both nacc
+	// and rangebench do behind their -worker flags. Required.
+	Command func(i int) *exec.Cmd
+	// MaxInFlight bounds pipelined requests per worker (<= 0 selects 2).
+	MaxInFlight int
+	// MaxAttempts bounds how many times one job may be dispatched
+	// before quarantine; only member loss and deadline overruns consume
+	// extra attempts (<= 0 selects 3) — evalpool's policy, verbatim.
+	MaxAttempts int
+	// JobTimeout bounds one remote attempt. On expiry the member is
+	// killed (a hung process cannot be cancelled politely) and the job
+	// retries on another member (0 means no deadline).
+	JobTimeout time.Duration
+	// Backoff doubles per retry, capped at MaxBackoff (defaults 1ms /
+	// 250ms, matching evalpool).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Logf receives member lifecycle lines (default: discard).
+	Logf func(format string, args ...any)
+}
+
+// Fleet shards job runs across worker processes. It implements
+// report.Evaluator: tables generated on a Fleet are byte-identical to
+// tables generated on an in-process pool, because compiles happen on
+// the coordinator (one shared frontend memo), programs cross the wire
+// through the bit-exact progio codec, and the reduce stays ordered.
+type Fleet struct {
+	cfg    Config
+	pool   *evalpool.Pool
+	slots  chan *member
+	member []*member
+	nextID atomic.Uint64
+	closed atomic.Bool
+
+	mu      sync.Mutex
+	encMemo map[progcache.Key]*encEntry
+	extra   extraMetrics
+}
+
+// extraMetrics accumulates the remote-run side of Metrics; the
+// coordinator's local pool owns the compile side.
+type extraMetrics struct {
+	runTime      time.Duration
+	instructions uint64
+	checks       uint64
+	errors       int
+	retries      int
+	deaths       int
+	timeouts     int
+	quarantined  int
+}
+
+// encEntry is a once-guarded progio encoding memo slot: every variant
+// sharing one (source, options, engine) ships the same bytes.
+type encEntry struct {
+	once sync.Once
+	data []byte
+	err  error
+}
+
+// New starts a fleet: Workers processes are spawned lazily on first
+// dispatch, so a fleet whose jobs all fail to compile never forks.
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Command == nil {
+		return nil, fmt.Errorf("fleet: Config.Command is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 2
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	f := &Fleet{
+		cfg:     cfg,
+		pool:    evalpool.New(0),
+		slots:   make(chan *member, cfg.Workers*cfg.MaxInFlight),
+		encMemo: make(map[progcache.Key]*encEntry),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m := &member{fleet: f, idx: i}
+		f.member = append(f.member, m)
+		for s := 0; s < cfg.MaxInFlight; s++ {
+			f.slots <- m
+		}
+	}
+	return f, nil
+}
+
+// Workers returns the configured member count.
+func (f *Fleet) Workers() int { return f.cfg.Workers }
+
+// Close shuts every member down: stdin closes (clean EOF exit), and a
+// member that does not exit promptly is killed.
+func (f *Fleet) Close() {
+	if f.closed.Swap(true) {
+		return
+	}
+	for _, m := range f.member {
+		m.shutdown()
+	}
+}
+
+// Metrics merges the coordinator pool's compile-side counters with the
+// remote run side.
+func (f *Fleet) Metrics() evalpool.Metrics {
+	m := f.pool.Metrics()
+	f.mu.Lock()
+	e := f.extra
+	f.mu.Unlock()
+	m.RunTime += e.runTime
+	m.Instructions += e.instructions
+	m.Checks += e.checks
+	m.Errors += e.errors
+	m.Retries += e.retries
+	m.WorkerDeaths += e.deaths
+	m.Timeouts += e.timeouts
+	m.Quarantined += e.quarantined
+	return m
+}
+
+// Evaluate runs every job and returns results in job order, exactly
+// like evalpool.Pool.Evaluate. Compiles run on the coordinator's
+// pool; runs are sharded across the worker processes. Jobs a worker
+// cannot express — mutated IR, caller-precompiled runners, skip-run
+// measurements — run entirely in-process instead of being mangled.
+func (f *Fleet) Evaluate(jobs []evalpool.Job) []evalpool.Result {
+	results := make([]evalpool.Result, len(jobs))
+
+	var localIdx, remoteIdx []int
+	for i := range jobs {
+		if jobs[i].Mutate != nil || jobs[i].Precompiled != nil || jobs[i].SkipRun {
+			localIdx = append(localIdx, i)
+		} else {
+			remoteIdx = append(remoteIdx, i)
+		}
+	}
+	if len(localIdx) > 0 {
+		local := make([]evalpool.Job, len(localIdx))
+		for k, i := range localIdx {
+			local[k] = jobs[i]
+		}
+		for k, r := range f.pool.Evaluate(local) {
+			results[localIdx[k]] = r
+		}
+	}
+	if len(remoteIdx) == 0 {
+		return results
+	}
+
+	// Stage 1, local: frontend + lower + optimize for every remote job,
+	// through the shared memo. SkipRun keeps the pool off the run stage.
+	compiles := make([]evalpool.Job, len(remoteIdx))
+	for k, i := range remoteIdx {
+		compiles[k] = jobs[i]
+		compiles[k].SkipRun = true
+	}
+	compiled := f.pool.Evaluate(compiles)
+
+	// Stage 2, remote: ship each run to a member slot.
+	var wg sync.WaitGroup
+	for k, i := range remoteIdx {
+		results[i] = compiled[k]
+		if results[i].Err != nil {
+			continue // compile failed locally; nothing to ship
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f.runRemote(&results[i], &jobs[i])
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// filenameOr mirrors the cache layers' canonical default.
+func filenameOr(name string) string {
+	if name == "" {
+		return "input.mf"
+	}
+	return name
+}
+
+// encoded returns the progio stream for a bytecode job, compiling and
+// encoding once per (source, filename, options, engine).
+func (f *Fleet) encoded(job *evalpool.Job, prog *nascent.Program) ([]byte, error) {
+	opts := job.Opts
+	opts.Filename = ""
+	key := progcache.KeyOf(job.Source, filenameOr(job.Filename), opts, job.Run.Engine)
+	f.mu.Lock()
+	e := f.encMemo[key]
+	if e == nil {
+		e = &encEntry{}
+		f.encMemo[key] = e
+	}
+	f.mu.Unlock()
+	e.once.Do(func() {
+		var vp *vm.Program
+		var err error
+		if job.Run.Engine == nascent.EngineVMOpt {
+			vp, err = vm.CompileOptimized(prog.IR)
+		} else {
+			vp, err = vm.Compile(prog.IR)
+		}
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.data = progio.Encode(vp)
+	})
+	return e.data, e.err
+}
+
+// buildRequest turns one compiled job into its wire form.
+func (f *Fleet) buildRequest(job *evalpool.Job, res *evalpool.Result) (*request, error) {
+	req := &request{
+		Name: job.Name,
+		Run:  toWireLimits(job.Run),
+	}
+	switch job.Run.Engine {
+	case nascent.EngineVM, nascent.EngineVMOpt:
+		data, err := f.encoded(job, res.Prog)
+		if err != nil {
+			return nil, err
+		}
+		req.Program = data
+	default:
+		req.Source = job.Source
+		req.Filename = filenameOr(job.Filename)
+		req.Opts = toWireOptions(job.Opts)
+	}
+	return req, nil
+}
+
+// runRemote dispatches one job's run under the fleet's supervision
+// policy: member loss and deadline overruns retry with capped
+// exponential backoff on whatever member is free next; a job whose
+// every attempt fails abnormally is quarantined behind the same typed
+// *evalpool.PoisonedInputError the in-process pool uses.
+func (f *Fleet) runRemote(res *evalpool.Result, job *evalpool.Job) {
+	req, err := f.buildRequest(job, res)
+	if err != nil {
+		res.Err = fmt.Errorf("%s: %w", job.Name, err)
+		f.count(func(e *extraMetrics) { e.errors++ })
+		return
+	}
+
+	maxAttempts := f.cfg.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	spec := ""
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		rr, werr, err := f.attempt(req, attempt)
+		res.Run = time.Since(t0)
+		res.Attempts = attempt + 1
+
+		switch {
+		case err == nil && werr == nil:
+			res.Res = *rr
+			f.count(func(e *extraMetrics) {
+				e.runTime += res.Run
+				e.instructions += rr.Instructions
+				e.checks += rr.Checks
+			})
+			return
+		case werr != nil:
+			// A typed in-band failure: deterministic, never retried —
+			// rerunning a budget blowout or compile error cannot heal it,
+			// mirroring evalpool's retry policy. Wrap exactly like the
+			// in-process pool so error classification downstream holds.
+			if werr.Stage == "run" {
+				res.Err = fmt.Errorf("%s: run: %w", job.Name, werr.toError())
+			} else {
+				res.Err = fmt.Errorf("%s: %w", job.Name, werr.toError())
+			}
+			f.count(func(e *extraMetrics) { e.errors++ })
+			return
+		}
+
+		// Member loss or deadline overrun: abnormal, retryable.
+		if spec == "" {
+			spec = chaos.SpecString()
+		}
+		if attempt+1 >= maxAttempts {
+			res.Err = &evalpool.PoisonedInputError{
+				Job:       job.Name,
+				Attempts:  attempt + 1,
+				LastErr:   err,
+				ChaosSpec: spec,
+			}
+			f.count(func(e *extraMetrics) { e.quarantined++; e.errors++ })
+			return
+		}
+		f.count(func(e *extraMetrics) { e.retries++ })
+		time.Sleep(f.backoff(attempt))
+	}
+}
+
+// attempt ships one request to the next free member. The three
+// returns are mutually exclusive: a run result, a typed in-band
+// failure, or a transport-level (abnormal) error.
+func (f *Fleet) attempt(req *request, attempt int) (*interp.Result, *wireError, error) {
+	m := <-f.slots
+	defer func() { f.slots <- m }()
+
+	r := *req
+	r.ID = f.nextID.Add(1)
+	r.Attempt = attempt
+	resp, err := m.do(&r, f.cfg.JobTimeout)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.Err != nil {
+		return nil, resp.Err, nil
+	}
+	if resp.Res == nil {
+		return nil, nil, &evalpool.WorkerDeathError{
+			Job: req.Name, Attempt: attempt,
+			Recovered: "fleet: member answered with neither result nor error",
+		}
+	}
+	return resp.Res, nil, nil
+}
+
+func (f *Fleet) backoff(attempt int) time.Duration {
+	base := f.cfg.Backoff
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	max := f.cfg.MaxBackoff
+	if max <= 0 {
+		max = 250 * time.Millisecond
+	}
+	if attempt > 20 {
+		attempt = 20
+	}
+	d := base << uint(attempt)
+	if d <= 0 || d > max {
+		d = max
+	}
+	return d
+}
+
+func (f *Fleet) count(fn func(*extraMetrics)) {
+	f.mu.Lock()
+	fn(&f.extra)
+	f.mu.Unlock()
+}
+
+// member is one persistent fleet seat. The seat survives process
+// death: losing the process fails the in-flight attempts, and the next
+// dispatch respawns it.
+type member struct {
+	fleet *Fleet
+	idx   int
+
+	mu   sync.Mutex
+	proc *proc
+}
+
+// proc is one live worker process.
+type proc struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+
+	wmu sync.Mutex // serializes request frames
+
+	pmu     sync.Mutex
+	pending map[uint64]chan *response
+
+	dead chan struct{} // closed when the read loop exits
+}
+
+// ensure returns the member's live process, spawning one if the seat
+// is empty or its previous occupant died.
+func (m *member) ensure() (*proc, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.proc != nil {
+		select {
+		case <-m.proc.dead:
+			m.proc = nil // fell over since last use; respawn below
+		default:
+			return m.proc, nil
+		}
+	}
+	if m.fleet.closed.Load() {
+		return nil, fmt.Errorf("fleet: closed")
+	}
+	p, err := m.fleet.spawn(m.idx)
+	if err != nil {
+		return nil, err
+	}
+	m.proc = p
+	return p, nil
+}
+
+// do ships one request and waits for its response, member death, or
+// the attempt deadline. Deadline overruns kill the process — a hung
+// worker holds no cancellation channel — and surface as the same typed
+// timeout the in-process pool uses.
+func (m *member) do(req *request, timeout time.Duration) (*response, error) {
+	p, err := m.ensure()
+	if err != nil {
+		return nil, &evalpool.WorkerDeathError{Job: req.Name, Attempt: req.Attempt, Recovered: err.Error()}
+	}
+
+	ch := make(chan *response, 1)
+	p.pmu.Lock()
+	p.pending[req.ID] = ch
+	p.pmu.Unlock()
+	defer func() {
+		p.pmu.Lock()
+		delete(p.pending, req.ID)
+		p.pmu.Unlock()
+	}()
+
+	p.wmu.Lock()
+	err = writeFrame(p.stdin, req)
+	p.wmu.Unlock()
+	if err != nil {
+		p.kill()
+		return nil, &evalpool.WorkerDeathError{
+			Job: req.Name, Attempt: req.Attempt,
+			Recovered: fmt.Sprintf("fleet member %d: write: %v", m.idx, err),
+		}
+	}
+
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		deadline = t.C
+	}
+	select {
+	case resp := <-ch:
+		return resp, nil
+	case <-p.dead:
+		m.fleet.count(func(e *extraMetrics) { e.deaths++ })
+		m.fleet.cfg.Logf("fleet: member %d lost mid-job %q (attempt %d)", m.idx, req.Name, req.Attempt)
+		return nil, &evalpool.WorkerDeathError{
+			Job: req.Name, Attempt: req.Attempt,
+			Recovered: fmt.Sprintf("fleet member %d process lost", m.idx),
+		}
+	case <-deadline:
+		p.kill()
+		m.fleet.count(func(e *extraMetrics) { e.timeouts++ })
+		m.fleet.cfg.Logf("fleet: member %d killed at the %s deadline on %q (attempt %d)", m.idx, timeout, req.Name, req.Attempt)
+		return nil, &evalpool.JobTimeoutError{Job: req.Name, Attempt: req.Attempt, Timeout: timeout}
+	}
+}
+
+// shutdown closes the member's process politely, then forcefully.
+func (m *member) shutdown() {
+	m.mu.Lock()
+	p := m.proc
+	m.proc = nil
+	m.mu.Unlock()
+	if p == nil {
+		return
+	}
+	p.stdin.Close() // EOF → clean worker exit
+	select {
+	case <-p.dead:
+	case <-time.After(2 * time.Second):
+		p.kill()
+		<-p.dead
+	}
+}
+
+// spawn starts one worker process and its response pump.
+func (f *Fleet) spawn(idx int) (*proc, error) {
+	cmd := f.cfg.Command(idx)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if cmd.Stderr == nil {
+		cmd.Stderr = os.Stderr
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	p := &proc{
+		cmd:     cmd,
+		stdin:   stdin,
+		pending: make(map[uint64]chan *response),
+		dead:    make(chan struct{}),
+	}
+	f.cfg.Logf("fleet: member %d up (pid %d)", idx, cmd.Process.Pid)
+	go p.readLoop(stdout)
+	return p, nil
+}
+
+// readLoop pumps response frames to their waiting attempts. Any read
+// failure — EOF from a clean exit, a killed process, a corrupt frame —
+// declares the process dead; waiting attempts observe the closed dead
+// channel and the supervisor retries them elsewhere.
+func (p *proc) readLoop(stdout io.Reader) {
+	br := bufio.NewReader(stdout)
+	for {
+		var resp response
+		if err := readFrame(br, &resp); err != nil {
+			break
+		}
+		p.pmu.Lock()
+		ch := p.pending[resp.ID]
+		delete(p.pending, resp.ID)
+		p.pmu.Unlock()
+		if ch != nil {
+			ch <- &resp
+		}
+	}
+	close(p.dead)
+	p.cmd.Wait() // reap; exit status is irrelevant once dead
+}
+
+func (p *proc) kill() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+	}
+}

@@ -1,0 +1,101 @@
+package fleet
+
+import (
+	"bufio"
+	"io"
+	"os"
+	"time"
+
+	"nascent"
+	"nascent/internal/chaos"
+	"nascent/internal/interp"
+	"nascent/internal/progio"
+)
+
+// ServeWorker speaks the fleet protocol on (r, w) until r reaches EOF:
+// one request frame in, one response frame out, strictly in order.
+// Both nacc and rangebench expose it behind a -worker flag, so any
+// installed binary can serve as a fleet member.
+//
+// Two chaos sites live here: fleet.worker.kill exits the PROCESS
+// mid-job (the coordinator sees the pipe close — genuine member loss,
+// not a contained panic) and fleet.worker.hang stalls it until the
+// coordinator's deadline kills it. Both are keyed by "job#attempt" so
+// a retried attempt re-rolls its fate.
+func ServeWorker(r io.Reader, w io.Writer) error {
+	br := bufio.NewReader(r)
+	bw := bufio.NewWriter(w)
+	for {
+		var req request
+		if err := readFrame(br, &req); err != nil {
+			if err == io.EOF {
+				return nil // coordinator closed our stdin: clean shutdown
+			}
+			return err
+		}
+		if chaos.Active() {
+			key := chaos.AttemptKey(req.Name, req.Attempt)
+			if chaos.Fire(chaos.SiteFleetKill, key) {
+				os.Exit(3)
+			}
+			if chaos.Fire(chaos.SiteFleetHang, key) {
+				// Sleep rather than block: a bare select{} in a
+				// single-goroutine process trips the runtime's deadlock
+				// detector and exits, which would test the kill path twice.
+				for {
+					time.Sleep(time.Hour)
+				}
+			}
+		}
+		if err := writeFrame(bw, serve(&req)); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+}
+
+// serve executes one request. Every failure is a typed frame, never a
+// worker exit: only the chaos sites and a broken pipe end the process.
+func serve(req *request) *response {
+	resp := &response{ID: req.ID}
+	cfg := req.Run.toConfig()
+
+	var run func(nascent.RunConfig) (nascent.RunResult, error)
+	switch {
+	case len(req.Program) > 0:
+		prog, err := progio.Decode(req.Program)
+		if err != nil {
+			resp.Err = toWireError(err, "decode")
+			return resp
+		}
+		run = prog.Run
+	case req.Source != "":
+		opts := nascent.Options{Filename: req.Filename}
+		if req.Opts != nil {
+			opts = req.Opts.toOptions(req.Filename)
+		}
+		prog, err := nascent.Compile(req.Source, opts)
+		if err != nil {
+			resp.Err = toWireError(err, "compile")
+			return resp
+		}
+		run = prog.RunWith
+	default:
+		resp.Err = &wireError{Msg: "fleet: request carries neither program nor source", Stage: "decode"}
+		return resp
+	}
+
+	if req.SkipRun {
+		resp.Res = &interp.Result{}
+		return resp
+	}
+	res, err := run(cfg)
+	if err != nil {
+		resp.Err = toWireError(err, "run")
+		return resp
+	}
+	resp.Res = &res
+	return resp
+}

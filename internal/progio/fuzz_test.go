@@ -1,0 +1,80 @@
+package progio_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"nascent"
+	"nascent/internal/conformance"
+	"nascent/internal/progio"
+	"nascent/internal/vm"
+)
+
+// FuzzProgramCodec is the codec's adversarial gate. Seeds are real
+// encodings of every conformance-corpus program under both bytecode
+// pipelines; the property under mutation is total: Decode never
+// panics, failure is always one of the two typed errors, and success
+// re-encodes byte-identically (and still does after the mutated input
+// is resealed with a valid checksum, which drives the fuzzer past the
+// CRC gate into the structural decoder and vm.FromImage).
+//
+// Run with -fuzzminimizetime=1x (as CI does): the resealed path makes
+// nearly every mutant reach fresh structural-decoder coverage, and the
+// default 60s coverage-preserving minimization per interesting input
+// would throttle the campaign to a crawl.
+func FuzzProgramCodec(f *testing.F) {
+	for _, c := range conformance.Corpus {
+		prog, err := nascent.Compile(c.Src, nascent.Options{Filename: c.Name + ".mf", BoundsChecks: true})
+		if err != nil {
+			f.Fatalf("compile %s: %v", c.Name, err)
+		}
+		plain, err := vm.Compile(prog.IR)
+		if err != nil {
+			f.Fatalf("vm compile %s: %v", c.Name, err)
+		}
+		fused, err := vm.CompileOptimized(prog.IR)
+		if err != nil {
+			f.Fatalf("vmopt compile %s: %v", c.Name, err)
+		}
+		f.Add(progio.Encode(plain))
+		f.Add(progio.Encode(fused))
+	}
+	f.Add([]byte("NPRG"))
+	f.Add([]byte{})
+
+	table := crc32.MakeTable(crc32.Castagnoli)
+	check := func(t *testing.T, data []byte) {
+		p, err := progio.Decode(data)
+		if err != nil {
+			if !errors.Is(err, progio.ErrCorrupt) && !errors.Is(err, progio.ErrVersion) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		enc := progio.Encode(p)
+		p2, err := progio.Decode(enc)
+		if err != nil {
+			t.Fatalf("re-decode of a clean encode failed: %v", err)
+		}
+		if re := progio.Encode(p2); !bytes.Equal(enc, re) {
+			t.Fatalf("encode→decode→re-encode not byte-equal (%d vs %d bytes)", len(enc), len(re))
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		check(t, data)
+		// Reseal: valid magic, current version, correct trailer — the
+		// structural layer must hold on its own.
+		if len(data) >= 10 {
+			sealed := append([]byte(nil), data...)
+			copy(sealed, "NPRG")
+			binary.LittleEndian.PutUint16(sealed[4:6], progio.Version)
+			crc := crc32.Checksum(sealed[:len(sealed)-4], table)
+			binary.LittleEndian.PutUint32(sealed[len(sealed)-4:], crc)
+			check(t, sealed)
+		}
+	})
+}

@@ -1,0 +1,128 @@
+package progio_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nascent"
+	"nascent/internal/progio"
+	"nascent/internal/suite"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden .bin fixtures")
+
+// goldenConfigs are the pinned (program, options, pipeline) triples
+// behind testdata/*.bin. Three suite programs across the optimizer
+// range: the naive tree baseline, a scheme-optimized build, and the
+// superinstruction-fused pipeline.
+var goldenConfigs = []struct {
+	fixture   string
+	program   string
+	opts      nascent.Options
+	optimized bool
+}{
+	{"vortex_naive_vm.bin", "vortex", nascent.Options{BoundsChecks: true, Scheme: nascent.Naive}, false},
+	{"mdg_lls_vm.bin", "mdg", nascent.Options{BoundsChecks: true, Scheme: nascent.LLS}, false},
+	{"linpackd_lls_vmopt.bin", "linpackd", nascent.Options{BoundsChecks: true, Scheme: nascent.LLS}, true},
+}
+
+// TestGoldenFixtures pins the exact byte stream of the current format
+// version for three suite programs. Any encoding change — field
+// order, widths, a new section — shifts these bytes and fails here;
+// the fix is to bump progio.Version AND regenerate with
+//
+//	go test ./internal/progio -run TestGoldenFixtures -update
+//
+// so readers of the old version can never misparse new streams.
+func TestGoldenFixtures(t *testing.T) {
+	for _, gc := range goldenConfigs {
+		t.Run(gc.fixture, func(t *testing.T) {
+			p, err := suite.Get(gc.program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			enc := progio.Encode(compileVM(t, p.Source, gc.program+".mf", gc.opts, gc.optimized))
+			path := filepath.Join("testdata", gc.fixture)
+
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, enc, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read fixture: %v (regenerate with -update)", err)
+			}
+			if !bytes.Equal(enc, want) {
+				t.Fatalf("encoding of %s/%v diverges from fixture %s (%d vs %d bytes).\n"+
+					"If the wire format changed intentionally: bump progio.Version, then regenerate with -update.",
+					gc.program, gc.opts.Scheme, gc.fixture, len(enc), len(want))
+			}
+		})
+	}
+}
+
+// TestGoldenVersionGuard refuses fixtures generated under a different
+// format version: after a version bump the fixtures MUST be
+// regenerated, and a fixture from the future means the working tree
+// mixes codec generations.
+func TestGoldenVersionGuard(t *testing.T) {
+	for _, gc := range goldenConfigs {
+		data, err := os.ReadFile(filepath.Join("testdata", gc.fixture))
+		if err != nil {
+			t.Fatalf("read fixture: %v (regenerate with -update)", err)
+		}
+		if len(data) < 6 {
+			t.Fatalf("fixture %s is shorter than the header", gc.fixture)
+		}
+		if v := binary.LittleEndian.Uint16(data[4:6]); v != progio.Version {
+			t.Fatalf("fixture %s was generated for format version %d, codec is at %d — regenerate with -update",
+				gc.fixture, v, progio.Version)
+		}
+		// The fixture must still decode and run under this build.
+		if _, err := progio.Decode(data); err != nil {
+			t.Fatalf("fixture %s does not decode: %v", gc.fixture, err)
+		}
+	}
+}
+
+// TestGoldenFixturesRun executes each fixture as decoded from disk
+// and requires bit-identical observables to the freshly compiled
+// program — the disk path cannot drift from the compile path.
+func TestGoldenFixturesRun(t *testing.T) {
+	for _, gc := range goldenConfigs {
+		t.Run(gc.fixture, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("testdata", gc.fixture))
+			if err != nil {
+				t.Fatalf("read fixture: %v (regenerate with -update)", err)
+			}
+			decoded, err := progio.Decode(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := suite.Get(gc.program)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh := compileVM(t, p.Source, gc.program+".mf", gc.opts, gc.optimized)
+
+			want, err1 := fresh.Run(nascent.RunConfig{})
+			got, err2 := decoded.Run(nascent.RunConfig{})
+			if err1 != nil || err2 != nil {
+				t.Fatalf("run: fresh=%v fixture=%v", err1, err2)
+			}
+			if want != got {
+				t.Fatalf("fixture run diverges:\nfresh:   %+v\nfixture: %+v", want, got)
+			}
+		})
+	}
+}

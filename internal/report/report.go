@@ -41,11 +41,21 @@ type Config struct {
 	Trace evalpool.TraceFunc
 }
 
+// Evaluator is the measurement substrate a Runner renders tables
+// from: the in-process evalpool.Pool, or a fleet.Fleet sharding runs
+// across worker processes. Both contracts are identical — ordered
+// results, deterministic counters — so table bytes never depend on
+// which one is underneath (the fleet identity tests pin this).
+type Evaluator interface {
+	Evaluate(jobs []evalpool.Job) []evalpool.Result
+	Metrics() evalpool.Metrics
+}
+
 // Runner generates tables on a (possibly concurrent) evaluation pool.
 // The pool's front-end memo table is shared across tables: generating
 // Tables 1–3 on one Runner parses each suite program exactly once.
 type Runner struct {
-	pool    *evalpool.Pool
+	pool    Evaluator
 	timings bool
 	engine  nascent.Engine
 }
@@ -69,7 +79,14 @@ func New(cfg Config) *Runner {
 // across requests. Config.Jobs and Config.Trace are ignored — the pool
 // owns both.
 func NewOnPool(pool *evalpool.Pool, cfg Config) *Runner {
-	return &Runner{pool: pool, timings: cfg.Timings, engine: cfg.Engine}
+	return NewOnEvaluator(pool, cfg)
+}
+
+// NewOnEvaluator returns a Runner measuring on any Evaluator —
+// rangebench's -fleet mode hands it a process fleet. Config.Jobs and
+// Config.Trace are ignored; the evaluator owns its concurrency.
+func NewOnEvaluator(ev Evaluator, cfg Config) *Runner {
+	return &Runner{pool: ev, timings: cfg.Timings, engine: cfg.Engine}
 }
 
 // withEngine stamps the Runner's engine onto every job's run config.

@@ -2,60 +2,40 @@ package service
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
 	"sync"
 
 	"nascent"
+	"nascent/internal/progcache"
 	"nascent/internal/vm"
 )
 
 // cacheKey is the content address of one compiled program: sha256 over
-// (source, filename, options, engine) in a canonical length-prefixed
-// encoding, so no field boundary ambiguity can alias two programs.
-type cacheKey [sha256.Size]byte
-
-func (k cacheKey) String() string { return hex.EncodeToString(k[:]) }
+// (source, filename, options, engine). The derivation lives in
+// progcache.KeyOf — the in-memory cache and the disk cache share one
+// address space, so a program compiled through either layer is the
+// same entry to both.
+type cacheKey = progcache.Key
 
 // contentKey computes the cache key of one compile request.
 func contentKey(source, filename string, opts nascent.Options, engine nascent.Engine) cacheKey {
-	h := sha256.New()
-	var buf [8]byte
-	put := func(s string) {
-		binary.LittleEndian.PutUint64(buf[:], uint64(len(s)))
-		h.Write(buf[:])
-		h.Write([]byte(s))
-	}
-	put(source)
-	put(filename)
-	flags := byte(0)
-	if opts.BoundsChecks {
-		flags |= 1
-	}
-	if opts.RotateLoops {
-		flags |= 2
-	}
-	h.Write([]byte{
-		flags,
-		byte(opts.Scheme),
-		byte(opts.Kind),
-		byte(opts.Implications),
-		byte(engine),
-	})
-	var k cacheKey
-	h.Sum(k[:0])
-	return k
+	return progcache.KeyOf(source, filename, opts, engine)
 }
 
 // compiled is one cached compile artifact. For bytecode engines the
 // vm.Program is compiled eagerly at fill time so every subsequent run
 // skips straight to execution; for the tree engine runs interpret the
 // shared immutable IR directly. Both are safe for concurrent Run calls.
+//
+// staticChecks and opt carry the compile-response metadata out of the
+// frontend: a disk-cache warm start reconstructs them from the cache
+// envelope with prog == nil, so nothing downstream may assume the IR
+// is present for bytecode entries.
 type compiled struct {
-	prog   *nascent.Program
-	vmProg *vm.Program
-	engine nascent.Engine
+	prog         *nascent.Program
+	vmProg       *vm.Program
+	engine       nascent.Engine
+	staticChecks int
+	opt          *nascent.OptReport
 }
 
 // Run executes the cached program under cfg; it satisfies

@@ -13,6 +13,7 @@ import (
 	"nascent/internal/guard"
 	"nascent/internal/interp"
 	"nascent/internal/oracle"
+	"nascent/internal/progcache"
 	"nascent/internal/report"
 )
 
@@ -187,8 +188,8 @@ func (s *Server) compileResponse(c *compiled, key cacheKey, hit bool, res *resol
 		CacheHit:     hit,
 		Scheme:       res.opts.Scheme.String(),
 		Engine:       res.engine.String(),
-		StaticChecks: c.prog.StaticChecks(),
-		Opt:          wireOptReport(c.prog.Opt),
+		StaticChecks: c.staticChecks,
+		Opt:          wireOptReport(c.opt),
 		Degraded:     res.degraded,
 	}
 }
@@ -271,6 +272,10 @@ func (s *Server) execute(r *http.Request, res *resolved, noCache bool, jobName s
 		// no-cache path: the pool compiled it; synthesize the compile
 		// section from the job's own program.
 		c = &compiled{prog: result.Prog, engine: res.engine}
+		if result.Prog != nil {
+			c.staticChecks = result.Prog.StaticChecks()
+			c.opt = result.Prog.Opt
+		}
 	}
 	resp := &RunResponse{
 		Compile:      s.compileResponse(c, key, hit, res),
@@ -375,7 +380,15 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
-	runner := report.NewOnPool(s.pool, report.Config{Engine: engine})
+	// With a fleet configured, measurement runs shard across the worker
+	// processes; table bytes are identical either way (the fleet
+	// identity tests pin this), so the choice is purely operational.
+	var runner *report.Runner
+	if s.fleet != nil {
+		runner = report.NewOnEvaluator(s.fleet, report.Config{Engine: engine})
+	} else {
+		runner = report.NewOnPool(s.pool, report.Config{Engine: engine})
+	}
 	doc, err := runner.Doc(table)
 	if err != nil && doc == nil {
 		s.fail(w, &Error{Class: ClassInternal, Message: err.Error(), Status: http.StatusInternalServerError, NaccExit: -1})
@@ -411,6 +424,7 @@ type metricsDoc struct {
 	Requests  requestCounters          `json:"requests"`
 	Admission limiterStats             `json:"admission"`
 	Cache     CacheStats               `json:"cache"`
+	DiskCache *progcache.Metrics       `json:"disk_cache,omitempty"`
 	Breaker   breakerStats             `json:"breaker"`
 	Pool      evalpool.MetricsSnapshot `json:"pool"`
 	Chaos     chaosDoc                 `json:"chaos"`
@@ -448,6 +462,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		},
 		Admission: s.limiter.stats(),
 		Cache:     s.cache.stats(),
+		DiskCache: s.diskStats(),
 		Breaker:   s.breaker.stats(),
 		Pool:      s.pool.MetricsSnapshot(),
 		Chaos:     currentChaos(),

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os/exec"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,6 +13,8 @@ import (
 	"nascent"
 	"nascent/internal/chaos"
 	"nascent/internal/evalpool"
+	"nascent/internal/fleet"
+	"nascent/internal/progcache"
 	"nascent/internal/vm"
 )
 
@@ -25,6 +28,15 @@ type Config struct {
 	MaxQueue int
 	// CacheEntries bounds the compiled-program cache (default 256).
 	CacheEntries int
+	// ProgCacheDir enables the disk-backed program cache: compiled
+	// bytecode programs are persisted there (content-addressed, atomic
+	// writes) and warm starts skip the frontend entirely — a restarted
+	// server serves /compile and /run for known programs without
+	// parsing a line of source. Empty disables the disk layer. A
+	// directory that cannot be created disables it with a logged
+	// warning; the cache is an accelerator, never a correctness
+	// dependency.
+	ProgCacheDir string
 	// MaxBodyBytes caps any request body (default 4 MiB).
 	MaxBodyBytes int64
 	// MaxSourceBytes caps one program's source text (default 1 MiB).
@@ -47,6 +59,14 @@ type Config struct {
 	// circuit breaker (defaults 3 consecutive quarantines, 30 s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+
+	// FleetWorkers, when > 0, shards /report measurement runs across
+	// worker processes instead of the in-process pool; FleetCommand
+	// builds the command for worker i (required then — nascentd
+	// self-execs with -fleet-worker). A fleet that fails to start is
+	// logged and disabled: /report falls back to the in-process pool.
+	FleetWorkers int
+	FleetCommand func(i int) *exec.Cmd
 
 	// Pool configures the supervised evalpool (retry/quarantine policy).
 	Pool evalpool.Config
@@ -107,6 +127,8 @@ type Server struct {
 	cfg     Config
 	pool    *evalpool.Pool
 	cache   *Cache
+	disk    *progcache.Cache // nil when ProgCacheDir is empty
+	fleet   *fleet.Fleet     // nil unless FleetWorkers > 0
 	limiter *limiter
 	breaker *breaker
 	mux     *http.ServeMux
@@ -153,6 +175,27 @@ func New(cfg Config) *Server {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		started:    time.Now(),
+	}
+	if cfg.ProgCacheDir != "" {
+		disk, err := progcache.Open(cfg.ProgCacheDir)
+		if err != nil {
+			cfg.Logf("nascentd: program cache disabled: %v", err)
+		} else {
+			s.disk = disk
+			s.pool.SetDiskCache(disk)
+		}
+	}
+	if cfg.FleetWorkers > 0 {
+		fl, err := fleet.New(fleet.Config{
+			Workers: cfg.FleetWorkers,
+			Command: cfg.FleetCommand,
+			Logf:    cfg.Logf,
+		})
+		if err != nil {
+			cfg.Logf("nascentd: fleet disabled: %v", err)
+		} else {
+			s.fleet = fl
+		}
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /compile", s.guarded(s.handleCompile))
@@ -315,18 +358,35 @@ func (s *Server) clampBudget(b Budget) (nascent.RunConfig, time.Duration, *Error
 // compile resolves one compile request through the content-addressed
 // cache: singleflight on a miss, LRU touch on a hit. Bytecode engines
 // precompile their vm.Program at fill time.
+//
+// With a disk cache configured, a fill for a bytecode engine first
+// consults it: a warm entry decodes straight to a runnable vm.Program
+// plus its compile metadata, and the frontend never runs. Any disk
+// failure — miss, corruption, version skew — falls through to a fresh
+// compile whose result is written back, healing the entry.
 func (s *Server) compile(source, filename string, opts nascent.Options, engine nascent.Engine) (*compiled, cacheKey, bool, error) {
 	if filename == "" {
 		filename = "input.mf"
 	}
 	key := contentKey(source, filename, opts, engine)
+	bytecode := engine == nascent.EngineVM || engine == nascent.EngineVMOpt
 	c, hit, err := s.cache.get(key, func() (*compiled, error) {
+		if s.disk != nil && bytecode {
+			if ent, err := s.disk.Get(key); err == nil {
+				return &compiled{
+					vmProg:       ent.Prog,
+					engine:       engine,
+					staticChecks: ent.StaticChecks,
+					opt:          ent.Opt,
+				}, nil
+			}
+		}
 		opts.Filename = filename
 		prog, err := nascent.Compile(source, opts)
 		if err != nil {
 			return nil, err
 		}
-		out := &compiled{prog: prog, engine: engine}
+		out := &compiled{prog: prog, engine: engine, staticChecks: prog.StaticChecks(), opt: prog.Opt}
 		switch engine {
 		case nascent.EngineVM:
 			out.vmProg, err = vm.Compile(prog.IR)
@@ -335,6 +395,11 @@ func (s *Server) compile(source, filename string, opts nascent.Options, engine n
 		}
 		if err != nil {
 			return nil, err
+		}
+		if s.disk != nil && bytecode {
+			// Best-effort persist; a write failure only costs the next
+			// cold start its warm path.
+			s.disk.Put(key, &progcache.Entry{Prog: out.vmProg, StaticChecks: out.staticChecks, Opt: out.opt})
 		}
 		return out, nil
 	})
@@ -371,7 +436,19 @@ func (s *Server) Drain(ctx context.Context) {
 		<-done
 	}
 	s.baseCancel()
+	if s.fleet != nil {
+		s.fleet.Close()
+	}
 	s.cfg.Logf("nascentd: drained; %s", s.pool.Metrics().String())
+}
+
+// diskStats snapshots the disk cache counters (nil when disabled).
+func (s *Server) diskStats() *progcache.Metrics {
+	if s.disk == nil {
+		return nil
+	}
+	m := s.disk.Metrics()
+	return &m
 }
 
 // uptime reports how long the server has been up.

@@ -42,6 +42,7 @@ import (
 
 	"nascent/internal/guard"
 	"nascent/internal/ir"
+	"nascent/internal/source"
 )
 
 // Opcodes. Operand conventions are noted per opcode; a, b, c are
@@ -188,11 +189,29 @@ type funcInfo struct {
 	clrArrs  []int32 // local array IDs cleared on entry
 }
 
+// checkInfo is the trap-rendering residue of one ir.CheckStmt: the
+// pre-rendered inequality text plus the optimizer note and source
+// position. Capturing values instead of IR pointers keeps Program
+// self-contained, so progio can serialize it without the IR.
+type checkInfo struct {
+	str  string // CheckStmt.String() rendering of the inequality
+	note string
+	pos  source.Pos
+}
+
+// trapInfo is the serializable residue of one ir.TrapStmt.
+type trapInfo struct {
+	note string
+	pos  source.Pos
+}
+
 // Program is a compiled bytecode program. It is immutable after
 // Compile and safe for concurrent Run calls: all mutable execution
-// state lives in the per-run machine.
+// state lives in the per-run machine. It holds no references into the
+// IR it was compiled from — every field is plain data, which is what
+// makes it serializable (internal/progio) and shippable to worker
+// processes (internal/fleet).
 type Program struct {
-	ir     *ir.Program
 	code   []instr
 	funcs  []funcInfo
 	arrays []arrayInfo
@@ -203,8 +222,8 @@ type Program struct {
 	pool     []int64
 	iconsts  []int64
 	fconsts  []float64
-	checks   []*ir.CheckStmt
-	traps    []*ir.TrapStmt
+	checks   []checkInfo
+	traps    []trapInfo
 	fails    []string
 
 	nIntRegs, nFloatRegs int
@@ -297,7 +316,7 @@ type compiler struct {
 func newCompiler(p *ir.Program, b bases) *compiler {
 	return &compiler{
 		p:         p,
-		prog:      &Program{ir: p},
+		prog:      &Program{},
 		bases:     b,
 		iconstIdx: make(map[int64]int32),
 		fconstIdx: make(map[uint64]int32),
@@ -516,7 +535,7 @@ func (c *compiler) stmt(s ir.Stmt) {
 		}
 		c.costFree = false
 		ci := int32(len(c.prog.checks))
-		c.prog.checks = append(c.prog.checks, s)
+		c.prog.checks = append(c.prog.checks, checkInfo{str: s.String(), note: s.Note, pos: s.SrcPos})
 		switch {
 		case len(pairs) == 1 && pairs[0].coef == int64(int32(pairs[0].coef)):
 			// The dominant shape: one term with a small coefficient
@@ -602,7 +621,7 @@ func (c *compiler) stmt(s ir.Stmt) {
 
 	case *ir.TrapStmt:
 		ti := int32(len(c.prog.traps))
-		c.prog.traps = append(c.prog.traps, s)
+		c.prog.traps = append(c.prog.traps, trapInfo{note: s.Note, pos: s.SrcPos})
 		c.emit(instr{op: opTrapStmt, a: ti})
 
 	default:

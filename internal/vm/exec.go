@@ -493,9 +493,9 @@ loop:
 		case opTrapStmt:
 			ts := p.traps[in.a]
 			trapped = true
-			trapNote = fmt.Sprintf("compile-time range violation: %s", ts.Note)
+			trapNote = fmt.Sprintf("compile-time range violation: %s", ts.note)
 			trapClass = interp.TrapStatic
-			trapPos = ts.SrcPos
+			trapPos = ts.pos
 			break loop
 
 		case opJmp:
@@ -1615,7 +1615,7 @@ func elemOff2(ar *arrayInfo, imm int64, ireg []int64) (int64, error) {
 
 // checkTrap renders one failed range check's trap fields, shared by the
 // general and specialized check opcodes.
-func checkTrap(cs *ir.CheckStmt, lhs int64) (string, interp.TrapClass, source.Pos) {
-	note := fmt.Sprintf("%s failed (lhs=%d) [%s]", cs.String(), lhs, cs.Note)
-	return note, interp.TrapCheck, cs.SrcPos
+func checkTrap(cs checkInfo, lhs int64) (string, interp.TrapClass, source.Pos) {
+	note := fmt.Sprintf("%s failed (lhs=%d) [%s]", cs.str, lhs, cs.note)
+	return note, interp.TrapCheck, cs.pos
 }
