@@ -11,10 +11,11 @@
 //	-scheme naive|NI|CS|LNI|SE|LI|LLS|ALL|MCM  placement scheme (default naive)
 //	-kind   PRX|INX                            check construction (default PRX)
 //	-impl   full|none|cross                    implication mode (default full)
-//	-engine tree|vm|vmopt                      execution engine (default tree);
-//	                                           with -verify, vm or vmopt also
-//	                                           enables the engine-identity sweep
-//	                                           across every selected engine
+//	-engine tree|vm|vmopt|vmjit|tiered         execution engine (default tree);
+//	                                           with -verify, any bytecode engine
+//	                                           also enables the engine-identity
+//	                                           sweep across every engine up to
+//	                                           and including the selection
 //	-nocheck                                   compile without range checks
 //	-dump                                      print the optimized IR, do not run
 //	-stats                                     print static/dynamic statistics
@@ -98,7 +99,7 @@ func run(argv []string, stdout, stderr *os.File) int {
 	schemeFlag := fs.String("scheme", "naive", "placement scheme: naive|NI|CS|LNI|SE|LI|LLS|ALL|MCM")
 	kindFlag := fs.String("kind", "PRX", "check construction: PRX|INX")
 	implFlag := fs.String("impl", "full", "implications: full|none|cross")
-	engineFlag := fs.String("engine", "tree", "execution engine: tree|vm|vmopt")
+	engineFlag := fs.String("engine", "tree", "execution engine: "+strings.Join(nascent.EngineNames(), "|"))
 	noCheck := fs.Bool("nocheck", false, "compile without range checks")
 	dump := fs.Bool("dump", false, "print the IR instead of running")
 	cig := fs.Bool("cig", false, "print the check implication graph instead of running")
@@ -262,15 +263,19 @@ func runVerify(file, src string, engine nascent.Engine, stdout, stderr *os.File)
 }
 
 // engineSweep lists the engines an identity sweep covers for a selected
-// engine: the tree walker plus each bytecode tier up to the selection.
+// engine: the tree walker plus every engine up to and including the
+// selection (tiered, the last tier, sweeps all five).
 func engineSweep(engine nascent.Engine) []nascent.Engine {
-	switch engine {
-	case nascent.EngineVM:
-		return []nascent.Engine{nascent.EngineTree, nascent.EngineVM}
-	case nascent.EngineVMOpt:
-		return []nascent.Engine{nascent.EngineTree, nascent.EngineVM, nascent.EngineVMOpt}
+	if engine == nascent.EngineTree {
+		return nil
 	}
-	return nil
+	var out []nascent.Engine
+	for _, e := range nascent.AllEngines() {
+		if e <= engine {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // runChaosSweep runs the oracle's fault-injection sweep: seeds 1..8 at

@@ -3,7 +3,9 @@ package main
 // -benchjson: machine-readable engine benchmark, emitting the same
 // schema as the committed BENCH_*.json files so CI (or a reviewer) can
 // regenerate them with one command instead of hand-editing `go test
-// -bench` output.
+// -bench` output. The engine list is derived from the engine registry,
+// so a newly registered engine shows up in the document without this
+// file changing.
 
 import (
 	"encoding/json"
@@ -17,6 +19,7 @@ import (
 	"nascent"
 	"nascent/internal/suite"
 	"nascent/internal/vm"
+	"nascent/internal/vm/tier"
 )
 
 // benchDoc mirrors the committed BENCH_*.json schema.
@@ -39,11 +42,22 @@ type benchHost struct {
 }
 
 type benchResult struct {
+	Name       string            `json:"name"`
+	NsPerOp    int64             `json:"ns_per_op"`
+	MinstrPerS float64           `json:"minstr_per_s"`
+	BytesPerOp int64             `json:"bytes_per_op"`
+	AllocsPerO int64             `json:"allocs_per_op"`
+	Programs   []benchProgResult `json:"programs,omitempty"`
+}
+
+// benchProgResult is the per-program breakdown of one engine's row:
+// which suite members an engine wins or loses on, not just the
+// aggregate. Timed with a short calibrated loop, so the numbers are
+// coarser than the aggregate ns_per_op.
+type benchProgResult struct {
 	Name       string  `json:"name"`
 	NsPerOp    int64   `json:"ns_per_op"`
 	MinstrPerS float64 `json:"minstr_per_s"`
-	BytesPerOp int64   `json:"bytes_per_op"`
-	AllocsPerO int64   `json:"allocs_per_op"`
 }
 
 // cpuModel best-effort reads the CPU model string for the host block.
@@ -62,61 +76,126 @@ func cpuModel() string {
 	return runtime.GOARCH
 }
 
-// runBenchJSON executes the whole Table-1 suite, compiled naive, under
-// every engine, and writes one BENCH-schema JSON document to path
-// ("-" = stdout). Programs compile outside the timer; ns/op is pure
-// execution. Exit codes match the table path: 0 ok, 1 a run failed,
-// 2 the output file could not be written.
-func runBenchJSON(path string) int {
-	type compiled struct {
-		name string
-		tree *nascent.Program
-		vm   *vm.Program
-		opt  *vm.Program
+// benchProg is one suite program prepared for every engine: all
+// compiles (and the jit's profile-guided closure compile) happen here,
+// outside any timer.
+type benchProg struct {
+	name   string
+	instrs uint64
+	run    map[string]func() error
+}
+
+// prepare compiles one suite program for every registered engine.
+func prepare(name, source string) (*benchProg, error) {
+	cp, err := nascent.Compile(source, nascent.Options{BoundsChecks: true})
+	if err != nil {
+		return nil, err
 	}
-	progs := make([]compiled, 0, len(suite.Programs))
+	bc, err := vm.Compile(cp.IR)
+	if err != nil {
+		return nil, fmt.Errorf("vm compile: %w", err)
+	}
+	opt, err := vm.Optimize(bc)
+	if err != nil {
+		return nil, fmt.Errorf("vm optimize: %w", err)
+	}
+	res, err := cp.RunWith(nascent.RunConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("run: %w", err)
+	}
+	// The jit fuses what the profile says this program executes.
+	_, ds, err := opt.RunDispatch(nascent.RunConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("profile run: %w", err)
+	}
+	jp, err := vm.JITCompile(opt, &ds)
+	if err != nil {
+		return nil, fmt.Errorf("jit compile: %w", err)
+	}
+	// Tiered steady state: warm the controller past both promotion
+	// points so the timed runs measure the top tier plus the (cheap)
+	// hotness bookkeeping, which is what a long-lived program pays.
+	tp := tier.FromBytecode(bc, tier.Thresholds{OptRuns: 1, JitRuns: 2})
+	for i := 0; i < 3; i++ {
+		if _, err := tp.Run(nascent.RunConfig{}); err != nil {
+			return nil, fmt.Errorf("tiered warm-up: %w", err)
+		}
+	}
+	tp.Settle()
+
+	return &benchProg{
+		name:   name,
+		instrs: res.Instructions,
+		run: map[string]func() error{
+			"tree":   func() error { _, err := cp.RunWith(nascent.RunConfig{}); return err },
+			"vm":     func() error { _, err := bc.Run(nascent.RunConfig{}); return err },
+			"vmopt":  func() error { _, err := opt.Run(nascent.RunConfig{}); return err },
+			"vmjit":  func() error { _, err := jp.Run(nascent.RunConfig{}); return err },
+			"tiered": func() error { _, err := tp.Run(nascent.RunConfig{}); return err },
+		},
+	}, nil
+}
+
+// timeProgram measures one program under one engine with a calibrated
+// loop: one warm-up run, then at least minIters iterations and minTime
+// of wall clock.
+func timeProgram(run func() error) (int64, error) {
+	const (
+		minIters = 3
+		minTime  = 30 * time.Millisecond
+	)
+	if err := run(); err != nil {
+		return 0, err
+	}
+	iters := 0
+	start := time.Now()
+	for iters < minIters || time.Since(start) < minTime {
+		if err := run(); err != nil {
+			return 0, err
+		}
+		iters++
+	}
+	return time.Since(start).Nanoseconds() / int64(iters), nil
+}
+
+// runBenchJSON executes the whole Table-1 suite, compiled naive, under
+// every registered engine, and writes one BENCH-schema JSON document to
+// path ("-" = stdout). Programs compile outside the timer; ns/op is
+// pure execution. Exit codes match the table path: 0 ok, 1 a run
+// failed, 2 the output file could not be written.
+func runBenchJSON(path string) int {
+	progs := make([]*benchProg, 0, len(suite.Programs))
 	var instrs uint64
 	for _, p := range suite.Programs {
-		cp, err := nascent.Compile(p.Source, nascent.Options{BoundsChecks: true})
+		bp, err := prepare(p.Name, p.Source)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rangebench: %s: %v\n", p.Name, err)
 			return 1
 		}
-		bc, err := vm.Compile(cp.IR)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rangebench: %s: vm compile: %v\n", p.Name, err)
-			return 1
-		}
-		opt, err := vm.Optimize(bc)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rangebench: %s: vm optimize: %v\n", p.Name, err)
-			return 1
-		}
-		res, err := cp.RunWith(nascent.RunConfig{})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "rangebench: %s: run: %v\n", p.Name, err)
-			return 1
-		}
-		instrs += res.Instructions
-		progs = append(progs, compiled{name: p.Name, tree: cp, vm: bc, opt: opt})
+		instrs += bp.instrs
+		progs = append(progs, bp)
 	}
 
-	engines := []struct {
-		name string
-		run  func(compiled) error
-	}{
-		{"tree", func(c compiled) error { _, err := c.tree.RunWith(nascent.RunConfig{}); return err }},
-		{"vm", func(c compiled) error { _, err := c.vm.Run(nascent.RunConfig{}); return err }},
-		{"vmopt", func(c compiled) error { _, err := c.opt.Run(nascent.RunConfig{}); return err }},
+	engineNames := nascent.EngineNames()
+	for _, name := range engineNames {
+		if progs[0].run[name] == nil {
+			fmt.Fprintf(os.Stderr, "rangebench: engine %q registered but has no benchjson runner\n", name)
+			return 1
+		}
 	}
+
 	doc := benchDoc{
 		Benchmark: "rangebench -benchjson",
 		Description: "Suite-wide execution of the 10 Table-1 programs compiled naive " +
-			"(all range checks live): tree-walking reference interpreter vs bytecode VM " +
-			"vs superinstruction-optimized VM. Programs are compiled outside the timer; " +
-			"ns/op and allocs/op are pure execution. All engines execute identical " +
-			"dynamic instruction streams (conformance-pinned), so ns/op ratios are " +
-			"true engine speedups.",
+			"(all range checks live) under every registered engine: tree-walking " +
+			"reference interpreter, bytecode VM, superinstruction-optimized VM, " +
+			"profile-guided closure-compiled jit, and the tiering controller at " +
+			"steady state. Programs are compiled (and the jit closure-compiled " +
+			"against a real dispatch profile) outside the timer; ns/op and " +
+			"allocs/op are pure execution, best of three interleaved " +
+			"repetitions per engine. All engines execute identical dynamic " +
+			"instruction streams (conformance-pinned), so ns/op ratios are true " +
+			"engine speedups.",
 		Date: time.Now().Format("2006-01-02"),
 		Host: benchHost{
 			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
@@ -125,44 +204,80 @@ func runBenchJSON(path string) int {
 		Command: "rangebench -benchjson " + path,
 		Speedup: map[string]float64{},
 		Notes: "vmopt rewrites the vm bytecode with copy propagation, dead-code " +
-			"elimination, and superinstruction fusion (check+access, check-run " +
-			"blocks including two-register checks, affine 2-D subscripts, float " +
-			"binop chains into loads and stores, loop latches with threaded " +
-			"back edges) and reuses machine frames across runs; every observable " +
-			"(counters, traps, output) is pinned identical by the conformance " +
-			"corpus and golden tables.",
+			"elimination, and superinstruction fusion; vmjit compiles each basic " +
+			"block of the optimized bytecode into chained Go closures and fuses " +
+			"the digrams/trigrams the program's own dispatch profile ranks hot; " +
+			"tiered starts on vm and promotes through vmopt to vmjit in the " +
+			"background as hotness thresholds are crossed (measured here fully " +
+			"warm). Every observable (counters, traps, output) is pinned " +
+			"identical by the conformance corpus and golden tables.",
 	}
+	// Best of three interleaved repetitions per engine: single
+	// repetitions on a shared box swing ±15%, and interleaving
+	// decorrelates a slow phase from any one engine's number.
+	const benchReps = 3
 	nsPer := map[string]float64{}
-	for _, eng := range engines {
-		eng := eng
-		var failed error
-		r := testing.Benchmark(func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				for _, c := range progs {
-					if err := eng.run(c); err != nil {
-						failed = err
+	allocs := map[string]testing.BenchmarkResult{}
+	for rep := 0; rep < benchReps; rep++ {
+		for _, name := range engineNames {
+			name := name
+			var failed error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, c := range progs {
+						if err := c.run[name](); err != nil {
+							failed = err
+						}
 					}
 				}
+			})
+			if failed != nil {
+				fmt.Fprintf(os.Stderr, "rangebench: %s: %v\n", name, failed)
+				return 1
 			}
-		})
-		if failed != nil {
-			fmt.Fprintf(os.Stderr, "rangebench: %s: %v\n", eng.name, failed)
-			return 1
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if best, ok := nsPer[name]; !ok || ns < best {
+				nsPer[name] = ns
+				allocs[name] = r
+			}
 		}
-		ns := float64(r.T.Nanoseconds()) / float64(r.N)
-		nsPer[eng.name] = ns
-		doc.Results = append(doc.Results, benchResult{
-			Name:       eng.name,
+	}
+	for _, name := range engineNames {
+		ns := nsPer[name]
+		r := allocs[name]
+		result := benchResult{
+			Name:       name,
 			NsPerOp:    int64(ns),
 			MinstrPerS: roundTo(float64(instrs)/ns*1e3, 1),
 			BytesPerOp: r.AllocedBytesPerOp(),
 			AllocsPerO: r.AllocsPerOp(),
-		})
+		}
+		for _, c := range progs {
+			pns, err := timeProgram(c.run[name])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rangebench: %s: %s: %v\n", name, c.name, err)
+				return 1
+			}
+			result.Programs = append(result.Programs, benchProgResult{
+				Name:       c.name,
+				NsPerOp:    pns,
+				MinstrPerS: roundTo(float64(c.instrs)/float64(pns)*1e3, 1),
+			})
+		}
+		doc.Results = append(doc.Results, result)
 	}
-	doc.Speedup["vm_over_tree"] = roundTo(nsPer["tree"]/nsPer["vm"], 2)
-	doc.Speedup["vmopt_over_vm"] = roundTo(nsPer["vm"]/nsPer["vmopt"], 2)
-	doc.Speedup["vmopt_over_tree"] = roundTo(nsPer["tree"]/nsPer["vmopt"], 2)
+	// Each engine over its predecessor tier, and each over the tree
+	// reference. The legacy three keys fall out of this naturally.
+	for i, name := range engineNames {
+		if i == 0 {
+			continue
+		}
+		doc.Speedup[name+"_over_"+engineNames[i-1]] = roundTo(nsPer[engineNames[i-1]]/nsPer[name], 2)
+		if engineNames[i-1] != "tree" {
+			doc.Speedup[name+"_over_tree"] = roundTo(nsPer["tree"]/nsPer[name], 2)
+		}
+	}
 
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

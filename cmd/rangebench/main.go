@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	rangebench [-table N] [-jobs N] [-fleet N] [-engine tree|vm|vmopt]
+//	rangebench [-table N] [-jobs N] [-fleet N] [-engine tree|vm|vmopt|vmjit|tiered]
 //	           [-times] [-trace] [-benchjson path] [-chaos seed:rate[:site]]
 //	           [-cpuprofile file] [-memprofile file]
 //
@@ -12,14 +12,17 @@
 // schemes × {PRX, INX}, -table 3 the implication ablation.
 //
 // -engine selects the execution substrate: the tree-walking reference
-// interpreter (default), the bytecode VM, or the superinstruction-
-// optimized VM. Table output is byte-identical under every engine —
-// the CI pipeline diffs them — so the flag only changes wall-clock.
+// interpreter (default), the bytecode VM, the superinstruction-
+// optimized VM, the closure-compiled jit, or the tiering controller
+// that promotes hot programs through those tiers in the background.
+// Table output is byte-identical under every engine — the CI pipeline
+// diffs them — so the flag only changes wall-clock.
 //
-// -benchjson path benchmarks the whole suite under all three engines
-// and writes one BENCH-schema JSON document to path ("-" for stdout)
-// instead of printing tables; the committed BENCH_*.json files are
-// regenerated this way.
+// -benchjson path benchmarks the whole suite under every registered
+// engine (with a per-program breakdown per engine) and writes one
+// BENCH-schema JSON document to path ("-" for stdout) instead of
+// printing tables; the committed BENCH_*.json files are regenerated
+// this way.
 //
 // -cpuprofile / -memprofile write pprof profiles of the whole run, for
 // chasing interpreter hot spots (`go tool pprof`).
@@ -66,6 +69,7 @@ import (
 	"os/exec"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"nascent"
 	"nascent/internal/chaos"
@@ -79,8 +83,8 @@ func main() {
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "number of parallel evaluation workers")
 	fleetN := flag.Int("fleet", 0, "shard runs across N worker processes (0 = in-process; overrides -jobs for the run stage)")
 	worker := flag.Bool("worker", false, "serve the fleet worker protocol on stdin/stdout (internal; spawned by -fleet)")
-	engineFlag := flag.String("engine", "tree", "execution engine: tree (reference), vm (bytecode), or vmopt (optimized bytecode)")
-	benchJSON := flag.String("benchjson", "", "benchmark all engines and write BENCH-schema JSON to this path (- for stdout)")
+	engineFlag := flag.String("engine", "tree", "execution engine: "+strings.Join(nascent.EngineNames(), "|"))
+	benchJSON := flag.String("benchjson", "", "benchmark every registered engine and write BENCH-schema JSON to this path (- for stdout)")
 	times := flag.Bool("times", false, "include wall-clock columns (non-reproducible) in tables 2-3")
 	trace := flag.Bool("trace", false, "log per-job stage timings to stderr")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")

@@ -246,12 +246,14 @@ func FuzzPipeline(f *testing.F) {
 }
 
 // FuzzEngineIdentity fuzzes the execution-engine contract directly:
-// for any input that compiles, the tree-walking reference, the
-// bytecode VM, and the optimized VM must produce identical observables
-// — instruction and check counters, output, trap note/class/position —
-// or identical error text. The seed corpus is the conformance suite,
-// whose cases pin exactly these observables, plus generator output so
-// mutation starts from loop-heavy programs that exercise fusion.
+// for any input that compiles, every registered engine — the
+// tree-walking reference, the bytecode VM, the optimized VM, the
+// closure-compiled jit, and the tiering controller — must produce
+// identical observables — instruction and check counters, output, trap
+// note/class/position — or identical error text. The seed corpus is
+// the conformance suite, whose cases pin exactly these observables,
+// plus generator output so mutation starts from loop-heavy programs
+// that exercise fusion.
 func FuzzEngineIdentity(f *testing.F) {
 	for _, c := range conformance.Corpus {
 		f.Add(c.Src)
@@ -259,7 +261,7 @@ func FuzzEngineIdentity(f *testing.F) {
 	for seed := int64(1); seed <= 6; seed++ {
 		f.Add(generate(seed))
 	}
-	engines := []nascent.Engine{nascent.EngineTree, nascent.EngineVM, nascent.EngineVMOpt}
+	engines := nascent.AllEngines()
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := nascent.Compile(src, nascent.Options{BoundsChecks: true})
 		if err != nil {
@@ -269,7 +271,7 @@ func FuzzEngineIdentity(f *testing.F) {
 			res nascent.RunResult
 			err error
 		}
-		var runs [3]run
+		runs := make([]run, len(engines))
 		for i, e := range engines {
 			runs[i].res, runs[i].err = p.RunWith(nascent.RunConfig{
 				MaxInstructions: 200000,

@@ -87,6 +87,12 @@ const (
 	// SiteWorkerSlow delays a worker briefly before the job runs
 	// (the job still completes correctly). Keyed by job name.
 	SiteWorkerSlow Site = "pool.worker.slow"
+	// SiteTierPromote fails a background tier promotion (the
+	// Optimize/JITCompile recompilation the tiering controller runs off
+	// the hot path). The program must keep serving runs at its current
+	// tier — promotion failure is contained, never observable in
+	// results. Keyed by the target tier name ("vmopt" or "vmjit").
+	SiteTierPromote Site = "tier.promote.fail"
 	// SiteFleetKill terminates a fleet worker PROCESS mid-job
 	// (os.Exit, not a panic): the coordinator must observe the pipe
 	// close, fail the in-flight attempts as member loss, respawn the
@@ -106,6 +112,7 @@ var Sites = []Site{
 	SiteTreeBudget, SiteTreeCancel, SiteTreePanic,
 	SiteVMBudget, SiteVMCancel, SiteVMPanic,
 	SiteWorkerKill, SiteWorkerHang, SiteWorkerSlow,
+	SiteTierPromote,
 	SiteFleetKill, SiteFleetHang,
 }
 

@@ -25,14 +25,17 @@ package evalpool
 import (
 	"context"
 	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
 	"nascent"
 	"nascent/internal/progcache"
 	"nascent/internal/vm"
+	"nascent/internal/vm/tier"
 )
 
 // Job is one independent evaluation: compile Source under Opts and
@@ -191,17 +194,25 @@ type feKey struct {
 // the full backend option set, and the engine tier (plain vm and the
 // optimized vmopt rewrite are distinct programs). The whole compile
 // pipeline is deterministic, so two jobs with equal keys lower to
-// equivalent IR and can share one immutable vm.Program.
+// equivalent IR and can share one immutable vm.Program. For the vmjit
+// and tiered engines the entry additionally carries the mutable tier
+// state — hotness counters, the accumulating profile, the
+// closure-compiled program once promotion lands — keyed alongside the
+// same content hash, so every job for the same (source, options,
+// engine) warms the same handle.
 type bcKey struct {
 	fe     feKey
 	opts   nascent.Options
 	engine nascent.Engine
 }
 
-// bcEntry is a once-guarded bytecode memo slot, like feEntry.
+// bcEntry is a once-guarded bytecode memo slot, like feEntry. Exactly
+// one of prog/jit/trd is set after a successful fill, by engine.
 type bcEntry struct {
 	once sync.Once
-	prog *vm.Program
+	prog *vm.Program     // vm / vmopt: shared immutable program
+	jit  *tier.JitHandle // vmjit: profile-on-first-run closure handle
+	trd  *tier.Program   // tiered: hotness-driven tiering controller
 	err  error
 }
 
@@ -352,19 +363,31 @@ func (p *Pool) frontend(job *Job, key feKey) (*nascent.Frontend, time.Duration, 
 	return e.fe, e.dur, false, e.err
 }
 
+// bytecodeEngine reports whether eng runs through the bytecode memo.
+func bytecodeEngine(eng nascent.Engine) bool {
+	switch eng {
+	case nascent.EngineVM, nascent.EngineVMOpt, nascent.EngineVMJit, nascent.EngineTiered:
+		return true
+	}
+	return false
+}
+
 // execute runs a compiled job under its configured engine. Bytecode
-// jobs (EngineVM and EngineVMOpt) without a Mutate hook share compiled
-// programs through the bytecode memo: the compile pipeline is
-// deterministic, so every job with the same (source, filename,
-// options, engine) lowers to equivalent IR, and one immutable
-// vm.Program serves them all — EngineVMOpt entries additionally run
-// the superinstruction optimizer once and share the rewritten program.
-// A Mutate hook (the oracle's miscompilation injector) changes the IR
+// jobs (every engine except the tree walker) without a Mutate hook
+// share compiled programs through the bytecode memo: the compile
+// pipeline is deterministic, so every job with the same (source,
+// filename, options, engine) lowers to equivalent IR, and one
+// immutable vm.Program serves them all — EngineVMOpt entries
+// additionally run the superinstruction optimizer once and share the
+// rewritten program, while EngineVMJit and EngineTiered entries hold
+// a mutable tier handle whose hotness state persists across jobs (the
+// second job for the same source runs warmer than the first). A
+// Mutate hook (the oracle's miscompilation injector) changes the IR
 // after compilation, so mutated jobs bypass the memo and run through
 // the ordinary per-run dispatch.
 func (p *Pool) execute(job *Job, key feKey, prog *nascent.Program) (nascent.RunResult, error) {
 	eng := job.Run.Engine
-	if (eng != nascent.EngineVM && eng != nascent.EngineVMOpt) || job.Mutate != nil {
+	if !bytecodeEngine(eng) || job.Mutate != nil {
 		return prog.RunWith(job.Run)
 	}
 	opts := job.Opts
@@ -382,6 +405,7 @@ func (p *Pool) execute(job *Job, key feKey, prog *nascent.Program) (nascent.RunR
 	diskHit := false
 	e.once.Do(func() {
 		hit = false
+		var vp *vm.Program
 		if p.disk != nil {
 			filename := job.Filename
 			if filename == "" {
@@ -392,21 +416,37 @@ func (p *Pool) execute(job *Job, key feKey, prog *nascent.Program) (nascent.RunR
 				// Warm start: the program comes off disk bit-identical to
 				// a fresh compile (the codec round-trip is pinned by the
 				// progio suite), so the bytecode stage costs one decode.
-				e.prog = ent.Prog
+				// Tier handles still start cold — hotness is process
+				// state, not program state.
+				vp = ent.Prog
 				diskHit = true
+			} else {
+				defer func() {
+					if e.err == nil && vp != nil {
+						// Best-effort persist for the next process.
+						p.disk.Put(dk, &progcache.Entry{Prog: vp, StaticChecks: prog.StaticChecks(), Opt: prog.Opt})
+					}
+				}()
+			}
+		}
+		if vp == nil {
+			switch eng {
+			case nascent.EngineVMOpt, nascent.EngineVMJit:
+				vp, e.err = vm.CompileOptimized(prog.IR)
+			default:
+				vp, e.err = vm.Compile(prog.IR)
+			}
+			if e.err != nil {
 				return
 			}
-			defer func() {
-				if e.err == nil {
-					// Best-effort persist for the next process.
-					p.disk.Put(dk, &progcache.Entry{Prog: e.prog, StaticChecks: prog.StaticChecks(), Opt: prog.Opt})
-				}
-			}()
 		}
-		if eng == nascent.EngineVMOpt {
-			e.prog, e.err = vm.CompileOptimized(prog.IR)
-		} else {
-			e.prog, e.err = vm.Compile(prog.IR)
+		switch eng {
+		case nascent.EngineVMJit:
+			e.jit = tier.NewJitHandle(vp)
+		case nascent.EngineTiered:
+			e.trd = tier.FromBytecode(vp, p.cfg.TierThresholds)
+		default:
+			e.prog = vp
 		}
 	})
 	p.mu.Lock()
@@ -422,7 +462,38 @@ func (p *Pool) execute(job *Job, key feKey, prog *nascent.Program) (nascent.RunR
 	if e.err != nil {
 		return nascent.RunResult{}, e.err
 	}
+	switch {
+	case e.jit != nil:
+		return e.jit.Run(job.Run)
+	case e.trd != nil:
+		return e.trd.Run(job.Run)
+	}
 	return e.prog.Run(job.Run)
+}
+
+// SettleTiers blocks until no background tier promotion (a vmjit
+// closure compile or a tiered-engine recompilation) is in flight.
+// Promotion is asynchronous by design; tests and deterministic
+// snapshots drain it here.
+func (p *Pool) SettleTiers() {
+	p.mu.Lock()
+	var hs []*tier.JitHandle
+	var ts []*tier.Program
+	for _, e := range p.bcMemo {
+		if e.jit != nil {
+			hs = append(hs, e.jit)
+		}
+		if e.trd != nil {
+			ts = append(ts, e.trd)
+		}
+	}
+	p.mu.Unlock()
+	for _, h := range hs {
+		h.Settle()
+	}
+	for _, t := range ts {
+		t.Settle()
+	}
 }
 
 func (p *Pool) runJob(i int, job *Job) Result {
@@ -542,6 +613,28 @@ type MetricsSnapshot struct {
 	WorkerDeaths     int    `json:"worker_deaths"`
 	Timeouts         int    `json:"timeouts"`
 	Quarantined      int    `json:"quarantined"`
+	// Tiering state, summed across the pool's vmjit/tiered memo
+	// entries; TierPrograms breaks it down per program handle, sorted
+	// by key then engine so the wire form is deterministic.
+	TierPromotions uint64                `json:"tier_promotions"`
+	TierDemotions  uint64                `json:"tier_demotions"`
+	TierPrograms   []TierProgramSnapshot `json:"tier_programs,omitempty"`
+}
+
+// TierProgramSnapshot is the wire form of one vmjit/tiered memo
+// entry's controller state: which tier the program is serving from and
+// the hotness/promotion counters that got it there.
+type TierProgramSnapshot struct {
+	// Key identifies the program: a hex prefix of its source hash (the
+	// same content hash that keys the bytecode memo).
+	Key          string `json:"key"`
+	Engine       string `json:"engine"`
+	Tier         string `json:"tier"`
+	Runs         uint64 `json:"runs"`
+	Instructions uint64 `json:"instructions"`
+	ProfiledRuns uint64 `json:"profiled_runs"`
+	Promotions   uint64 `json:"promotions"`
+	Demotions    uint64 `json:"demotions"`
 }
 
 // Snapshot converts the counters to their wire form.
@@ -566,8 +659,49 @@ func (m Metrics) Snapshot() MetricsSnapshot {
 	}
 }
 
-// MetricsSnapshot returns the pool's aggregate counters in wire form.
-func (p *Pool) MetricsSnapshot() MetricsSnapshot { return p.Metrics().Snapshot() }
+// MetricsSnapshot returns the pool's aggregate counters in wire form,
+// including the per-program tier state of every vmjit/tiered memo
+// entry.
+func (p *Pool) MetricsSnapshot() MetricsSnapshot {
+	snap := p.Metrics().Snapshot()
+	type handle struct {
+		key string
+		eng string
+		s   tier.Snapshot
+	}
+	var hs []handle
+	p.mu.Lock()
+	for k, e := range p.bcMemo {
+		switch {
+		case e.jit != nil:
+			hs = append(hs, handle{hex.EncodeToString(k.fe.hash[:8]), k.engine.String(), e.jit.Snapshot()})
+		case e.trd != nil:
+			hs = append(hs, handle{hex.EncodeToString(k.fe.hash[:8]), k.engine.String(), e.trd.Snapshot()})
+		}
+	}
+	p.mu.Unlock()
+	sort.Slice(hs, func(i, j int) bool {
+		if hs[i].key != hs[j].key {
+			return hs[i].key < hs[j].key
+		}
+		return hs[i].eng < hs[j].eng
+	})
+	for _, h := range hs {
+		snap.TierPromotions += h.s.Promotions
+		snap.TierDemotions += h.s.Demotions
+		snap.TierPrograms = append(snap.TierPrograms, TierProgramSnapshot{
+			Key:          h.key,
+			Engine:       h.eng,
+			Tier:         h.s.Tier,
+			Runs:         h.s.Runs,
+			Instructions: h.s.Instrs,
+			ProfiledRuns: h.s.ProfiledRuns,
+			Promotions:   h.s.Promotions,
+			Demotions:    h.s.Demotions,
+		})
+	}
+	return snap
+}
 
 // String renders the metrics as a one-line summary for -trace output.
 // Supervision counters are appended only when something abnormal

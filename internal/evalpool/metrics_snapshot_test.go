@@ -13,10 +13,18 @@ import (
 func TestMetricsSnapshotFields(t *testing.T) {
 	p := New(1)
 	src := "program p\n  real a(4)\n  integer i\n  do i = 1, 4\n    a(i) = float(i)\n  enddo\n  print a(4)\nend\n"
-	res := p.Evaluate([]Job{{Name: "snap", Source: src, Opts: nascent.Options{BoundsChecks: true}}})
-	if res[0].Err != nil {
-		t.Fatalf("evaluate: %v", res[0].Err)
+	res := p.Evaluate([]Job{
+		{Name: "snap", Source: src, Opts: nascent.Options{BoundsChecks: true}},
+		// A tiered job populates the per-program tier rows.
+		{Name: "snap-tiered", Source: src, Opts: nascent.Options{BoundsChecks: true},
+			Run: nascent.RunConfig{Engine: nascent.EngineTiered}},
+	})
+	for i := range res {
+		if res[i].Err != nil {
+			t.Fatalf("evaluate %d: %v", i, res[i].Err)
+		}
 	}
+	p.SettleTiers()
 
 	raw, err := json.Marshal(p.MetricsSnapshot())
 	if err != nil {
@@ -34,6 +42,7 @@ func TestMetricsSnapshotFields(t *testing.T) {
 		"frontend_time_ns", "compile_time_ns", "run_time_ns",
 		"instructions", "checks",
 		"retries", "worker_deaths", "timeouts", "quarantined",
+		"tier_promotions", "tier_demotions", "tier_programs",
 	}
 	for _, k := range want {
 		if _, ok := m[k]; !ok {
@@ -44,14 +53,36 @@ func TestMetricsSnapshotFields(t *testing.T) {
 		t.Errorf("snapshot has %d fields, want %d: %v", len(m), len(want), m)
 	}
 
+	// The per-program tier row has its own pinned field set.
+	rows, ok := m["tier_programs"].([]any)
+	if !ok || len(rows) != 1 {
+		t.Fatalf("tier_programs = %v, want one row", m["tier_programs"])
+	}
+	row, _ := rows[0].(map[string]any)
+	wantRow := []string{"key", "engine", "tier", "runs", "instructions", "profiled_runs", "promotions", "demotions"}
+	for _, k := range wantRow {
+		if _, ok := row[k]; !ok {
+			t.Errorf("tier_programs row missing field %q", k)
+		}
+	}
+	if len(row) != len(wantRow) {
+		t.Errorf("tier_programs row has %d fields, want %d: %v", len(row), len(wantRow), row)
+	}
+	if row["engine"] != "tiered" {
+		t.Errorf("tier_programs row engine = %v, want tiered", row["engine"])
+	}
+
 	snap := p.MetricsSnapshot()
-	if snap.Jobs != 1 || snap.Errors != 0 {
-		t.Errorf("jobs/errors = %d/%d, want 1/0", snap.Jobs, snap.Errors)
+	if snap.Jobs != 2 || snap.Errors != 0 {
+		t.Errorf("jobs/errors = %d/%d, want 2/0", snap.Jobs, snap.Errors)
 	}
 	if snap.Checks == 0 || snap.Instructions == 0 {
 		t.Errorf("counters not populated: %+v", snap)
 	}
 	if snap.Retries != 0 || snap.WorkerDeaths != 0 || snap.Timeouts != 0 || snap.Quarantined != 0 {
 		t.Errorf("supervision counters nonzero on a clean run: %+v", snap)
+	}
+	if len(snap.TierPrograms) != 1 || snap.TierPrograms[0].Runs != 1 {
+		t.Errorf("tier program rows = %+v, want one row with one run", snap.TierPrograms)
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"nascent/internal/progcache"
 	"nascent/internal/progio"
 	"nascent/internal/vm"
+	"nascent/internal/vm/tier"
 )
 
 // Config configures a Fleet. Every zero field selects a default except
@@ -44,6 +45,9 @@ type Config struct {
 	MaxBackoff time.Duration
 	// Logf receives member lifecycle lines (default: discard).
 	Logf func(format string, args ...any)
+	// TierThresholds tune the tiered engine's coordinator-local
+	// promotion points (zero fields select the tier package defaults).
+	TierThresholds tier.Thresholds
 }
 
 // Fleet shards job runs across worker processes. It implements
@@ -59,9 +63,10 @@ type Fleet struct {
 	nextID atomic.Uint64
 	closed atomic.Bool
 
-	mu      sync.Mutex
-	encMemo map[progcache.Key]*encEntry
-	extra   extraMetrics
+	mu       sync.Mutex
+	encMemo  map[encKey]*encEntry
+	tierRuns map[progcache.Key]uint64 // completed-run counts for tiered jobs
+	extra    extraMetrics
 }
 
 // extraMetrics accumulates the remote-run side of Metrics; the
@@ -78,11 +83,21 @@ type extraMetrics struct {
 }
 
 // encEntry is a once-guarded progio encoding memo slot: every variant
-// sharing one (source, options, engine) ships the same bytes.
+// sharing one (source, options, engine, optimization level) ships the
+// same bytes.
 type encEntry struct {
 	once sync.Once
 	data []byte
 	err  error
+}
+
+// encKey addresses one encoding memo slot. The optimized flag is
+// separate from the content key because the tiered engine ships the
+// same (source, options, engine) at different optimization levels as
+// its programs heat up.
+type encKey struct {
+	key progcache.Key
+	opt bool
 }
 
 // New starts a fleet: Workers processes are spawned lazily on first
@@ -101,10 +116,11 @@ func New(cfg Config) (*Fleet, error) {
 		cfg.Logf = func(string, ...any) {}
 	}
 	f := &Fleet{
-		cfg:     cfg,
-		pool:    evalpool.New(0),
-		slots:   make(chan *member, cfg.Workers*cfg.MaxInFlight),
-		encMemo: make(map[progcache.Key]*encEntry),
+		cfg:      cfg,
+		pool:     evalpool.New(0),
+		slots:    make(chan *member, cfg.Workers*cfg.MaxInFlight),
+		encMemo:  make(map[encKey]*encEntry),
+		tierRuns: make(map[progcache.Key]uint64),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		m := &member{fleet: f, idx: i}
@@ -186,21 +202,49 @@ func (f *Fleet) Evaluate(jobs []evalpool.Job) []evalpool.Result {
 	}
 	compiled := f.pool.Evaluate(compiles)
 
-	// Stage 2, remote: ship each run to a member slot.
+	// Stage 2, remote: ship each run to a member slot. Tiers for the
+	// tiered engine are resolved HERE, sequentially in job order, so the
+	// decision depends only on the job list — never on worker scheduling
+	// — and every worker receives its tier explicitly.
 	var wg sync.WaitGroup
 	for k, i := range remoteIdx {
 		results[i] = compiled[k]
 		if results[i].Err != nil {
 			continue // compile failed locally; nothing to ship
 		}
+		tierName := f.resolveTier(&jobs[i])
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, tierName string) {
 			defer wg.Done()
-			f.runRemote(&results[i], &jobs[i])
-		}(i)
+			f.runRemote(&results[i], &jobs[i], tierName)
+		}(i, tierName)
 	}
 	wg.Wait()
 	return results
+}
+
+// resolveTier makes the coordinator-local promotion decision for one
+// job: vmjit jobs always ship the jit tier (the worker compiles the
+// closures from the optimized bytes it receives), tiered jobs consult
+// the per-program completed-run counter against the promotion
+// thresholds — the same entry-time, completed-runs semantics as
+// tier.Program, so a program evaluated once never recompiles. All
+// other engines carry no tier.
+func (f *Fleet) resolveTier(job *evalpool.Job) string {
+	switch job.Run.Engine {
+	case nascent.EngineVMJit:
+		return tier.TierVMJit
+	case nascent.EngineTiered:
+		opts := job.Opts
+		opts.Filename = ""
+		key := progcache.KeyOf(job.Source, filenameOr(job.Filename), opts, job.Run.Engine)
+		f.mu.Lock()
+		runs := f.tierRuns[key]
+		f.tierRuns[key] = runs + 1
+		f.mu.Unlock()
+		return f.cfg.TierThresholds.TierForRuns(runs)
+	}
+	return ""
 }
 
 // filenameOr mirrors the cache layers' canonical default.
@@ -212,11 +256,12 @@ func filenameOr(name string) string {
 }
 
 // encoded returns the progio stream for a bytecode job, compiling and
-// encoding once per (source, filename, options, engine).
-func (f *Fleet) encoded(job *evalpool.Job, prog *nascent.Program) ([]byte, error) {
+// encoding once per (source, filename, options, engine, optimization
+// level).
+func (f *Fleet) encoded(job *evalpool.Job, prog *nascent.Program, optimized bool) ([]byte, error) {
 	opts := job.Opts
 	opts.Filename = ""
-	key := progcache.KeyOf(job.Source, filenameOr(job.Filename), opts, job.Run.Engine)
+	key := encKey{progcache.KeyOf(job.Source, filenameOr(job.Filename), opts, job.Run.Engine), optimized}
 	f.mu.Lock()
 	e := f.encMemo[key]
 	if e == nil {
@@ -227,7 +272,7 @@ func (f *Fleet) encoded(job *evalpool.Job, prog *nascent.Program) ([]byte, error
 	e.once.Do(func() {
 		var vp *vm.Program
 		var err error
-		if job.Run.Engine == nascent.EngineVMOpt {
+		if optimized {
 			vp, err = vm.CompileOptimized(prog.IR)
 		} else {
 			vp, err = vm.Compile(prog.IR)
@@ -242,14 +287,20 @@ func (f *Fleet) encoded(job *evalpool.Job, prog *nascent.Program) ([]byte, error
 }
 
 // buildRequest turns one compiled job into its wire form.
-func (f *Fleet) buildRequest(job *evalpool.Job, res *evalpool.Result) (*request, error) {
+func (f *Fleet) buildRequest(job *evalpool.Job, res *evalpool.Result, tierName string) (*request, error) {
 	req := &request{
 		Name: job.Name,
+		Tier: tierName,
 		Run:  toWireLimits(job.Run),
 	}
 	switch job.Run.Engine {
-	case nascent.EngineVM, nascent.EngineVMOpt:
-		data, err := f.encoded(job, res.Prog)
+	case nascent.EngineVM, nascent.EngineVMOpt, nascent.EngineVMJit, nascent.EngineTiered:
+		// vmopt, vmjit, and warm tiered jobs ship optimized bytes; vm
+		// and cold tiered jobs ship the base lowering.
+		optimized := job.Run.Engine == nascent.EngineVMOpt ||
+			job.Run.Engine == nascent.EngineVMJit ||
+			(job.Run.Engine == nascent.EngineTiered && tierName != tier.TierVM)
+		data, err := f.encoded(job, res.Prog, optimized)
 		if err != nil {
 			return nil, err
 		}
@@ -267,8 +318,8 @@ func (f *Fleet) buildRequest(job *evalpool.Job, res *evalpool.Result) (*request,
 // exponential backoff on whatever member is free next; a job whose
 // every attempt fails abnormally is quarantined behind the same typed
 // *evalpool.PoisonedInputError the in-process pool uses.
-func (f *Fleet) runRemote(res *evalpool.Result, job *evalpool.Job) {
-	req, err := f.buildRequest(job, res)
+func (f *Fleet) runRemote(res *evalpool.Result, job *evalpool.Job, tierName string) {
+	req, err := f.buildRequest(job, res, tierName)
 	if err != nil {
 		res.Err = fmt.Errorf("%s: %w", job.Name, err)
 		f.count(func(e *extraMetrics) { e.errors++ })

@@ -87,6 +87,13 @@ func TestIdentityTables(t *testing.T) {
 		{"table1/tree", nascent.EngineTree, (*report.Runner).Table1},
 		{"table2/vm", nascent.EngineVM, (*report.Runner).Table2},
 		{"table3/vmopt", nascent.EngineVMOpt, (*report.Runner).Table3},
+		// The top tier and the tiering controller shard too: the
+		// coordinator resolves tiers in submission order and ships them
+		// on the wire, so the fleet table must match the in-process one
+		// byte for byte even though promotion state never leaves the
+		// coordinator.
+		{"table2/vmjit", nascent.EngineVMJit, (*report.Runner).Table2},
+		{"table3/tiered", nascent.EngineTiered, (*report.Runner).Table3},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -121,7 +128,7 @@ func TestIdentityTables(t *testing.T) {
 func TestIdentityResults(t *testing.T) {
 	var jobs []evalpool.Job
 	for _, p := range suite.Programs[:4] {
-		for _, eng := range []nascent.Engine{nascent.EngineTree, nascent.EngineVM, nascent.EngineVMOpt} {
+		for _, eng := range nascent.AllEngines() {
 			for _, sch := range []nascent.Scheme{nascent.Naive, nascent.LLS} {
 				jobs = append(jobs, evalpool.Job{
 					Name:     fmt.Sprintf("%s/%v/%v", p.Name, sch, eng),

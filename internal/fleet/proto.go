@@ -79,10 +79,17 @@ type request struct {
 	Name    string `json:"name"`
 	Attempt int    `json:"attempt"`
 
-	Program  []byte `json:"program,omitempty"`
-	Source   string `json:"source,omitempty"`
-	Filename string `json:"filename,omitempty"`
+	Program  []byte       `json:"program,omitempty"`
+	Source   string       `json:"source,omitempty"`
+	Filename string       `json:"filename,omitempty"`
 	Opts     *wireOptions `json:"opts,omitempty"`
+
+	// Tier is the execution tier for a program-shipped job ("vm",
+	// "vmopt", or "vmjit"; empty means: run the bytes as shipped on the
+	// switch VM). The coordinator decides it — for the tiered engine in
+	// job-submission order — so workers never make promotion decisions
+	// and the shipped bytes plus this field fully determine execution.
+	Tier string `json:"tier,omitempty"`
 
 	Run     wireLimits `json:"run"`
 	SkipRun bool       `json:"skip_run,omitempty"`
@@ -148,7 +155,7 @@ func (l wireLimits) toConfig() nascent.RunConfig {
 // response answers one request. interp.Result is all exported plain
 // data, so it crosses the wire losslessly.
 type response struct {
-	ID  uint64        `json:"id"`
+	ID  uint64         `json:"id"`
 	Res *interp.Result `json:"res,omitempty"`
 	Err *wireError     `json:"err,omitempty"`
 }
@@ -158,8 +165,8 @@ type response struct {
 // and the rendered text are identical to an in-process run; everything
 // else becomes an opaque error with the original text.
 type wireError struct {
-	Msg   string `json:"msg"`
-	Stage string `json:"stage"` // "decode", "compile", or "run"
+	Msg      string        `json:"msg"`
+	Stage    string        `json:"stage"` // "decode", "compile", or "run"
 	Resource *wireResource `json:"resource,omitempty"`
 }
 

@@ -31,11 +31,25 @@ const (
 	// byte-identical to the other engines; only dispatch count and
 	// wall-clock change. Linked together with EngineVM.
 	EngineVMOpt
+	// EngineVMJit is the closure-compiled top tier: every basic block of
+	// the optimized bytecode is compiled into a chain of Go closures
+	// (computed-goto-style dispatch, no central switch) with
+	// profile-guided superinstruction selection. Same observables as the
+	// other engines. Linked together with EngineVM.
+	EngineVMJit
+	// EngineTiered is the profile-guided tiering controller
+	// (internal/vm/tier): a program starts on EngineVM and is promoted in
+	// the background to EngineVMOpt and then EngineVMJit as its hotness
+	// counters cross the promotion thresholds. Promotion never changes an
+	// observable — every tier implements the same contract — so tiering
+	// only moves wall-clock. Importing nascent (or internal/vm/tier
+	// itself) links it.
+	EngineTiered
 
 	numEngines = iota
 )
 
-var engineNames = [numEngines]string{"tree", "vm", "vmopt"}
+var engineNames = [numEngines]string{"tree", "vm", "vmopt", "vmjit", "tiered"}
 
 func (e Engine) String() string {
 	if int(e) < len(engineNames) {
@@ -44,14 +58,33 @@ func (e Engine) String() string {
 	return fmt.Sprintf("Engine(%d)", uint8(e))
 }
 
-// ParseEngine maps a flag value ("tree", "vm", or "vmopt") to an Engine.
+// ParseEngine maps a flag value ("tree", "vm", "vmopt", "vmjit", or
+// "tiered") to an Engine.
 func ParseEngine(s string) (Engine, error) {
 	for i, n := range engineNames {
 		if s == n {
 			return Engine(i), nil
 		}
 	}
-	return EngineTree, fmt.Errorf("interp: unknown engine %q (want tree, vm, or vmopt)", s)
+	return EngineTree, fmt.Errorf("interp: unknown engine %q (want tree, vm, vmopt, vmjit, or tiered)", s)
+}
+
+// EngineNames lists every engine's flag spelling in Engine order. The
+// slice is fresh per call; mutating it cannot reach the registry.
+func EngineNames() []string {
+	return append([]string(nil), engineNames[:]...)
+}
+
+// AllEngines lists every engine in registry order (tree first). Tools
+// that sweep "all engines" (rangebench -benchjson, the oracle's
+// engine-identity mode) iterate this instead of hard-coding the list,
+// so a newly registered engine is covered automatically.
+func AllEngines() []Engine {
+	es := make([]Engine, numEngines)
+	for i := range es {
+		es[i] = Engine(i)
+	}
+	return es
 }
 
 // engines holds the registered Run implementations. Slot EngineTree is

@@ -50,10 +50,35 @@ func TestChaosSweepClean(t *testing.T) {
 func oracleSweepConfig() ChaosConfig {
 	return ChaosConfig{
 		Jobs:    8,
-		Engines: []nascent.Engine{nascent.EngineTree, nascent.EngineVM, nascent.EngineVMOpt},
+		Engines: nascent.AllEngines(),
 		// The probe program runs in microseconds; a tight attempt bound
 		// keeps the injected-hang cost of the sweep low.
 		JobTimeout: 250 * time.Millisecond,
+	}
+}
+
+// TestChaosSweepTierPromote arms ONLY the tier.promote.fail site at
+// rate 1 and sweeps the vmjit and tiered engines: every promotion
+// attempt is killed, so every run must be served by a lower tier with
+// observables identical to the chaos-off reference — a failed
+// promotion is invisible, never an error and never a wrong result.
+func TestChaosSweepTierPromote(t *testing.T) {
+	rep, err := ChaosSweep(sweepSrc, ChaosConfig{
+		Seeds:      []uint64{1, 2, 3},
+		Rate:       1,
+		Site:       chaos.SiteTierPromote,
+		Engines:    []nascent.Engine{nascent.EngineVMJit, nascent.EngineTiered},
+		Jobs:       8,
+		JobTimeout: 250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("baseline failed: %v", err)
+	}
+	if !rep.OK() {
+		t.Fatalf("tier.promote.fail sweep found violations:\n%s", rep.Summary())
+	}
+	if rep.TypedErrors != 0 {
+		t.Errorf("failed promotions surfaced %d errors; degradation must be silent", rep.TypedErrors)
 	}
 }
 

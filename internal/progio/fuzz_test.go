@@ -44,6 +44,25 @@ func FuzzProgramCodec(f *testing.F) {
 	}
 	f.Add([]byte("NPRG"))
 	f.Add([]byte{})
+	// Opcode-skew seed: a validly sealed current-version stream whose
+	// code carries an opcode above the known range, pinning the typed
+	// *VersionError path for streams from newer builds.
+	{
+		prog, err := nascent.Compile(conformance.Corpus[0].Src, nascent.Options{BoundsChecks: true})
+		if err != nil {
+			f.Fatalf("compile skew seed: %v", err)
+		}
+		vp, err := vm.Compile(prog.IR)
+		if err != nil {
+			f.Fatalf("vm compile skew seed: %v", err)
+		}
+		im, err := progio.DecodeImage(progio.Encode(vp))
+		if err != nil {
+			f.Fatalf("decode skew seed: %v", err)
+		}
+		im.Code[0].Op = 255
+		f.Add(progio.EncodeImage(im))
+	}
 
 	table := crc32.MakeTable(crc32.Castagnoli)
 	check := func(t *testing.T, data []byte) {

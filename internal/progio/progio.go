@@ -60,13 +60,26 @@ func (e *CorruptError) Error() string { return "progio: corrupt program: " + e.R
 // Is makes errors.Is(err, ErrCorrupt) hold for every CorruptError.
 func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
 
-// VersionError reports a well-formed header whose format version this
-// build does not speak.
+// VersionError reports a stream this build cannot speak: a header
+// whose format version is unknown, or — with OpSkew set — a
+// current-version stream carrying an opcode above this build's known
+// range. The latter is version skew too (only a newer build emits new
+// opcodes), and classifying it as corruption would misdirect operators
+// toward their storage instead of their rollout.
 type VersionError struct {
 	Got uint16
+	// OpSkew marks the unknown-opcode form; UnknownOp and AtInstr
+	// locate the first offending instruction.
+	OpSkew    bool
+	UnknownOp uint8
+	AtInstr   int
 }
 
 func (e *VersionError) Error() string {
+	if e.OpSkew {
+		return fmt.Sprintf("progio: unsupported program: instruction %d carries opcode %d above this build's known range [0,%d) (stream from a newer build?)",
+			e.AtInstr, e.UnknownOp, vm.KnownOps())
+	}
 	return fmt.Sprintf("progio: unsupported format version %d (this build speaks %d)", e.Got, Version)
 }
 
@@ -421,6 +434,9 @@ func DecodeImage(data []byte) (*vm.Image, error) {
 		}
 		if in.Op, rest, ok = ReadUint8(rest); !ok {
 			return nil, corrupt("truncated instruction %d", i)
+		}
+		if int(in.Op) >= vm.KnownOps() {
+			return nil, &VersionError{Got: ver, OpSkew: true, UnknownOp: in.Op, AtInstr: i}
 		}
 	}
 

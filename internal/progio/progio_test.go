@@ -206,6 +206,52 @@ func TestDecodeErrors(t *testing.T) {
 
 // TestPrimitives pins the append/read value layer: round trips and
 // short-buffer refusals.
+// TestDecodeUnknownOpcode pins the opcode-range gate: a stream whose
+// header this build speaks but whose code section carries an opcode
+// above the known range is version skew (only a newer build emits new
+// opcodes), reported as a typed *VersionError with the offending
+// instruction located — never as corruption, and never as a panic in
+// some downstream consumer of the unvalidated image.
+func TestDecodeUnknownOpcode(t *testing.T) {
+	vp := compileVM(t, suite.Programs[0].Source, "skew.mf", nascent.Options{BoundsChecks: true}, false)
+	im, err := progio.DecodeImage(progio.Encode(vp))
+	if err != nil {
+		t.Fatalf("decode image: %v", err)
+	}
+	im.Code[2].Op = 255
+	data := progio.EncodeImage(im)
+
+	for _, decode := range []struct {
+		name string
+		fn   func([]byte) error
+	}{
+		{"Decode", func(b []byte) error { _, err := progio.Decode(b); return err }},
+		{"DecodeImage", func(b []byte) error { _, err := progio.DecodeImage(b); return err }},
+	} {
+		err := decode.fn(data)
+		var ve *progio.VersionError
+		if !errors.As(err, &ve) {
+			t.Fatalf("%s: got %v, want *VersionError", decode.name, err)
+		}
+		if !ve.OpSkew || ve.UnknownOp != 255 || ve.AtInstr != 2 {
+			t.Fatalf("%s: wrong skew detail: %+v", decode.name, ve)
+		}
+		if !errors.Is(err, progio.ErrVersion) {
+			t.Fatalf("%s: errors.Is(err, ErrVersion) = false", decode.name)
+		}
+		if errors.Is(err, progio.ErrCorrupt) {
+			t.Fatalf("%s: opcode skew must not classify as corruption", decode.name)
+		}
+	}
+
+	// Boundary: the first opcode past the known range trips the gate
+	// exactly at KnownOps, nothing looser.
+	im.Code[2].Op = uint8(vm.KnownOps())
+	if _, err := progio.Decode(progio.EncodeImage(im)); !errors.Is(err, progio.ErrVersion) {
+		t.Fatalf("opcode == KnownOps must be version skew, got %v", err)
+	}
+}
+
 func TestPrimitives(t *testing.T) {
 	b := progio.AppendUint8(nil, 7)
 	b = progio.AppendUint16(b, 0xbeef)

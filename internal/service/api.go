@@ -154,9 +154,11 @@ type CompileRequest struct {
 	Filename string `json:"filename,omitempty"`
 	// Options selects the backend configuration.
 	Options Options `json:"options,omitempty"`
-	// Engine: tree|vm|vmopt (default tree). Compilation is
-	// engine-independent at the IR level, but the cache entry is keyed
-	// by engine and bytecode engines precompile their program eagerly.
+	// Engine: tree|vm|vmopt|vmjit|tiered (default tree). Compilation
+	// is engine-independent at the IR level, but the cache entry is
+	// keyed by engine and bytecode engines precompile their program
+	// eagerly; vmjit and tiered entries additionally carry per-entry
+	// tier state (hotness counters, background recompiles).
 	Engine string `json:"engine,omitempty"`
 }
 
@@ -176,8 +178,9 @@ type VerifyRequest struct {
 	Source string `json:"source"`
 	// Filename labels diagnostics.
 	Filename string `json:"filename,omitempty"`
-	// Engine selects the identity sweep: tree checks only the
-	// tree-walker; vm adds tree+vm; vmopt adds all three tiers.
+	// Engine selects the identity sweep: every engine up to and
+	// including the named one participates (tree → just the
+	// tree-walker; tiered → all five engines).
 	Engine string `json:"engine,omitempty"`
 }
 
@@ -344,7 +347,7 @@ func parseEngine(s string) (nascent.Engine, *Error) {
 	}
 	e, err := nascent.ParseEngine(strings.ToLower(s))
 	if err != nil {
-		return nascent.EngineTree, usageError("unknown engine %q (want tree|vm|vmopt)", s)
+		return nascent.EngineTree, usageError("unknown engine %q (want %s)", s, strings.Join(nascent.EngineNames(), "|"))
 	}
 	return e, nil
 }

@@ -95,6 +95,16 @@ func (b *breaker) allow(scheme nascent.Scheme, engine nascent.Engine) (degraded 
 	return true, false
 }
 
+// isOpen reports whether the pair's circuit is currently open, without
+// moving any counter or starting a probe. resolve uses it to pick a
+// degradation target that is itself healthy.
+func (b *breaker) isOpen(scheme nascent.Scheme, engine nascent.Engine) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[pairKey{scheme, engine}]
+	return st != nil && st.open
+}
+
 // report feeds one outcome back. abnormal means a quarantine-level
 // failure (PoisonedInputError — every supervised attempt died);
 // deterministic failures (compile errors, traps, budgets) are the

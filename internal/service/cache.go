@@ -2,11 +2,16 @@ package service
 
 import (
 	"container/list"
+	"encoding/hex"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"nascent"
+	"nascent/internal/evalpool"
 	"nascent/internal/progcache"
 	"nascent/internal/vm"
+	"nascent/internal/vm/tier"
 )
 
 // cacheKey is the content address of one compiled program: sha256 over
@@ -33,6 +38,8 @@ func contentKey(source, filename string, opts nascent.Options, engine nascent.En
 type compiled struct {
 	prog         *nascent.Program
 	vmProg       *vm.Program
+	jit          *tier.JitHandle // vmjit entries: warm tier state per cache entry
+	trd          *tier.Program   // tiered entries: hotness controller per cache entry
 	engine       nascent.Engine
 	staticChecks int
 	opt          *nascent.OptReport
@@ -40,11 +47,31 @@ type compiled struct {
 
 // Run executes the cached program under cfg; it satisfies
 // evalpool.Runner so cache hits ride the pool's supervision unchanged.
+// vmjit and tiered entries run through their tier handles, so repeated
+// requests for the same cache entry warm the same counters and the
+// closure tier compiles once per entry, in the background.
 func (c *compiled) Run(cfg nascent.RunConfig) (nascent.RunResult, error) {
-	if c.vmProg != nil {
+	switch {
+	case c.jit != nil:
+		return c.jit.Run(cfg)
+	case c.trd != nil:
+		return c.trd.Run(cfg)
+	case c.vmProg != nil:
 		return c.vmProg.Run(cfg)
 	}
 	return c.prog.RunWith(cfg)
+}
+
+// tierSnapshot returns the entry's tier state (zero Snapshot and false
+// for non-tiered entries).
+func (c *compiled) tierSnapshot() (tier.Snapshot, bool) {
+	switch {
+	case c.jit != nil:
+		return c.jit.Snapshot(), true
+	case c.trd != nil:
+		return c.trd.Snapshot(), true
+	}
+	return tier.Snapshot{}, false
 }
 
 // cacheEntry is a once-guarded singleflight slot: the first request
@@ -53,10 +80,11 @@ func (c *compiled) Run(cfg nascent.RunConfig) (nascent.RunResult, error) {
 // too — recompiling a broken program cannot fix it, and a tenant
 // hammering a bad source must not buy CPU with it.
 type cacheEntry struct {
-	once sync.Once
-	c    *compiled
-	err  error
-	elem *list.Element // LRU position; nil until linked
+	once   sync.Once
+	filled atomic.Bool // set after the fill publishes c/err
+	c      *compiled
+	err    error
+	elem   *list.Element // LRU position; nil until linked
 }
 
 // Cache is the content-addressed compiled-program cache. All state is
@@ -116,6 +144,7 @@ func (c *Cache) get(key cacheKey, compile func() (*compiled, error)) (*compiled,
 	e.once.Do(func() {
 		hit = false
 		e.c, e.err = compile()
+		e.filled.Store(true)
 	})
 	return e.c, hit, e.err
 }
@@ -137,6 +166,50 @@ func (c *Cache) evictLocked() {
 		}
 		c.evictions++
 	}
+}
+
+// tierPrograms snapshots the tier state of every filled vmjit/tiered
+// cache entry, sorted by key for a stable wire order. The rows share
+// evalpool's wire type so operators read one schema whether a program
+// warmed through the service cache or the pool's bytecode memo.
+func (c *Cache) tierPrograms() []evalpool.TierProgramSnapshot {
+	c.mu.Lock()
+	type slot struct {
+		key cacheKey
+		ent *cacheEntry
+	}
+	slots := make([]slot, 0, len(c.entries))
+	for k, e := range c.entries {
+		slots = append(slots, slot{k, e})
+	}
+	c.mu.Unlock()
+
+	var rows []evalpool.TierProgramSnapshot
+	for _, s := range slots {
+		// Only inspect filled entries; an in-flight fill's c is not
+		// published yet and must not be raced (filled is stored after
+		// c, so observing it true makes c safe to read).
+		ent := s.ent
+		if !ent.filled.Load() || ent.c == nil {
+			continue
+		}
+		snap, ok := ent.c.tierSnapshot()
+		if !ok {
+			continue
+		}
+		rows = append(rows, evalpool.TierProgramSnapshot{
+			Key:          hex.EncodeToString(s.key[:8]),
+			Engine:       ent.c.engine.String(),
+			Tier:         snap.Tier,
+			Runs:         snap.Runs,
+			Instructions: snap.Instrs,
+			ProfiledRuns: snap.ProfiledRuns,
+			Promotions:   snap.Promotions,
+			Demotions:    snap.Demotions,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Key < rows[j].Key })
+	return rows
 }
 
 // stats snapshots the cache counters.

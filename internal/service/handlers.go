@@ -138,15 +138,25 @@ func (s *Server) resolve(req *RunRequest) (*resolved, *Error) {
 	degraded, probe := s.breaker.allow(opts.Scheme, engine)
 	r.probe = probe
 	if degraded {
+		// A tripped top tier degrades one tier down, not to the floor:
+		// vmjit and tiered fall to the optimized switch VM under the
+		// same scheme (identical observables, a tier's worth of speed) —
+		// unless that pair's circuit is open too, in which case the
+		// reference configuration serves.
+		toScheme, toEngine := nascent.Naive, nascent.EngineTree
+		if (engine == nascent.EngineVMJit || engine == nascent.EngineTiered) &&
+			!s.breaker.isOpen(opts.Scheme, nascent.EngineVMOpt) {
+			toScheme, toEngine = opts.Scheme, nascent.EngineVMOpt
+		}
 		r.degraded = &Degraded{
 			FromScheme: opts.Scheme.String(),
 			FromEngine: engine.String(),
-			ToScheme:   nascent.Naive.String(),
-			ToEngine:   nascent.EngineTree.String(),
+			ToScheme:   toScheme.String(),
+			ToEngine:   toEngine.String(),
 			Reason:     "circuit open: repeated quarantines on this (scheme, engine) pair",
 		}
-		r.opts.Scheme = nascent.Naive
-		r.engine = nascent.EngineTree
+		r.opts.Scheme = toScheme
+		r.engine = toEngine
 	}
 	return r, nil
 }
@@ -327,11 +337,15 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	// pathological program must exhaust a budget, not the service.
 	cfg.Run, _, _ = s.clampBudget(Budget{})
 	cfg.Run.Context = ctx
-	switch engine {
-	case nascent.EngineVM:
-		cfg.Engines = []nascent.Engine{nascent.EngineTree, nascent.EngineVM}
-	case nascent.EngineVMOpt:
-		cfg.Engines = []nascent.Engine{nascent.EngineTree, nascent.EngineVM, nascent.EngineVMOpt}
+	if engine != nascent.EngineTree {
+		// Identity-sweep every engine up to the requested tier, in
+		// registry order: verifying vmjit also cross-checks the tiers it
+		// promotes through.
+		for _, e := range nascent.AllEngines() {
+			if e <= engine {
+				cfg.Engines = append(cfg.Engines, e)
+			}
+		}
 	}
 	rep, err := oracle.Verify(req.Source, cfg)
 	if err != nil {
@@ -427,7 +441,11 @@ type metricsDoc struct {
 	DiskCache *progcache.Metrics       `json:"disk_cache,omitempty"`
 	Breaker   breakerStats             `json:"breaker"`
 	Pool      evalpool.MetricsSnapshot `json:"pool"`
-	Chaos     chaosDoc                 `json:"chaos"`
+	// Tiers lists per-entry tier state for vmjit/tiered programs
+	// resolved through the service cache (the pool's own tier rows
+	// appear under pool.tier_programs).
+	Tiers []evalpool.TierProgramSnapshot `json:"tiers,omitempty"`
+	Chaos chaosDoc                       `json:"chaos"`
 }
 
 type requestCounters struct {
@@ -465,6 +483,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		DiskCache: s.diskStats(),
 		Breaker:   s.breaker.stats(),
 		Pool:      s.pool.MetricsSnapshot(),
+		Tiers:     s.cache.tierPrograms(),
 		Chaos:     currentChaos(),
 	})
 }

@@ -16,6 +16,7 @@ import (
 	"nascent/internal/fleet"
 	"nascent/internal/progcache"
 	"nascent/internal/vm"
+	"nascent/internal/vm/tier"
 )
 
 // Config configures a Server. Every zero field selects a production
@@ -59,6 +60,13 @@ type Config struct {
 	// circuit breaker (defaults 3 consecutive quarantines, 30 s).
 	BreakerThreshold int
 	BreakerCooldown  time.Duration
+
+	// TierThresholds tune the tiered engine's promotion points (zero
+	// fields select the tier package defaults). Hotness is process
+	// state: cache entries — memory or disk — always start at the cold
+	// tier, so thresholds only shape when a warm entry recompiles, never
+	// what any run observes.
+	TierThresholds tier.Thresholds
 
 	// FleetWorkers, when > 0, shards /report measurement runs across
 	// worker processes instead of the in-process pool; FleetCommand
@@ -369,16 +377,20 @@ func (s *Server) compile(source, filename string, opts nascent.Options, engine n
 		filename = "input.mf"
 	}
 	key := contentKey(source, filename, opts, engine)
-	bytecode := engine == nascent.EngineVM || engine == nascent.EngineVMOpt
+	bytecode := engine != nascent.EngineTree
 	c, hit, err := s.cache.get(key, func() (*compiled, error) {
 		if s.disk != nil && bytecode {
 			if ent, err := s.disk.Get(key); err == nil {
-				return &compiled{
+				out := &compiled{
 					vmProg:       ent.Prog,
 					engine:       engine,
 					staticChecks: ent.StaticChecks,
 					opt:          ent.Opt,
-				}, nil
+				}
+				// Tier state is process state — warm bytecode from disk
+				// still starts at the cold tier.
+				s.wrapTier(out)
+				return out, nil
 			}
 		}
 		opts.Filename = filename
@@ -388,14 +400,15 @@ func (s *Server) compile(source, filename string, opts nascent.Options, engine n
 		}
 		out := &compiled{prog: prog, engine: engine, staticChecks: prog.StaticChecks(), opt: prog.Opt}
 		switch engine {
-		case nascent.EngineVM:
+		case nascent.EngineVM, nascent.EngineTiered:
 			out.vmProg, err = vm.Compile(prog.IR)
-		case nascent.EngineVMOpt:
+		case nascent.EngineVMOpt, nascent.EngineVMJit:
 			out.vmProg, err = vm.CompileOptimized(prog.IR)
 		}
 		if err != nil {
 			return nil, err
 		}
+		s.wrapTier(out)
 		if s.disk != nil && bytecode {
 			// Best-effort persist; a write failure only costs the next
 			// cold start its warm path.
@@ -404,6 +417,25 @@ func (s *Server) compile(source, filename string, opts nascent.Options, engine n
 		return out, nil
 	})
 	return c, key, hit, err
+}
+
+// wrapTier attaches the tier handle for engines that execute through
+// one: vmjit entries warm a JitHandle (first run profiles on the
+// optimized switch VM, closure compilation happens in the background),
+// tiered entries get a hotness controller seeded at the cold tier. The
+// handle lives exactly as long as the cache entry, so an eviction also
+// resets the entry's hotness — by design, since promotion state must
+// never outlive the artifact it describes.
+func (s *Server) wrapTier(c *compiled) {
+	if c.vmProg == nil {
+		return
+	}
+	switch c.engine {
+	case nascent.EngineVMJit:
+		c.jit = tier.NewJitHandle(c.vmProg)
+	case nascent.EngineTiered:
+		c.trd = tier.FromBytecode(c.vmProg, s.cfg.TierThresholds)
+	}
 }
 
 // Drain performs graceful shutdown: flip the drain gate (new requests

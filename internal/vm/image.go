@@ -155,6 +155,11 @@ func (p *Program) Image() *Image {
 	return im
 }
 
+// KnownOps reports the number of opcodes this build understands.
+// Serialization layers use it to classify an out-of-range opcode as
+// version skew (a stream from a newer build) rather than corruption.
+func KnownOps() int { return numOps }
+
 // imageErr builds the single error shape FromImage reports.
 func imageErr(format string, args ...any) error {
 	return fmt.Errorf("vm: bad program image: "+format, args...)

@@ -1,0 +1,232 @@
+package tier_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"nascent"
+	"nascent/internal/chaos"
+	"nascent/internal/guard"
+	"nascent/internal/interp"
+	"nascent/internal/suite"
+	"nascent/internal/vm/tier"
+)
+
+// hair-trigger thresholds: second run promotes to vmopt, third to
+// vmjit (after one profiled vmopt run).
+var fastTh = tier.Thresholds{OptRuns: 1, OptInstrs: ^uint64(0), JitRuns: 2, JitInstrs: ^uint64(0)}
+
+func compileTiered(tb testing.TB, src string, th tier.Thresholds) *tier.Program {
+	tb.Helper()
+	cp, err := nascent.Compile(src, nascent.Options{BoundsChecks: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	tp, err := tier.Compile(cp.IR, th)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return tp
+}
+
+// TestTieredSuiteIdentity pins the controller's core contract: every
+// run of a program returns bit-identical observables no matter which
+// tier serves it. Each suite program is run through the full
+// vm → vmopt → vmjit lifecycle and every result is compared to the
+// first.
+func TestTieredSuiteIdentity(t *testing.T) {
+	for _, p := range suite.Programs {
+		tp := compileTiered(t, p.Source, fastTh)
+		want, wantErr := tp.Run(interp.Config{})
+		if wantErr != nil {
+			t.Fatalf("%s: %v", p.Name, wantErr)
+		}
+		for i := 1; i < 6; i++ {
+			tp.Settle() // let any pending promotion land so later runs exercise it
+			got, err := tp.Run(interp.Config{})
+			if err != nil {
+				t.Fatalf("%s run %d (%s): %v", p.Name, i, tp.Snapshot().Tier, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("%s run %d diverged at tier %s:\n got %+v\nwant %+v",
+					p.Name, i, tp.Snapshot().Tier, got, want)
+			}
+		}
+		if snap := tp.Snapshot(); snap.Tier != tier.TierVMJit {
+			t.Fatalf("%s: expected top tier after warm runs, at %q (%+v)", p.Name, snap.Tier, snap)
+		}
+	}
+}
+
+// TestPromotionLifecycle pins the state machine: tier transitions
+// happen at the configured run counts, in the background, with the
+// counters evalpool metrics will export.
+func TestPromotionLifecycle(t *testing.T) {
+	tp := compileTiered(t, suite.Programs[0].Source, fastTh)
+
+	if snap := tp.Snapshot(); snap.Tier != tier.TierVM || snap.Runs != 0 {
+		t.Fatalf("fresh program not at vm tier: %+v", snap)
+	}
+
+	// Run 1 executes at vm; afterwards runs=1 >= OptRuns.
+	if _, err := tp.Run(interp.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	// Run 2's entry triggers background vmopt promotion but run 2
+	// itself must not block: it may serve at vm or vmopt depending on
+	// compile timing — both are valid. Settle, then it must be vmopt.
+	if _, err := tp.Run(interp.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	tp.Settle()
+	if got := tp.Snapshot().Tier; got != tier.TierVMOpt && got != tier.TierVMJit {
+		t.Fatalf("after settle, tier = %q, want vmopt (or later)", got)
+	}
+
+	// Keep running until the profiled vmopt run lands and the jit
+	// promotion completes.
+	for i := 0; i < 4; i++ {
+		if _, err := tp.Run(interp.Config{}); err != nil {
+			t.Fatal(err)
+		}
+		tp.Settle()
+	}
+	snap := tp.Snapshot()
+	if snap.Tier != tier.TierVMJit {
+		t.Fatalf("never reached vmjit: %+v", snap)
+	}
+	if snap.Promotions != 2 {
+		t.Fatalf("promotions = %d, want 2 (vm→vmopt, vmopt→vmjit): %+v", snap.Promotions, snap)
+	}
+	if snap.ProfiledRuns < 1 {
+		t.Fatalf("jit promoted without a profile: %+v", snap)
+	}
+	if snap.Runs != 6 || snap.Demotions != 0 {
+		t.Fatalf("counter mismatch: %+v", snap)
+	}
+}
+
+// TestRunOnceStaysCold pins that a single run never recompiles: the
+// tiering engine must add zero background work for one-shot programs.
+func TestRunOnceStaysCold(t *testing.T) {
+	tp := compileTiered(t, suite.Programs[0].Source, fastTh)
+	if _, err := tp.Run(interp.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	tp.Settle()
+	snap := tp.Snapshot()
+	if snap.Tier != tier.TierVM || snap.Promotions != 0 {
+		t.Fatalf("run-once program left the cold tier: %+v", snap)
+	}
+}
+
+// TestPromoteChaosFail pins the tier.promote.fail containment: a
+// failed background promotion tombstones the target tier, the program
+// keeps serving identical results where it is, and nothing surfaces to
+// callers.
+func TestPromoteChaosFail(t *testing.T) {
+	defer chaos.Disable()
+	chaos.Enable(chaos.Spec{Seed: 1, Rate: 1, Site: chaos.SiteTierPromote})
+
+	tp := compileTiered(t, suite.Programs[0].Source, fastTh)
+	want, err := tp.Run(interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		got, err := tp.Run(interp.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d diverged under failed promotion:\n got %+v\nwant %+v", i, got, want)
+		}
+		tp.Settle()
+	}
+	snap := tp.Snapshot()
+	if snap.Tier != tier.TierVM {
+		t.Fatalf("promotion succeeded under tier.promote.fail: %+v", snap)
+	}
+	if snap.Promotions != 0 {
+		t.Fatalf("promotions counted despite chaos failure: %+v", snap)
+	}
+}
+
+// TestJitDemotion pins the degrade path: when a vmjit-tier run dies
+// with a contained internal error, the controller tombstones the jit
+// and transparently re-executes on vmopt — and the error the caller
+// sees is exactly what vmopt reports for the same run.
+func TestJitDemotion(t *testing.T) {
+	tp := compileTiered(t, suite.Programs[0].Source, fastTh)
+	// Warm to the top tier first, without chaos.
+	for i := 0; i < 6; i++ {
+		if _, err := tp.Run(interp.Config{}); err != nil {
+			t.Fatal(err)
+		}
+		tp.Settle()
+	}
+	if got := tp.Snapshot().Tier; got != tier.TierVMJit {
+		t.Fatalf("warmup never reached vmjit: %q", got)
+	}
+
+	// vm.poll.panic fires identically in the jit and the switch VM, so
+	// the demotion replay hits the same contained panic — callers see
+	// the vmopt error, tier state records the demotion.
+	defer chaos.Disable()
+	chaos.Enable(chaos.Spec{Seed: 7, Rate: 1, Site: chaos.SiteVMPanic})
+	_, err := tp.Run(interp.Config{})
+	var ie *guard.InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("expected contained internal error from poll panic, got %v", err)
+	}
+	snap := tp.Snapshot()
+	if snap.Demotions != 1 {
+		t.Fatalf("demotions = %d, want 1: %+v", snap.Demotions, snap)
+	}
+	if snap.Tier != tier.TierVMOpt {
+		t.Fatalf("after demotion tier = %q, want vmopt: %+v", snap.Tier, snap)
+	}
+
+	// With chaos off the program keeps serving correct results at the
+	// demoted tier, and the tombstone holds — no re-promotion.
+	chaos.Disable()
+	want, err := tp.Run(interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tp.Run(interp.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp.Settle()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-demotion runs diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if s := tp.Snapshot(); s.Tier != tier.TierVMOpt {
+		t.Fatalf("tombstoned jit came back: %+v", s)
+	}
+}
+
+// TestEngineTiered pins the engine registration: interp.Run with
+// Engine tiered returns the same observables as the reference tree
+// engine.
+func TestEngineTiered(t *testing.T) {
+	for _, p := range suite.Programs[:3] {
+		cp, err := nascent.Compile(p.Source, nascent.Options{BoundsChecks: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := interp.Run(cp.IR, interp.Config{Engine: interp.EngineTree})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := interp.Run(cp.IR, interp.Config{Engine: interp.EngineTiered})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: tiered engine diverged from tree:\n got %+v\nwant %+v", p.Name, got, want)
+		}
+	}
+}

@@ -31,9 +31,11 @@ import (
 	"nascent/internal/rangecheck"
 	"nascent/internal/sem"
 
-	// Link the bytecode VM so RunConfig{Engine: EngineVM} is available
+	// Link the bytecode VM and the tiering controller so
+	// RunConfig{Engine: EngineVM} (and vmopt/vmjit/tiered) is available
 	// to every importer of the public API.
 	_ "nascent/internal/vm"
+	_ "nascent/internal/vm/tier"
 )
 
 // InternalError is a recovered internal invariant violation, tagged with
@@ -218,10 +220,26 @@ const (
 	// superinstruction fusion, frame reuse). Same observables as the
 	// other engines, fewer dispatches.
 	EngineVMOpt = interp.EngineVMOpt
+	// EngineVMJit is the closure-compiled top tier: optimized bytecode
+	// compiled into chained Go closures with profile-guided
+	// superinstruction selection. Same observables, no dispatch switch.
+	EngineVMJit = interp.EngineVMJit
+	// EngineTiered is the profile-guided tiering controller: runs start
+	// on EngineVM and are promoted in the background to EngineVMOpt and
+	// EngineVMJit as hotness thresholds are crossed. Promotion never
+	// changes an observable.
+	EngineTiered = interp.EngineTiered
 )
 
-// ParseEngine maps a flag spelling ("tree", "vm", or "vmopt") to an Engine.
+// ParseEngine maps a flag spelling ("tree", "vm", "vmopt", "vmjit", or
+// "tiered") to an Engine.
 func ParseEngine(s string) (Engine, error) { return interp.ParseEngine(s) }
+
+// EngineNames lists every engine's flag spelling in Engine order.
+func EngineNames() []string { return interp.EngineNames() }
+
+// AllEngines lists every engine in registry order (tree first).
+func AllEngines() []Engine { return interp.AllEngines() }
 
 // Frontend holds the parse and semantic-analysis artifacts of one
 // source text. The front half of compilation is independent of every
