@@ -39,6 +39,10 @@ type benchHost struct {
 	GOARCH string `json:"goarch"`
 	CPU    string `json:"cpu"`
 	Cores  int    `json:"cores"`
+	// GOMAXPROCS and the Go toolchain version pin the two knobs that
+	// most move a rerun's numbers on otherwise identical hardware.
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
 }
 
 type benchResult struct {
@@ -200,6 +204,7 @@ func runBenchJSON(path string) int {
 		Host: benchHost{
 			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
 			CPU: cpuModel(), Cores: runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0), GoVersion: runtime.Version(),
 		},
 		Command: "rangebench -benchjson " + path,
 		Speedup: map[string]float64{},

@@ -103,6 +103,30 @@ const (
 	// coordinator's attempt deadline must kill and replace the member.
 	// Keyed by "job#attempt".
 	SiteFleetHang Site = "fleet.worker.hang"
+	// SiteFleetHeartbeatDrop makes a fleet worker swallow a heartbeat
+	// probe (no response frame): the coordinator must count the miss,
+	// score the member down, and after enough consecutive misses
+	// proactively recycle the seat instead of waiting for a mid-job
+	// death. Keyed by "member#beat" (per-process beat sequence), so a
+	// respawned member re-rolls its fate.
+	SiteFleetHeartbeatDrop Site = "fleet.heartbeat.drop"
+	// SiteFleetStaleVersion makes a fleet worker advertise a stale
+	// progio wire-format version in its hello handshake (simulated
+	// version skew mid-rolling-restart): the coordinator must degrade
+	// to shipping source instead of compiled bytes to that member, and
+	// results must stay byte-identical. Keyed by the member index.
+	SiteFleetStaleVersion Site = "fleet.member.stale_version"
+	// SiteScrubCorrupt flips a byte of a disk-cache entry as the
+	// progcache scrubber reads it (simulated bit rot): the CRC must
+	// catch it, the entry must be unlinked and counted, and the next
+	// compile must heal it. Keyed by the entry's content-address stem.
+	SiteScrubCorrupt Site = "progcache.scrub.corrupt"
+	// SiteAuditMismatch forces the in-service differential self-audit
+	// to observe a divergence between a served result and its reference
+	// re-execution: the typed SelfAuditViolation path, the breaker
+	// trip, and the metrics surface must all fire. Keyed by the
+	// audited request's cache key.
+	SiteAuditMismatch Site = "service.audit.mismatch"
 )
 
 // Sites lists every injection site, in pipeline order.
@@ -114,6 +138,8 @@ var Sites = []Site{
 	SiteWorkerKill, SiteWorkerHang, SiteWorkerSlow,
 	SiteTierPromote,
 	SiteFleetKill, SiteFleetHang,
+	SiteFleetHeartbeatDrop, SiteFleetStaleVersion,
+	SiteScrubCorrupt, SiteAuditMismatch,
 }
 
 // KnownSite reports whether s names a registered injection site.
@@ -132,7 +158,11 @@ type Spec struct {
 	Seed uint64
 	// Rate in [0,1] is the fraction of (site, key) pairs that fault.
 	Rate float64
-	// Site restricts injection to one site ("" means every site).
+	// Site restricts injection to a set of sites: "" means every site,
+	// one site name means that site only, and a comma-separated list
+	// ("fleet.worker.kill,fleet.heartbeat.drop") arms exactly those
+	// sites — the form soak drills use to combine faults under one
+	// seed while leaving the rest of the pipeline quiet.
 	Site Site
 }
 
@@ -146,12 +176,12 @@ func (s Spec) String() string {
 	return out
 }
 
-// ParseSpec parses "seed:rate[:site]" (e.g. "42:0.05",
-// "7:1:pool.worker.kill").
+// ParseSpec parses "seed:rate[:site[,site...]]" (e.g. "42:0.05",
+// "7:1:pool.worker.kill", "9:0.2:fleet.worker.kill,fleet.worker.hang").
 func ParseSpec(text string) (Spec, error) {
 	parts := strings.SplitN(text, ":", 3)
 	if len(parts) < 2 {
-		return Spec{}, fmt.Errorf("chaos: bad spec %q (want seed:rate[:site])", text)
+		return Spec{}, fmt.Errorf("chaos: bad spec %q (want seed:rate[:site,...])", text)
 	}
 	seed, err := strconv.ParseUint(parts[0], 10, 64)
 	if err != nil {
@@ -163,12 +193,36 @@ func ParseSpec(text string) (Spec, error) {
 	}
 	spec := Spec{Seed: seed, Rate: rate}
 	if len(parts) == 3 {
-		spec.Site = Site(parts[2])
-		if !KnownSite(spec.Site) {
-			return Spec{}, fmt.Errorf("chaos: unknown site %q (known: %s)", parts[2], siteList())
+		for _, name := range strings.Split(parts[2], ",") {
+			if !KnownSite(Site(name)) {
+				return Spec{}, fmt.Errorf("chaos: unknown site %q (known: %s)", name, siteList())
+			}
 		}
+		spec.Site = Site(parts[2])
 	}
 	return spec, nil
+}
+
+// armed reports whether the spec's site set includes site. The common
+// single-site (or all-sites) form never allocates or splits.
+func (s Spec) armed(site Site) bool {
+	switch {
+	case s.Site == "" || s.Site == site:
+		return true
+	case !strings.Contains(string(s.Site), ","):
+		return false
+	}
+	rest := string(s.Site)
+	for {
+		i := strings.IndexByte(rest, ',')
+		if i < 0 {
+			return rest == string(site)
+		}
+		if rest[:i] == string(site) {
+			return true
+		}
+		rest = rest[i+1:]
+	}
 }
 
 func siteList() string {
@@ -184,7 +238,7 @@ func siteList() string {
 // fate (e.g. "attempt 0 dies, attempt 1 survives") instead of
 // hard-coding hash-dependent magic numbers.
 func Decide(spec Spec, site Site, key string) bool {
-	if spec.Rate <= 0 || (spec.Site != "" && spec.Site != site) {
+	if spec.Rate <= 0 || !spec.armed(site) {
 		return false
 	}
 	if spec.Rate >= 1 {

@@ -91,6 +91,35 @@ func TestSiteFilter(t *testing.T) {
 	}
 }
 
+func TestMultiSiteSpec(t *testing.T) {
+	armed := []Site{SiteFleetKill, SiteFleetHeartbeatDrop, SiteScrubCorrupt}
+	text := "11:1:fleet.worker.kill,fleet.heartbeat.drop,progcache.scrub.corrupt"
+	spec, err := ParseSpec(text)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", text, err)
+	}
+	if got := spec.String(); got != text {
+		t.Errorf("multi-site spec did not round-trip: got %q, want %q", got, text)
+	}
+	for _, site := range armed {
+		if !Decide(spec, site, "j#0") {
+			t.Errorf("armed site %s did not fire at rate 1", site)
+		}
+	}
+	for _, site := range Sites {
+		if site == armed[0] || site == armed[1] || site == armed[2] {
+			continue
+		}
+		if Decide(spec, site, "j#0") {
+			t.Errorf("multi-site filter leaked into %s", site)
+		}
+	}
+	// A list with one bad entry is rejected wholesale.
+	if _, err := ParseSpec("11:1:fleet.worker.kill,no.such.site"); err == nil {
+		t.Error("ParseSpec accepted a list containing an unknown site")
+	}
+}
+
 func TestSitesDistinguished(t *testing.T) {
 	// Different sites with the same key must roll independent dice:
 	// at rate 0.5 across 14+ sites, at least one pair must disagree.

@@ -1,0 +1,6 @@
+package fleet
+
+// LiveProcs exposes the live worker-process count to the external test
+// package: the shutdown-race regression test asserts it drains to zero
+// after Close no matter what respawns were in flight.
+func LiveProcs(f *Fleet) int64 { return f.live.Load() }

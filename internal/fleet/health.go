@@ -1,0 +1,424 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// memberHealth is one seat's health ledger, guarded by member.hmu.
+// Latency is a plain EWMA (alpha 0.3) over job round trips and
+// heartbeat pongs; fails and misses are consecutive counters that
+// reset on the first success, following the server-selection idiom of
+// driver topologies: one slow answer dents the score a little, a
+// string of failures craters it.
+type memberHealth struct {
+	ewmaMs   float64
+	fails    int // consecutive transport failures
+	misses   int // consecutive heartbeat misses
+	beats    uint64
+	lastBeat time.Time
+	draining bool // a Roll is recycling this seat; route around it
+	respawns uint64
+}
+
+// score ranks a seat for routing: 1.0 is a fresh healthy member, every
+// consecutive failure or heartbeat miss halves it and latency shades
+// it, and a draining seat scores -1 so it is chosen only when every
+// other seat is busy.
+func (m *member) score() float64 {
+	m.hmu.Lock()
+	defer m.hmu.Unlock()
+	if m.h.draining {
+		return -1
+	}
+	s := 1.0 / float64(1+m.h.fails+m.h.misses)
+	if m.h.ewmaMs > 0 {
+		s *= 100 / (100 + m.h.ewmaMs)
+	}
+	return s
+}
+
+// healthy is the routing fast path: no strikes, not draining.
+func (m *member) healthy() bool {
+	m.hmu.Lock()
+	defer m.hmu.Unlock()
+	return m.h.fails == 0 && m.h.misses == 0 && !m.h.draining
+}
+
+func (m *member) noteOK(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.hmu.Lock()
+	m.h.fails = 0
+	if m.h.ewmaMs == 0 {
+		m.h.ewmaMs = ms
+	} else {
+		m.h.ewmaMs = 0.7*m.h.ewmaMs + 0.3*ms
+	}
+	m.hmu.Unlock()
+
+	// The fleet-wide job EWMA drives adaptive hedging.
+	f := m.fleet
+	f.mu.Lock()
+	if f.jobEwmaMs == 0 {
+		f.jobEwmaMs = ms
+	} else {
+		f.jobEwmaMs = 0.7*f.jobEwmaMs + 0.3*ms
+	}
+	f.mu.Unlock()
+}
+
+func (m *member) noteFail() {
+	m.hmu.Lock()
+	m.h.fails++
+	m.hmu.Unlock()
+}
+
+func (m *member) noteBeat(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	m.hmu.Lock()
+	m.h.misses = 0
+	m.h.beats++
+	m.h.lastBeat = time.Now()
+	if m.h.ewmaMs == 0 {
+		m.h.ewmaMs = ms
+	} else {
+		m.h.ewmaMs = 0.7*m.h.ewmaMs + 0.3*ms
+	}
+	m.hmu.Unlock()
+}
+
+func (m *member) noteMiss() int {
+	m.hmu.Lock()
+	defer m.hmu.Unlock()
+	m.h.misses++
+	return m.h.misses
+}
+
+func (m *member) setDraining(v bool) {
+	m.hmu.Lock()
+	m.h.draining = v
+	m.hmu.Unlock()
+}
+
+func (m *member) isDraining() bool {
+	m.hmu.Lock()
+	defer m.hmu.Unlock()
+	return m.h.draining
+}
+
+// pick takes the next free seat, preferring healthy members: the first
+// receive blocks (preserving backpressure), and if the seat it yields
+// carries strikes — or is the avoid seat a hedge must not double down
+// on — every other currently-free slot is drained without blocking,
+// the best-scored seat is kept, and the rest go back. A draining or
+// sick member therefore receives new work only when nothing better is
+// free, which is what lets a Roll finish under load.
+func (f *Fleet) pick(avoid *member) *member {
+	best := <-f.slots
+	if best.healthy() && best != avoid {
+		return best
+	}
+	var spare []*member
+scan:
+	for range f.member {
+		select {
+		case c := <-f.slots:
+			if pickBetter(c, best, avoid) {
+				spare = append(spare, best)
+				best = c
+			} else {
+				spare = append(spare, c)
+			}
+		default:
+			break scan
+		}
+	}
+	for _, s := range spare {
+		f.slots <- s
+	}
+	return best
+}
+
+// pickBetter reports whether c should displace best: not being the
+// avoided seat dominates, then score.
+func pickBetter(c, best, avoid *member) bool {
+	if (c == avoid) != (best == avoid) {
+		return best == avoid
+	}
+	return c.score() > best.score()
+}
+
+// heartbeatLoop probes idle members each interval and recycles a seat
+// whose process misses missLimit consecutive probes. Only idle seats
+// are probed: a busy worker serves frames strictly in order, so a ping
+// behind a long job would measure the job, not the member, and the
+// attempt deadline already polices in-flight work.
+func (f *Fleet) heartbeatLoop(interval time.Duration, missLimit int) {
+	defer f.hbWG.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-f.stop:
+			return
+		case <-t.C:
+		}
+		for _, m := range f.member {
+			select {
+			case <-f.stop:
+				return
+			default:
+			}
+			f.probe(m, interval, missLimit)
+		}
+	}
+}
+
+// probe pings one member if it is up and idle, scoring the answer. A
+// seat whose occupant died while idle is resurrected on the spot: lazy
+// respawn would leave it down until the next dispatch pays the spawn
+// latency, and a traffic lull after a crash would otherwise report a
+// permanently degraded fleet.
+func (f *Fleet) probe(m *member, timeout time.Duration, missLimit int) {
+	m.mu.Lock()
+	p, occupied := m.proc, m.occupied
+	m.mu.Unlock()
+	if p == nil && !occupied {
+		return // lazy seat: never spawn just to ping
+	}
+	if p != nil {
+		select {
+		case <-p.dead:
+			p = nil
+		default:
+		}
+	}
+	if p == nil {
+		// A draining seat is the Roll's to restart, and a busy one is
+		// the straggler reaper's to fail over.
+		if m.inflight.Load() > 0 || m.isDraining() {
+			return
+		}
+		f.count(func(e *extraMetrics) { e.proactiveRespawns++ })
+		f.cfg.Logf("fleet: member %d died idle; proactively respawning", m.idx)
+		m.recycle()
+		return
+	}
+	if m.inflight.Load() > 0 {
+		return
+	}
+	t0 := time.Now()
+	resp, err := p.call(&request{ID: f.nextID.Add(1), Ctrl: ctrlPing}, timeout)
+	if err == nil && resp.Err == nil {
+		m.noteBeat(time.Since(t0))
+		return
+	}
+	misses := m.noteMiss()
+	f.count(func(e *extraMetrics) { e.hbMisses++ })
+	f.cfg.Logf("fleet: member %d missed heartbeat (%d/%d)", m.idx, misses, missLimit)
+	if misses >= missLimit && m.inflight.Load() == 0 {
+		f.count(func(e *extraMetrics) { e.proactiveRespawns++ })
+		f.cfg.Logf("fleet: member %d unresponsive; proactively recycling", m.idx)
+		m.recycle()
+	}
+}
+
+// recycle kills the member's process and eagerly spawns a fresh one.
+// It is a no-op once the fleet is closed: the closed check and the
+// proc swap both happen under m.mu, which Close's shutdown also takes,
+// so a recycle can never resurrect a seat behind a concurrent Close
+// and leak a worker process.
+func (m *member) recycle() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fleet.closed.Load() {
+		return
+	}
+	if p := m.proc; p != nil {
+		m.proc = nil
+		p.kill()
+		<-p.dead
+	}
+	m.hmu.Lock()
+	m.h.fails, m.h.misses, m.h.ewmaMs = 0, 0, 0
+	m.h.respawns++
+	m.hmu.Unlock()
+	p, err := m.fleet.spawn(m.idx)
+	if err != nil {
+		m.fleet.cfg.Logf("fleet: member %d respawn failed: %v", m.idx, err)
+		return // seat stays empty; the next dispatch retries via ensure
+	}
+	m.proc, m.occupied = p, true
+}
+
+// ErrRollInProgress reports that another Roll holds the fleet. Rolls
+// never queue: stacking restarts on a fleet already churning members
+// is how an operator turns a deploy into an outage.
+var ErrRollInProgress = errors.New("fleet: a roll is already in progress")
+
+// Roll restarts every member one seat at a time, in index order, while
+// the fleet keeps serving: each seat is marked draining (health-aware
+// routing steers new jobs to other seats), its in-flight jobs are
+// waited out, the process exits cleanly on stdin EOF, and a fresh
+// process is spawned and re-handshaken before the next seat starts.
+// Because the handshake re-learns the member's protocol and progio
+// version, a Roll across a binary upgrade is exactly where the
+// version-skew source fallback earns its keep: old and new members
+// coexist mid-roll and every job still lands. ctx bounds the whole
+// roll; on expiry the current seat is left undrained but live.
+func (f *Fleet) Roll(ctx context.Context) error {
+	if f.closed.Load() {
+		return errors.New("fleet: closed")
+	}
+	if !f.rollMu.TryLock() {
+		return ErrRollInProgress
+	}
+	defer f.rollMu.Unlock()
+	f.count(func(e *extraMetrics) { e.rolls++ })
+	for _, m := range f.member {
+		if err := m.drainAndRestart(ctx); err != nil {
+			return err
+		}
+		if f.closed.Load() {
+			return errors.New("fleet: closed")
+		}
+	}
+	return nil
+}
+
+// drainAndRestart recycles one seat gracefully for Roll.
+func (m *member) drainAndRestart(ctx context.Context) error {
+	m.setDraining(true)
+	defer m.setDraining(false)
+	for m.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fleet.closed.Load() {
+		return errors.New("fleet: closed")
+	}
+	p := m.proc
+	if p == nil {
+		return nil // lazy seat: the next dispatch spawns the new binary anyway
+	}
+	m.proc = nil
+	p.stdin.Close() // EOF → clean worker exit
+	select {
+	case <-p.dead:
+	case <-time.After(2 * time.Second):
+		p.kill()
+		<-p.dead
+	}
+	m.hmu.Lock()
+	m.h.fails, m.h.misses, m.h.ewmaMs = 0, 0, 0
+	m.h.respawns++
+	m.hmu.Unlock()
+	np, err := m.fleet.spawn(m.idx)
+	if err != nil {
+		return fmt.Errorf("fleet: member %d respawn: %w", m.idx, err)
+	}
+	m.proc, m.occupied = np, true
+	return nil
+}
+
+// MemberHealth is one seat's externally visible health state, shaped
+// for /healthz and /metrics (field names are pinned by test).
+type MemberHealth struct {
+	ID              int     `json:"id"`
+	Up              bool    `json:"up"`
+	PID             int     `json:"pid,omitempty"`
+	Score           float64 `json:"score"`
+	LatencyEWMAMS   float64 `json:"latency_ewma_ms"`
+	ConsecFails     int     `json:"consec_fails"`
+	HeartbeatMisses int     `json:"heartbeat_misses"`
+	Beats           uint64  `json:"beats"`
+	LastBeatAgeMS   int64   `json:"last_beat_age_ms"` // -1 before the first pong
+	ProtoVersion    int     `json:"proto_version"`
+	ProgioVersion   int     `json:"progio_version"`
+	Skewed          bool    `json:"skewed"`
+	Draining        bool    `json:"draining"`
+	Respawns        uint64  `json:"respawns"`
+	InFlight        int64   `json:"in_flight"`
+}
+
+// Health snapshots every member.
+func (f *Fleet) Health() []MemberHealth {
+	out := make([]MemberHealth, 0, len(f.member))
+	for _, m := range f.member {
+		out = append(out, m.healthSnapshot())
+	}
+	return out
+}
+
+func (m *member) healthSnapshot() MemberHealth {
+	mh := MemberHealth{ID: m.idx, InFlight: m.inflight.Load(), Score: m.score()}
+	m.mu.Lock()
+	p := m.proc
+	m.mu.Unlock()
+	if p != nil {
+		select {
+		case <-p.dead:
+		default:
+			mh.Up = true
+			if p.cmd.Process != nil {
+				mh.PID = p.cmd.Process.Pid
+			}
+			mh.Skewed = p.skew
+			if p.hello != nil {
+				mh.ProtoVersion = int(p.hello.Proto)
+				mh.ProgioVersion = int(p.hello.Progio)
+			}
+		}
+	}
+	m.hmu.Lock()
+	mh.LatencyEWMAMS = m.h.ewmaMs
+	mh.ConsecFails = m.h.fails
+	mh.HeartbeatMisses = m.h.misses
+	mh.Beats = m.h.beats
+	mh.Draining = m.h.draining
+	mh.Respawns = m.h.respawns
+	if m.h.lastBeat.IsZero() {
+		mh.LastBeatAgeMS = -1
+	} else {
+		mh.LastBeatAgeMS = time.Since(m.h.lastBeat).Milliseconds()
+	}
+	m.hmu.Unlock()
+	return mh
+}
+
+// Stats is the fleet's soak-hardening counter block plus per-member
+// health, shaped for /metrics (field names are pinned by test).
+type Stats struct {
+	Hedges            uint64         `json:"hedges"`
+	HedgeWins         uint64         `json:"hedge_wins"`
+	HedgeMismatches   uint64         `json:"hedge_mismatches"`
+	SkewDegrades      uint64         `json:"skew_degrades"`
+	HeartbeatMisses   uint64         `json:"heartbeat_misses"`
+	ProactiveRespawns uint64         `json:"proactive_respawns"`
+	Rolls             uint64         `json:"rolls"`
+	Members           []MemberHealth `json:"members"`
+}
+
+// Stats snapshots the soak-hardening counters and member health.
+func (f *Fleet) Stats() Stats {
+	f.mu.Lock()
+	e := f.extra
+	f.mu.Unlock()
+	return Stats{
+		Hedges:            e.hedges,
+		HedgeWins:         e.hedgeWins,
+		HedgeMismatches:   e.hedgeMismatches,
+		SkewDegrades:      e.skewDegrades,
+		HeartbeatMisses:   e.hbMisses,
+		ProactiveRespawns: e.proactiveRespawns,
+		Rolls:             e.rolls,
+		Members:           f.Health(),
+	}
+}

@@ -31,6 +31,19 @@ import (
 // allocation bomb. Programs are small; 64 MiB is generous.
 const maxFrame = 64 << 20
 
+// protoVersion is the fleet frame protocol version a worker advertises
+// in its hello. Bump on any frame-shape change that an older worker
+// could not serve.
+const protoVersion = 2
+
+// Control frame names. A request carrying Ctrl is a coordinator→worker
+// control message, not a job: "hello" opens the versioned handshake,
+// "ping" is a heartbeat probe.
+const (
+	ctrlHello = "hello"
+	ctrlPing  = "ping"
+)
+
 // writeFrame marshals v and writes one length-prefixed frame.
 func writeFrame(w io.Writer, v any) error {
 	body, err := json.Marshal(v)
@@ -78,6 +91,16 @@ type request struct {
 	ID      uint64 `json:"id"`
 	Name    string `json:"name"`
 	Attempt int    `json:"attempt"`
+
+	// Ctrl marks a control frame ("hello" or "ping"); every job field
+	// below is empty on control frames. Member rides the hello so the
+	// worker knows its seat index (chaos sites key on it). Hedge marks
+	// a hedged duplicate dispatch: worker-side chaos sites append a
+	// "~h" suffix to their key so a seed can fate the primary and its
+	// hedge independently.
+	Ctrl   string `json:"ctrl,omitempty"`
+	Member int    `json:"member,omitempty"`
+	Hedge  bool   `json:"hedge,omitempty"`
 
 	Program  []byte       `json:"program,omitempty"`
 	Source   string       `json:"source,omitempty"`
@@ -155,9 +178,24 @@ func (l wireLimits) toConfig() nascent.RunConfig {
 // response answers one request. interp.Result is all exported plain
 // data, so it crosses the wire losslessly.
 type response struct {
-	ID  uint64         `json:"id"`
-	Res *interp.Result `json:"res,omitempty"`
-	Err *wireError     `json:"err,omitempty"`
+	ID    uint64         `json:"id"`
+	Res   *interp.Result `json:"res,omitempty"`
+	Err   *wireError     `json:"err,omitempty"`
+	Hello *wireHello     `json:"hello,omitempty"`
+}
+
+// wireHello is a worker's handshake advertisement: frame protocol
+// version, progio wire-format version, and the engine set it can run.
+// The coordinator compares Progio against its own progio.Version and,
+// on skew, degrades to shipping source to that member — an old binary
+// must never be asked to decode bytes it cannot parse, which is what
+// makes rolling restarts across a codec bump safe. A worker so old it
+// answers hello with an error (it predates control frames) is treated
+// the same way.
+type wireHello struct {
+	Proto   uint16   `json:"proto"`
+	Progio  uint16   `json:"progio"`
+	Engines []string `json:"engines,omitempty"`
 }
 
 // wireError ships a job failure. Resource errors are reconstructed as

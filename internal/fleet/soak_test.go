@@ -1,0 +1,371 @@
+package fleet_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nascent"
+	"nascent/internal/chaos"
+	"nascent/internal/evalpool"
+	"nascent/internal/fleet"
+	"nascent/internal/report"
+)
+
+// healJob builds the standard one-job matrix the fault tests run.
+func healJob(name string, eng nascent.Engine) evalpool.Job {
+	return evalpool.Job{
+		Name: name, Source: healSrc, Filename: "heal.mf",
+		Opts: nascent.Options{BoundsChecks: true, Scheme: nascent.LLS},
+		Run:  nascent.RunConfig{Engine: eng},
+	}
+}
+
+// TestIdentityUnderFaults pins Tables 2–3 byte-identical to the
+// in-process pool while each soak fault path is armed: every heartbeat
+// dropped, every member version-skewed (bytecode degrades to source
+// shipping), and every attempt hedged. A soak-hardening layer that
+// changed a single byte of a paper table would be worse than none.
+func TestIdentityUnderFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes and measures the full suite")
+	}
+	cases := []struct {
+		name  string
+		spec  string
+		mut   func(*fleet.Config)
+		check func(*testing.T, *fleet.Fleet)
+	}{
+		{
+			name: "heartbeat-drop",
+			spec: chaos.Spec{Seed: 1, Rate: 1, Site: chaos.SiteFleetHeartbeatDrop}.String(),
+			mut: func(c *fleet.Config) {
+				c.HeartbeatInterval = 50 * time.Millisecond
+				c.HeartbeatMissLimit = 2
+			},
+		},
+		{
+			name: "version-skew",
+			spec: chaos.Spec{Seed: 1, Rate: 1, Site: chaos.SiteFleetStaleVersion}.String(),
+			check: func(t *testing.T, f *fleet.Fleet) {
+				if s := f.Stats(); s.SkewDegrades == 0 {
+					t.Errorf("no skew degrades counted under rate-1 stale_version: %+v", s)
+				}
+				for _, mh := range f.Health() {
+					if mh.Up && !mh.Skewed {
+						t.Errorf("member %d is up but not marked skewed", mh.ID)
+					}
+				}
+			},
+		},
+		{
+			name: "hedge-everything",
+			spec: "",
+			mut:  func(c *fleet.Config) { c.HedgeAfter = time.Nanosecond },
+			check: func(t *testing.T, f *fleet.Fleet) {
+				if s := f.Stats(); s.Hedges == 0 {
+					t.Errorf("no hedges dispatched with HedgeAfter=1ns: %+v", s)
+				} else if s.HedgeMismatches != 0 {
+					t.Errorf("hedged lanes disagreed: %+v", s)
+				}
+			},
+		},
+	}
+	for _, table := range []struct {
+		name   string
+		engine nascent.Engine
+		gen    func(*report.Runner) (string, error)
+	}{
+		{"table2/vm", nascent.EngineVM, (*report.Runner).Table2},
+		{"table3/vmopt", nascent.EngineVMOpt, (*report.Runner).Table3},
+	} {
+		want, err := table.gen(report.New(report.Config{Jobs: 4, Engine: table.engine}))
+		if err != nil {
+			t.Fatalf("in-process %s: %v", table.name, err)
+		}
+		for _, tc := range cases {
+			t.Run(table.name+"/"+tc.name, func(t *testing.T) {
+				f := newFleet(t, 2, tc.spec, tc.mut)
+				got, err := table.gen(report.NewOnEvaluator(f, report.Config{Engine: table.engine}))
+				if err != nil {
+					t.Fatalf("fleet: %v", err)
+				}
+				if got != want {
+					t.Fatalf("fleet table diverges from in-process table under %s:\n--- in-process ---\n%s\n--- fleet ---\n%s", tc.name, want, got)
+				}
+				if tc.check != nil {
+					tc.check(t, f)
+				}
+			})
+		}
+	}
+}
+
+// TestHeartbeatDropRecycles arms fleet.heartbeat.drop at rate 1: every
+// probe is swallowed, so an idle member accumulates misses and is
+// proactively recycled — and jobs keep succeeding throughout, because
+// recycling is invisible to results.
+func TestHeartbeatDropRecycles(t *testing.T) {
+	spec := chaos.Spec{Seed: 3, Rate: 1, Site: chaos.SiteFleetHeartbeatDrop}
+	f := newFleet(t, 1, spec.String(), func(c *fleet.Config) {
+		c.HeartbeatInterval = 30 * time.Millisecond
+		c.HeartbeatMissLimit = 2
+	})
+	res := f.Evaluate([]evalpool.Job{healJob("hb/spawn", nascent.EngineVM)})[0]
+	if res.Err != nil {
+		t.Fatalf("job under heartbeat drop failed: %v", res.Err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Stats().ProactiveRespawns == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no proactive respawn after sustained heartbeat loss: %+v", f.Stats())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if s := f.Stats(); s.HeartbeatMisses < uint64(2) {
+		t.Fatalf("misses not accounted: %+v", s)
+	}
+
+	// The recycled seat still serves, and results stay correct.
+	res = f.Evaluate([]evalpool.Job{healJob("hb/after", nascent.EngineVM)})[0]
+	if res.Err != nil {
+		t.Fatalf("job after recycle failed: %v", res.Err)
+	}
+	clean := evalpool.New(1).Evaluate([]evalpool.Job{healJob("hb/after", nascent.EngineVM)})[0]
+	if res.Res != clean.Res {
+		t.Fatalf("post-recycle result diverges:\nfleet: %+v\nclean: %+v", res.Res, clean.Res)
+	}
+}
+
+// TestHedgeWin hangs the primary lane only (the hedge key carries a
+// "~h" suffix, so a seed can fate the lanes independently): the hedge
+// must win, the job must succeed on its first attempt, and the result
+// must match a clean run exactly.
+func TestHedgeWin(t *testing.T) {
+	const name = "hedge/win"
+	var seed uint64
+	for s := uint64(1); s < 5000; s++ {
+		spec := chaos.Spec{Seed: s, Rate: 0.5, Site: chaos.SiteFleetHang}
+		if chaos.Decide(spec, chaos.SiteFleetHang, chaos.AttemptKey(name, 0)) &&
+			!chaos.Decide(spec, chaos.SiteFleetHang, chaos.AttemptKey(name, 0)+"~h") {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no suitable seed in 1..5000")
+	}
+	spec := chaos.Spec{Seed: seed, Rate: 0.5, Site: chaos.SiteFleetHang}
+	f := newFleet(t, 2, spec.String(), func(c *fleet.Config) {
+		c.HedgeAfter = 100 * time.Millisecond
+		c.JobTimeout = 5 * time.Second
+	})
+	job := healJob(name, nascent.EngineVM)
+	res := f.Evaluate([]evalpool.Job{job})[0]
+	if res.Err != nil {
+		t.Fatalf("hedged job failed: %v", res.Err)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (the hedge rescued attempt 0)", res.Attempts)
+	}
+	s := f.Stats()
+	if s.Hedges == 0 || s.HedgeWins == 0 {
+		t.Fatalf("hedge win not accounted: %+v", s)
+	}
+	clean := evalpool.New(1).Evaluate([]evalpool.Job{job})[0]
+	if res.Res != clean.Res {
+		t.Fatalf("hedged result diverges from clean run:\nfleet: %+v\nclean: %+v", res.Res, clean.Res)
+	}
+}
+
+// TestHedgeLose hangs the hedge lane only: the primary must win, the
+// hedge loss must not fail the job, and no mismatch may be recorded
+// (a transport-dead loser is not a divergence).
+func TestHedgeLose(t *testing.T) {
+	const name = "hedge/lose"
+	var seed uint64
+	for s := uint64(1); s < 5000; s++ {
+		spec := chaos.Spec{Seed: s, Rate: 0.5, Site: chaos.SiteFleetHang}
+		if !chaos.Decide(spec, chaos.SiteFleetHang, chaos.AttemptKey(name, 0)) &&
+			chaos.Decide(spec, chaos.SiteFleetHang, chaos.AttemptKey(name, 0)+"~h") {
+			seed = s
+			break
+		}
+	}
+	if seed == 0 {
+		t.Fatal("no suitable seed in 1..5000")
+	}
+	spec := chaos.Spec{Seed: seed, Rate: 0.5, Site: chaos.SiteFleetHang}
+	f := newFleet(t, 2, spec.String(), func(c *fleet.Config) {
+		c.HedgeAfter = time.Nanosecond // hedge immediately so the lane is exercised
+		c.JobTimeout = 3 * time.Second
+	})
+	job := healJob(name, nascent.EngineVM)
+	res := f.Evaluate([]evalpool.Job{job})[0]
+	if res.Err != nil {
+		t.Fatalf("job failed despite healthy primary: %v", res.Err)
+	}
+	s := f.Stats()
+	if s.Hedges == 0 {
+		t.Fatalf("hedge not dispatched: %+v", s)
+	}
+	if s.HedgeMismatches != 0 {
+		t.Fatalf("dead hedge counted as a mismatch: %+v", s)
+	}
+	clean := evalpool.New(1).Evaluate([]evalpool.Job{job})[0]
+	if res.Res != clean.Res {
+		t.Fatalf("result diverges from clean run:\nfleet: %+v\nclean: %+v", res.Res, clean.Res)
+	}
+}
+
+// TestVersionSkewDegrades arms fleet.member.stale_version at rate 1:
+// every member's hello advertises the previous progio version, so the
+// coordinator must ship source instead of bytes — and a bytecode job's
+// result must still match a clean in-process run exactly.
+func TestVersionSkewDegrades(t *testing.T) {
+	spec := chaos.Spec{Seed: 5, Rate: 1, Site: chaos.SiteFleetStaleVersion}
+	f := newFleet(t, 2, spec.String(), nil)
+	for _, eng := range []nascent.Engine{nascent.EngineVM, nascent.EngineVMOpt, nascent.EngineVMJit} {
+		job := healJob(fmt.Sprintf("skew/%v", eng), eng)
+		res := f.Evaluate([]evalpool.Job{job})[0]
+		if res.Err != nil {
+			t.Fatalf("%v: skew-degraded job failed: %v", eng, res.Err)
+		}
+		clean := evalpool.New(1).Evaluate([]evalpool.Job{job})[0]
+		if res.Res != clean.Res {
+			t.Fatalf("%v: skew-degraded result diverges:\nfleet: %+v\nclean: %+v", eng, res.Res, clean.Res)
+		}
+	}
+	s := f.Stats()
+	if s.SkewDegrades == 0 {
+		t.Fatalf("skew degrades not accounted: %+v", s)
+	}
+	for _, mh := range f.Health() {
+		if mh.Up && !mh.Skewed {
+			t.Errorf("member %d up but not marked skewed", mh.ID)
+		}
+	}
+}
+
+// TestRollUnderLoad rolls the fleet while jobs pump through it: every
+// job must succeed, every previously spawned seat must restart, and
+// the rolled fleet must keep producing results identical to a clean
+// run. A second Roll racing the first must be refused, never queued.
+func TestRollUnderLoad(t *testing.T) {
+	f := newFleet(t, 2, "", nil)
+	job := healJob("roll/warm", nascent.EngineVM)
+	if res := f.Evaluate([]evalpool.Job{job})[0]; res.Err != nil {
+		t.Fatalf("warmup failed: %v", res.Err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				j := healJob(fmt.Sprintf("roll/load-%d-%d", g, i), nascent.EngineVM)
+				if res := f.Evaluate([]evalpool.Job{j})[0]; res.Err != nil {
+					select {
+					case errs <- res.Err:
+					default:
+					}
+				}
+			}
+		}(g)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.Roll(ctx); err != nil {
+		t.Fatalf("Roll: %v", err)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatalf("job failed during roll: %v", err)
+	default:
+	}
+	s := f.Stats()
+	if s.Rolls != 1 {
+		t.Fatalf("rolls = %d, want 1", s.Rolls)
+	}
+	restarted := 0
+	for _, mh := range f.Health() {
+		if mh.Respawns > 0 {
+			restarted++
+		}
+	}
+	if restarted == 0 {
+		t.Fatalf("no member restarted during roll: %+v", s.Members)
+	}
+
+	// A second sequential roll succeeds (the lock is released).
+	if err := f.Roll(ctx); err != nil {
+		t.Fatalf("second sequential Roll: %v", err)
+	}
+}
+
+// TestCloseDuringRespawnLeaksNoProcess is the shutdown-race regression
+// test: Close racing chaos-driven respawns, heartbeat recycles, and
+// in-flight Evaluates must never leak a worker process. Run with
+// -race; the live-process counter (decremented only after reap) must
+// drain to zero after every Close.
+func TestCloseDuringRespawnLeaksNoProcess(t *testing.T) {
+	spec := chaos.Spec{Seed: 11, Rate: 0.6, Site: chaos.SiteFleetKill}
+	for iter := 0; iter < 3; iter++ {
+		cfg := fleet.Config{
+			Workers:            2,
+			Command:            workerCommand(spec.String()),
+			MaxAttempts:        2,
+			Backoff:            time.Millisecond,
+			HeartbeatInterval:  20 * time.Millisecond,
+			HeartbeatMissLimit: 1,
+			Logf:               t.Logf,
+		}
+		f, err := fleet.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 4; i++ {
+					j := healJob(fmt.Sprintf("race-%d-%d-%d", iter, g, i), nascent.EngineVM)
+					res := f.Evaluate([]evalpool.Job{j})[0]
+					// Jobs may fail once Close lands; failures must be typed.
+					if res.Err != nil {
+						var poisoned *evalpool.PoisonedInputError
+						if !errors.As(res.Err, &poisoned) {
+							t.Errorf("untyped failure during close race: %v", res.Err)
+						}
+					}
+				}
+			}(g)
+		}
+		time.Sleep(time.Duration(5+10*iter) * time.Millisecond)
+		f.Close()
+		wg.Wait()
+		deadline := time.Now().Add(10 * time.Second)
+		for fleet.LiveProcs(f) != 0 {
+			if time.Now().After(deadline) {
+				t.Fatalf("iter %d: %d worker processes leaked past Close", iter, fleet.LiveProcs(f))
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"io"
 	"os"
+	"strconv"
 	"time"
 
 	"nascent"
@@ -19,14 +20,23 @@ import (
 // Both nacc and rangebench expose it behind a -worker flag, so any
 // installed binary can serve as a fleet member.
 //
-// Two chaos sites live here: fleet.worker.kill exits the PROCESS
+// Control frames are served inline: "hello" answers the versioned
+// handshake (protocol + progio version + engine set), "ping" answers a
+// heartbeat probe with an empty response.
+//
+// Four chaos sites live here: fleet.worker.kill exits the PROCESS
 // mid-job (the coordinator sees the pipe close — genuine member loss,
 // not a contained panic) and fleet.worker.hang stalls it until the
-// coordinator's deadline kills it. Both are keyed by "job#attempt" so
-// a retried attempt re-rolls its fate.
+// coordinator's deadline kills it; both are keyed by "job#attempt"
+// (suffixed "~h" for hedged dispatches) so a retried attempt re-rolls
+// its fate. fleet.heartbeat.drop swallows a ping — no response frame —
+// keyed by "member#beat", and fleet.member.stale_version makes the
+// hello advertise the previous progio version, keyed by member index.
 func ServeWorker(r io.Reader, w io.Writer) error {
 	br := bufio.NewReader(r)
 	bw := bufio.NewWriter(w)
+	memberIdx := 0
+	beats := uint64(0)
 	for {
 		var req request
 		if err := readFrame(br, &req); err != nil {
@@ -35,8 +45,42 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 			}
 			return err
 		}
+		if req.Ctrl != "" {
+			resp := &response{ID: req.ID}
+			switch req.Ctrl {
+			case ctrlHello:
+				memberIdx = req.Member
+				hello := &wireHello{
+					Proto:   protoVersion,
+					Progio:  progio.Version,
+					Engines: nascent.EngineNames(),
+				}
+				if chaos.Active() && chaos.Fire(chaos.SiteFleetStaleVersion, strconv.Itoa(memberIdx)) {
+					hello.Progio = progio.Version - 1
+				}
+				resp.Hello = hello
+			case ctrlPing:
+				beats++
+				key := strconv.Itoa(memberIdx) + "#" + strconv.FormatUint(beats, 10)
+				if chaos.Active() && chaos.Fire(chaos.SiteFleetHeartbeatDrop, key) {
+					continue // swallow the probe: the coordinator counts a miss
+				}
+			default:
+				resp.Err = &wireError{Msg: "fleet: unknown control frame " + req.Ctrl, Stage: "decode"}
+			}
+			if err := writeFrame(bw, resp); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			continue
+		}
 		if chaos.Active() {
 			key := chaos.AttemptKey(req.Name, req.Attempt)
+			if req.Hedge {
+				key += "~h"
+			}
 			if chaos.Fire(chaos.SiteFleetKill, key) {
 				os.Exit(3)
 			}

@@ -1,0 +1,130 @@
+package progcache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"nascent/internal/chaos"
+	"nascent/internal/progio"
+)
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	Scanned int // entries examined
+	Corrupt int // entries that failed verification
+	Removed int // corrupt entries successfully unlinked
+}
+
+// Scrub walks every entry on disk once and re-verifies it end to end:
+// the CRC-32C and structural parse (the same splitEnvelope the read
+// path trusts), then a decode→re-encode fixpoint spot check — the
+// progio codec is bit-exact, so an entry whose payload does not
+// re-encode to the identical bytes is damaged in a way the CRC alone
+// could miss (a torn write of a whole valid-looking stream, a codec
+// regression). Corrupt entries are unlinked so the next compile's Put
+// heals them; cold-path counters are updated, hit/miss counters are
+// not. Safe to run concurrently with Get/Put — the atomic rename on
+// write means a scrub never observes a partial entry, and a racing
+// removal is tolerated.
+//
+// The progcache.scrub.corrupt chaos site fires here, keyed by the
+// entry's content-address stem: it flips one byte of the entry as
+// read, drilling the whole detect-unlink-heal path against an intact
+// disk.
+func (c *Cache) Scrub() ScrubReport {
+	var r ScrubReport
+	entries, err := os.ReadDir(c.dir)
+	if err != nil {
+		c.count(func(m *Metrics) { m.ScrubPasses++ })
+		return r
+	}
+	for _, de := range entries {
+		name := de.Name()
+		if de.IsDir() || !strings.HasSuffix(name, ".npc") {
+			continue
+		}
+		path := filepath.Join(c.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue // racing removal (a Get unlinking corruption): not ours
+		}
+		r.Scanned++
+		stem := strings.TrimSuffix(name, ".npc")
+		if chaos.Active() && chaos.Fire(chaos.SiteScrubCorrupt, stem) {
+			data = append([]byte(nil), data...)
+			data[len(data)/2] ^= 0xFF // observed bit rot
+		}
+		if verifyEntry(data) == nil {
+			continue
+		}
+		r.Corrupt++
+		if os.Remove(path) == nil {
+			r.Removed++
+		}
+	}
+	c.count(func(m *Metrics) {
+		m.ScrubPasses++
+		m.ScrubScanned += uint64(r.Scanned)
+		m.ScrubCorrupt += uint64(r.Corrupt)
+		m.ScrubRemoved += uint64(r.Removed)
+	})
+	return r
+}
+
+// verifyEntry is the scrub-side verification: envelope + payload
+// decode + fixpoint.
+func verifyEntry(data []byte) error {
+	_, payload, err := splitEnvelope(data)
+	if err != nil {
+		return err
+	}
+	prog, err := progio.Decode(payload)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(progio.Encode(prog), payload) {
+		return corrupt("decode→re-encode fixpoint violated")
+	}
+	return nil
+}
+
+// StartScrubber runs Scrub every interval on a background goroutine
+// (interval <= 0 selects one minute) and returns a stop function that
+// halts and waits for the goroutine; stop is idempotent. Corruption
+// findings go to logf (nil discards).
+func (c *Cache) StartScrubber(interval time.Duration, logf func(string, ...any)) (stop func()) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	done := make(chan struct{})
+	idle := make(chan struct{})
+	go func() {
+		defer close(idle)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+			}
+			if r := c.Scrub(); r.Corrupt > 0 {
+				logf("progcache: scrub removed %d of %d corrupt entries (%d scanned)", r.Removed, r.Corrupt, r.Scanned)
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-idle
+		})
+	}
+}

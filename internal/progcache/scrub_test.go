@@ -1,0 +1,153 @@
+package progcache_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nascent"
+	"nascent/internal/chaos"
+	"nascent/internal/progcache"
+)
+
+func scrubCache(t *testing.T) (*progcache.Cache, progcache.Key, *progcache.Entry) {
+	t.Helper()
+	c, err := progcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := nascent.Options{BoundsChecks: true, Scheme: nascent.LLS}
+	e := compileEntry(t, "linpackd", opts, true)
+	k := progcache.KeyOf("src-of-linpackd", "linpackd.mf", opts, nascent.EngineVMOpt)
+	if err := c.Put(k, e); err != nil {
+		t.Fatal(err)
+	}
+	return c, k, e
+}
+
+// TestScrubCleanPass: a pass over healthy entries removes nothing and
+// — critically — moves no hit/miss counters: scrubbing is maintenance,
+// not traffic, and the warm-start contract (zero misses on a warmed
+// second generation) must hold under any number of passes.
+func TestScrubCleanPass(t *testing.T) {
+	c, k, _ := scrubCache(t)
+	r := c.Scrub()
+	if r.Scanned != 1 || r.Corrupt != 0 || r.Removed != 0 {
+		t.Fatalf("clean scrub = %+v, want 1 scanned, 0 corrupt", r)
+	}
+	m := c.Metrics()
+	if m.ScrubPasses != 1 || m.ScrubScanned != 1 || m.ScrubCorrupt != 0 || m.ScrubRemoved != 0 {
+		t.Fatalf("scrub metrics = %+v", m)
+	}
+	if m.Hits != 0 || m.Misses != 0 {
+		t.Fatalf("scrub moved traffic counters: %+v", m)
+	}
+	if _, err := c.Get(k); err != nil {
+		t.Fatalf("entry vanished after clean scrub: %v", err)
+	}
+}
+
+// TestScrubRemovesCorrupt: a bit-flipped entry fails the re-CRC, is
+// unlinked, and the next compile's Put heals it.
+func TestScrubRemovesCorrupt(t *testing.T) {
+	c, k, e := scrubCache(t)
+	path := filepath.Join(c.Dir(), k.String()+".npc")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := c.Scrub()
+	if r.Scanned != 1 || r.Corrupt != 1 || r.Removed != 1 {
+		t.Fatalf("scrub of corrupt entry = %+v, want 1/1/1", r)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry not unlinked: %v", err)
+	}
+	m := c.Metrics()
+	if m.ScrubCorrupt != 1 || m.ScrubRemoved != 1 {
+		t.Fatalf("scrub metrics = %+v", m)
+	}
+	if m.Misses != 0 {
+		t.Fatalf("scrub counted a miss: %+v", m)
+	}
+
+	// The read path sees a plain miss, and a re-Put heals the entry.
+	if _, err := c.Get(k); !errors.Is(err, progcache.ErrMiss) {
+		t.Fatalf("Get after scrub removal = %v, want ErrMiss", err)
+	}
+	if err := c.Put(k, e); err != nil {
+		t.Fatal(err)
+	}
+	if c.Scrub().Corrupt != 0 {
+		t.Fatal("healed entry still scrubs corrupt")
+	}
+	if _, err := c.Get(k); err != nil {
+		t.Fatalf("healed entry unreadable: %v", err)
+	}
+}
+
+// TestScrubChaosDrill arms progcache.scrub.corrupt: the scrubber
+// observes a byte flip on an entry that is intact on disk, and the
+// whole detect-unlink-heal path runs against a healthy filesystem —
+// exactly what a soak drill needs.
+func TestScrubChaosDrill(t *testing.T) {
+	c, k, e := scrubCache(t)
+	chaos.Enable(chaos.Spec{Seed: 1, Rate: 1, Site: chaos.SiteScrubCorrupt})
+	defer chaos.Disable()
+
+	r := c.Scrub()
+	if r.Corrupt != 1 || r.Removed != 1 {
+		t.Fatalf("chaos scrub = %+v, want the drilled entry removed", r)
+	}
+	if chaos.Fired() == 0 {
+		t.Fatal("chaos site did not fire")
+	}
+	chaos.Disable()
+
+	if _, err := c.Get(k); !errors.Is(err, progcache.ErrMiss) {
+		t.Fatalf("Get after drill = %v, want ErrMiss", err)
+	}
+	if err := c.Put(k, e); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(k); err != nil {
+		t.Fatalf("entry did not heal after drill: %v", err)
+	}
+}
+
+// TestStartScrubberBackground: the background goroutine finds and
+// removes corruption on its own schedule, and stop() is idempotent.
+func TestStartScrubberBackground(t *testing.T) {
+	c, k, _ := scrubCache(t)
+	path := filepath.Join(c.Dir(), k.String()+".npc")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01 // trailing CRC byte: checksum mismatch
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := c.StartScrubber(10*time.Millisecond, t.Logf)
+	deadline := time.Now().Add(10 * time.Second)
+	for c.Metrics().ScrubRemoved == 0 {
+		if time.Now().After(deadline) {
+			stop()
+			t.Fatalf("background scrubber never removed the corrupt entry: %+v", c.Metrics())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	stop()
+	stop() // idempotent
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry survived the background scrubber: %v", err)
+	}
+}

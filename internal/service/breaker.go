@@ -95,6 +95,26 @@ func (b *breaker) allow(scheme nascent.Scheme, engine nascent.Engine) (degraded 
 	return true, false
 }
 
+// trip forces the pair's circuit open immediately, bypassing the
+// consecutive-failure threshold. The self-auditor uses it: one proven
+// wrong answer outranks any number of healthy-looking responses, so
+// the pair degrades to the reference configuration at once and earns
+// its way back through the normal cooldown-and-probe cycle.
+func (b *breaker) trip(scheme nascent.Scheme, engine nascent.Engine) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	key := pairKey{scheme, engine}
+	st := b.states[key]
+	if st == nil {
+		st = &pairState{}
+		b.states[key] = st
+	}
+	st.open = true
+	st.probing = false
+	st.openedAt = b.now()
+	b.trips++
+}
+
 // isOpen reports whether the pair's circuit is currently open, without
 // moving any counter or starting a probe. resolve uses it to pick a
 // degradation target that is itself healthy.

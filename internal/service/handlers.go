@@ -10,6 +10,7 @@ import (
 
 	"nascent"
 	"nascent/internal/evalpool"
+	"nascent/internal/fleet"
 	"nascent/internal/guard"
 	"nascent/internal/interp"
 	"nascent/internal/oracle"
@@ -300,6 +301,11 @@ func (s *Server) execute(r *http.Request, res *resolved, noCache bool, jobName s
 	if resp.Trapped {
 		resp.NaccExit = 1
 	}
+	if jobName == "run" {
+		// Organic /run traffic only: drills run under armed injection
+		// and would audit the fault, not the service.
+		s.maybeAudit(res, resp)
+	}
 	return resp, nil
 }
 
@@ -413,16 +419,24 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, doc)
 }
 
+// healthDoc is the body of GET /healthz.
+type healthDoc struct {
+	Status   string `json:"status"`
+	UptimeMS int64  `json:"uptime_ms"`
+	InFlight int    `json:"in_flight"`
+	Queued   int64  `json:"queued"`
+	// Fleet lists per-member worker health (id, score, version,
+	// last-heartbeat age) when a fleet is configured.
+	Fleet []fleet.MemberHealth `json:"fleet,omitempty"`
+}
+
 // handleHealthz serves GET /healthz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	type health struct {
-		Status   string `json:"status"`
-		UptimeMS int64  `json:"uptime_ms"`
-		InFlight int    `json:"in_flight"`
-		Queued   int64  `json:"queued"`
-	}
 	st := s.limiter.stats()
-	doc := health{Status: "ok", UptimeMS: s.uptime().Milliseconds(), InFlight: st.InFlight, Queued: st.Queued}
+	doc := healthDoc{Status: "ok", UptimeMS: s.uptime().Milliseconds(), InFlight: st.InFlight, Queued: st.Queued}
+	if s.fleet != nil {
+		doc.Fleet = s.fleet.Health()
+	}
 	status := http.StatusOK
 	if s.draining.Load() {
 		doc.Status = "draining"
@@ -445,7 +459,12 @@ type metricsDoc struct {
 	// resolved through the service cache (the pool's own tier rows
 	// appear under pool.tier_programs).
 	Tiers []evalpool.TierProgramSnapshot `json:"tiers,omitempty"`
-	Chaos chaosDoc                       `json:"chaos"`
+	// Fleet carries the worker fleet's soak counters and per-member
+	// health when a fleet is configured.
+	Fleet *fleet.Stats `json:"fleet,omitempty"`
+	// Audit is the self-audit section (every=0 when disabled).
+	Audit auditStats `json:"audit"`
+	Chaos chaosDoc   `json:"chaos"`
 }
 
 type requestCounters struct {
@@ -464,6 +483,11 @@ type requestCounters struct {
 // supervision snapshot. It stays available while draining (operators
 // watch it to confirm the drain).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var fleetStats *fleet.Stats
+	if s.fleet != nil {
+		st := s.fleet.Stats()
+		fleetStats = &st
+	}
 	writeJSON(w, http.StatusOK, metricsDoc{
 		UptimeMS: s.uptime().Milliseconds(),
 		Draining: s.draining.Load(),
@@ -484,6 +508,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		Breaker:   s.breaker.stats(),
 		Pool:      s.pool.MetricsSnapshot(),
 		Tiers:     s.cache.tierPrograms(),
+		Fleet:     fleetStats,
+		Audit:     s.auditSnapshot(),
 		Chaos:     currentChaos(),
 	})
 }

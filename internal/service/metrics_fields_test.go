@@ -1,0 +1,117 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"nascent/internal/fleet"
+)
+
+// assertFields pins one wire object's exact field set, following the
+// evalpool MetricsSnapshot convention: marshal to a map, require every
+// expected key, and require no extras. Removing or renaming a field is
+// a breaking API change and must show up as a deliberate edit here.
+func assertFields(t *testing.T, label string, v any, want []string) {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", label, err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("%s: unmarshal: %v", label, err)
+	}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Errorf("%s missing field %q", label, k)
+		}
+	}
+	if len(m) != len(want) {
+		t.Errorf("%s has %d fields, want %d: %v", label, len(m), len(want), m)
+	}
+}
+
+// TestMetricsDocFields pins the top-level field set of GET /metrics,
+// with every optional section populated except fleet (pinned
+// separately — spawning worker processes is the fleet package's
+// business).
+func TestMetricsDocFields(t *testing.T) {
+	s := newTestServer(t, func(c *Config) {
+		c.ProgCacheDir = t.TempDir()
+		c.AuditEvery = 1
+	})
+	// A tiered run populates the tiers section and one audit sample.
+	req := RunRequest{CompileRequest: CompileRequest{Source: progOK, Engine: "tiered"}}
+	if w := do(t, s, "POST", "/run", req, nil); w.Code != http.StatusOK {
+		t.Fatalf("run status = %d, body %s", w.Code, w.Body.String())
+	}
+	s.settleAudits()
+
+	var m map[string]any
+	if w := do(t, s, "GET", "/metrics", nil, &m); w.Code != http.StatusOK {
+		t.Fatalf("metrics status = %d", w.Code)
+	}
+	want := []string{
+		"uptime_ms", "draining", "requests", "admission", "cache",
+		"disk_cache", "breaker", "pool", "tiers", "audit", "chaos",
+	}
+	for _, k := range want {
+		if _, ok := m[k]; !ok {
+			t.Errorf("metrics missing field %q", k)
+		}
+	}
+	if len(m) != len(want) {
+		t.Errorf("metrics has %d fields, want %d: %v", len(m), len(want), m)
+	}
+
+	audit, _ := m["audit"].(map[string]any)
+	assertFields(t, "audit", audit, []string{"every", "sampled", "clean", "violations", "errors"})
+	if audit["sampled"].(float64) != 1 || audit["clean"].(float64) != 1 {
+		t.Errorf("audit section = %v, want one clean sample", audit)
+	}
+
+	requests, _ := m["requests"].(map[string]any)
+	assertFields(t, "requests", requests, []string{
+		"compile", "run", "verify", "report", "drill",
+		"errors_4xx", "errors_5xx", "healed", "contained_panics",
+	})
+
+	disk, _ := m["disk_cache"].(map[string]any)
+	assertFields(t, "disk_cache", disk, []string{
+		"hits", "misses", "corrupt", "bad_version", "puts", "write_errors",
+		"scrub_passes", "scrub_scanned", "scrub_corrupt", "scrub_removed",
+	})
+}
+
+// TestFleetWireFields pins the fleet sections nascentd serves under
+// /metrics (fleet.Stats) and /healthz (fleet.MemberHealth). The
+// structs are marshaled directly: their wire shape is the contract,
+// regardless of whether a fleet is running.
+func TestFleetWireFields(t *testing.T) {
+	st := fleet.Stats{Members: []fleet.MemberHealth{{PID: 42}}}
+	assertFields(t, "fleet stats", st, []string{
+		"hedges", "hedge_wins", "hedge_mismatches", "skew_degrades",
+		"heartbeat_misses", "proactive_respawns", "rolls", "members",
+	})
+	assertFields(t, "fleet member", st.Members[0], []string{
+		"id", "up", "pid", "score", "latency_ewma_ms", "consec_fails",
+		"heartbeat_misses", "beats", "last_beat_age_ms",
+		"proto_version", "progio_version", "skewed", "draining",
+		"respawns", "in_flight",
+	})
+}
+
+// TestHealthzFields pins GET /healthz: the base field set without a
+// fleet, and the fleet key's presence in the document type.
+func TestHealthzFields(t *testing.T) {
+	s := newTestServer(t, nil)
+	var m map[string]any
+	if w := do(t, s, "GET", "/healthz", nil, &m); w.Code != http.StatusOK {
+		t.Fatalf("healthz status = %d", w.Code)
+	}
+	assertFields(t, "healthz", m, []string{"status", "uptime_ms", "in_flight", "queued"})
+
+	doc := healthDoc{Fleet: []fleet.MemberHealth{{}}}
+	assertFields(t, "healthz with fleet", doc, []string{"status", "uptime_ms", "in_flight", "queued", "fleet"})
+}

@@ -1,0 +1,50 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestScrubberWiredThroughConfig: with ScrubInterval set, the server
+// runs the disk cache's background scrubber — a bit-flipped entry is
+// detected and unlinked without any request touching it — and Drain
+// stops the scrubber cleanly.
+func TestScrubberWiredThroughConfig(t *testing.T) {
+	dir := t.TempDir()
+	s := newTestServer(t, func(c *Config) {
+		c.ProgCacheDir = dir
+		c.ScrubInterval = 10 * time.Millisecond
+	})
+
+	req := CompileRequest{Source: progOK, Options: Options{Scheme: "all"}, Engine: "vmopt"}
+	var resp CompileResponse
+	if w := do(t, s, "POST", "/compile", req, &resp); w.Code != http.StatusOK {
+		t.Fatalf("compile status = %d, body %s", w.Code, w.Body.String())
+	}
+	path := filepath.Join(dir, resp.CacheKey+".npc")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("disk entry not written: %v", err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for s.diskStats().ScrubRemoved == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("scrubber never removed the corrupt entry: %+v", *s.diskStats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("corrupt entry still on disk: %v", err)
+	}
+
+	s.Drain(context.Background())
+}

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"net/http"
@@ -75,6 +76,23 @@ type Config struct {
 	// logged and disabled: /report falls back to the in-process pool.
 	FleetWorkers int
 	FleetCommand func(i int) *exec.Cmd
+	// FleetHedgeAfter passes through to fleet.Config.HedgeAfter:
+	// positive duplicates a still-pending fleet attempt after that
+	// fixed delay, negative enables the adaptive (latency-EWMA-based)
+	// hedging quantile, zero disables hedging.
+	FleetHedgeAfter time.Duration
+
+	// AuditEvery > 0 enables the in-service differential self-audit:
+	// every AuditEvery-th successful /run on a non-tree engine is
+	// re-executed on the tree reference engine off the hot path and
+	// compared field for field (audit.go). Zero disables auditing.
+	AuditEvery int
+
+	// ScrubInterval > 0 runs the disk program cache's background
+	// scrubber at that period (re-CRC + decode→re-encode fixpoint,
+	// corrupt entries unlinked). Zero disables it; no effect without
+	// ProgCacheDir.
+	ScrubInterval time.Duration
 
 	// Pool configures the supervised evalpool (retry/quarantine policy).
 	Pool evalpool.Config
@@ -158,6 +176,20 @@ type Server struct {
 	inflight sync.WaitGroup
 	started  time.Time
 
+	// scrubStop halts the background disk-cache scrubber (nil when not
+	// running).
+	scrubStop func()
+
+	// Self-audit state: auditTick paces the sampler, auditWG tracks
+	// background audit goroutines (Drain waits for them after
+	// cancelling baseCtx, so a drained server has no audit in flight).
+	auditTick        atomic.Uint64
+	auditWG          sync.WaitGroup
+	nAuditSampled    atomic.Uint64
+	nAuditClean      atomic.Uint64
+	nAuditViolations atomic.Uint64
+	nAuditErrors     atomic.Uint64
+
 	// request counters (wire form in metricsDoc).
 	nCompile atomic.Uint64
 	nRun     atomic.Uint64
@@ -191,13 +223,21 @@ func New(cfg Config) *Server {
 		} else {
 			s.disk = disk
 			s.pool.SetDiskCache(disk)
+			if cfg.ScrubInterval > 0 {
+				s.scrubStop = disk.StartScrubber(cfg.ScrubInterval, cfg.Logf)
+			}
 		}
 	}
 	if cfg.FleetWorkers > 0 {
 		fl, err := fleet.New(fleet.Config{
 			Workers: cfg.FleetWorkers,
 			Command: cfg.FleetCommand,
-			Logf:    cfg.Logf,
+			// The pool's per-attempt deadline applies to remote attempts
+			// too: a hung worker process is killed and the job retried,
+			// exactly like a hung in-process worker.
+			JobTimeout: cfg.Pool.JobTimeout,
+			HedgeAfter: cfg.FleetHedgeAfter,
+			Logf:       cfg.Logf,
 		})
 		if err != nil {
 			cfg.Logf("nascentd: fleet disabled: %v", err)
@@ -468,10 +508,34 @@ func (s *Server) Drain(ctx context.Context) {
 		<-done
 	}
 	s.baseCancel()
+	// Background audits observe the cancelled baseCtx at their next
+	// poll point; waiting here means a drained server reports final
+	// audit counters (an abandoned audit is uncounted, never a
+	// violation).
+	s.auditWG.Wait()
+	if s.scrubStop != nil {
+		s.scrubStop()
+	}
 	if s.fleet != nil {
 		s.fleet.Close()
 	}
 	s.cfg.Logf("nascentd: drained; %s", s.pool.Metrics().String())
+}
+
+// ErrNoFleet reports a fleet operation on a server running without a
+// worker fleet.
+var ErrNoFleet = errors.New("service: no fleet configured")
+
+// RollFleet performs a zero-downtime rolling restart of the worker
+// fleet: each member is drained, stopped, respawned, and re-handshaken
+// in turn while the rest keep serving (fleet.Roll). nascentd wires it
+// to SIGHUP; a second roll while one is in flight returns
+// fleet.ErrRollInProgress.
+func (s *Server) RollFleet(ctx context.Context) error {
+	if s.fleet == nil {
+		return ErrNoFleet
+	}
+	return s.fleet.Roll(ctx)
 }
 
 // diskStats snapshots the disk cache counters (nil when disabled).
