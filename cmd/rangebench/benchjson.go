@@ -103,24 +103,30 @@ func prepare(name, source string) (*benchProg, error) {
 	if err != nil {
 		return nil, fmt.Errorf("vm optimize: %w", err)
 	}
+	rce, err := vm.CompileRCE(cp.IR)
+	if err != nil {
+		return nil, fmt.Errorf("vm rce compile: %w", err)
+	}
 	res, err := cp.RunWith(nascent.RunConfig{})
 	if err != nil {
 		return nil, fmt.Errorf("run: %w", err)
 	}
-	// The jit fuses what the profile says this program executes.
-	_, ds, err := opt.RunDispatch(nascent.RunConfig{})
+	// The jit fuses what the profile says this program executes. Its
+	// input is the guard/deopt (vmrce) bytecode — the same pairing the
+	// tier controller ships — so the profile comes from that program.
+	_, ds, err := rce.RunDispatch(nascent.RunConfig{})
 	if err != nil {
 		return nil, fmt.Errorf("profile run: %w", err)
 	}
-	jp, err := vm.JITCompile(opt, &ds)
+	jp, err := vm.JITCompile(rce, &ds)
 	if err != nil {
 		return nil, fmt.Errorf("jit compile: %w", err)
 	}
-	// Tiered steady state: warm the controller past both promotion
+	// Tiered steady state: warm the controller past all three promotion
 	// points so the timed runs measure the top tier plus the (cheap)
 	// hotness bookkeeping, which is what a long-lived program pays.
-	tp := tier.FromBytecode(bc, tier.Thresholds{OptRuns: 1, JitRuns: 2})
-	for i := 0; i < 3; i++ {
+	tp := tier.FromBytecode(bc, tier.Thresholds{OptRuns: 1, RceRuns: 2, JitRuns: 3})
+	for i := 0; i < 5; i++ {
 		if _, err := tp.Run(nascent.RunConfig{}); err != nil {
 			return nil, fmt.Errorf("tiered warm-up: %w", err)
 		}
@@ -134,6 +140,7 @@ func prepare(name, source string) (*benchProg, error) {
 			"tree":   func() error { _, err := cp.RunWith(nascent.RunConfig{}); return err },
 			"vm":     func() error { _, err := bc.Run(nascent.RunConfig{}); return err },
 			"vmopt":  func() error { _, err := opt.Run(nascent.RunConfig{}); return err },
+			"vmrce":  func() error { _, err := rce.Run(nascent.RunConfig{}); return err },
 			"vmjit":  func() error { _, err := jp.Run(nascent.RunConfig{}); return err },
 			"tiered": func() error { _, err := tp.Run(nascent.RunConfig{}); return err },
 		},
@@ -193,13 +200,14 @@ func runBenchJSON(path string) int {
 		Description: "Suite-wide execution of the 10 Table-1 programs compiled naive " +
 			"(all range checks live) under every registered engine: tree-walking " +
 			"reference interpreter, bytecode VM, superinstruction-optimized VM, " +
-			"profile-guided closure-compiled jit, and the tiering controller at " +
-			"steady state. Programs are compiled (and the jit closure-compiled " +
-			"against a real dispatch profile) outside the timer; ns/op and " +
-			"allocs/op are pure execution, best of three interleaved " +
-			"repetitions per engine. All engines execute identical dynamic " +
-			"instruction streams (conformance-pinned), so ns/op ratios are true " +
-			"engine speedups.",
+			"guard/deopt range-check-eliminated VM, profile-guided " +
+			"closure-compiled jit (over the vmrce bytecode), and the tiering " +
+			"controller at steady state. Programs are compiled (and the jit " +
+			"closure-compiled against a real dispatch profile) outside the " +
+			"timer; ns/op and allocs/op are pure execution, best of three " +
+			"interleaved repetitions per engine. All engines produce identical " +
+			"observables (conformance-pinned), so ns/op ratios are true engine " +
+			"speedups.",
 		Date: time.Now().Format("2006-01-02"),
 		Host: benchHost{
 			GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
@@ -209,13 +217,17 @@ func runBenchJSON(path string) int {
 		Command: "rangebench -benchjson " + path,
 		Speedup: map[string]float64{},
 		Notes: "vmopt rewrites the vm bytecode with copy propagation, dead-code " +
-			"elimination, and superinstruction fusion; vmjit compiles each basic " +
-			"block of the optimized bytecode into chained Go closures and fuses " +
-			"the digrams/trigrams the program's own dispatch profile ranks hot; " +
-			"tiered starts on vm and promotes through vmopt to vmjit in the " +
-			"background as hotness thresholds are crossed (measured here fully " +
-			"warm). Every observable (counters, traps, output) is pinned " +
-			"identical by the conformance corpus and golden tables.",
+			"elimination, and superinstruction fusion; vmrce layers guarded " +
+			"range-check elimination on top (one preheader guard per proven " +
+			"loop family, guard-free fast copies, deopt to the fully checked " +
+			"originals, eliminated checks bulk-counted); vmjit compiles each " +
+			"basic block of the vmrce bytecode into chained Go closures and " +
+			"fuses the digrams/trigrams the program's own dispatch profile " +
+			"ranks hot; tiered starts on vm and promotes through vmopt and " +
+			"vmrce to vmjit in the background as hotness thresholds are " +
+			"crossed (measured here fully warm). Every observable (counters, " +
+			"traps, output) is pinned identical by the conformance corpus and " +
+			"golden tables.",
 	}
 	// Best of three interleaved repetitions per engine: single
 	// repetitions on a shared box swing ±15%, and interleaving

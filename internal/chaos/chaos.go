@@ -76,6 +76,14 @@ const (
 	SiteVMBudget Site = "vm.poll.budget"
 	SiteVMCancel Site = "vm.poll.cancel"
 	SiteVMPanic  Site = "vm.poll.panic"
+	// SiteRCEGuardFail forces a passing preheader range guard (the rce
+	// pass's opRangeGuard, in both the switch VM and the jit) to take
+	// its deopt edge anyway: the original fully-checked loop code runs
+	// instead of the guard-free fast copy. Deopt is the original
+	// semantics, so every observable must stay byte-identical — this
+	// site exists to keep the deopt path continuously exercised. Keyed
+	// by the containing function's name.
+	SiteRCEGuardFail Site = "vm.rce.guard.fail"
 	// SiteWorkerKill kills an evalpool worker mid-job (a panic the
 	// supervisor must catch and retry on a fresh worker). Keyed by
 	// "job#attempt", so a retried attempt re-rolls its fate.
@@ -91,7 +99,8 @@ const (
 	// Optimize/JITCompile recompilation the tiering controller runs off
 	// the hot path). The program must keep serving runs at its current
 	// tier — promotion failure is contained, never observable in
-	// results. Keyed by the target tier name ("vmopt" or "vmjit").
+	// results. Keyed by the target tier name ("vmopt", "vmrce", or
+	// "vmjit").
 	SiteTierPromote Site = "tier.promote.fail"
 	// SiteFleetKill terminates a fleet worker PROCESS mid-job
 	// (os.Exit, not a panic): the coordinator must observe the pipe
@@ -135,6 +144,7 @@ var Sites = []Site{
 	SiteLowerPanic, SiteOptPanic, SiteOptMalformed,
 	SiteTreeBudget, SiteTreeCancel, SiteTreePanic,
 	SiteVMBudget, SiteVMCancel, SiteVMPanic,
+	SiteRCEGuardFail,
 	SiteWorkerKill, SiteWorkerHang, SiteWorkerSlow,
 	SiteTierPromote,
 	SiteFleetKill, SiteFleetHang,

@@ -366,7 +366,8 @@ func (p *Pool) frontend(job *Job, key feKey) (*nascent.Frontend, time.Duration, 
 // bytecodeEngine reports whether eng runs through the bytecode memo.
 func bytecodeEngine(eng nascent.Engine) bool {
 	switch eng {
-	case nascent.EngineVM, nascent.EngineVMOpt, nascent.EngineVMJit, nascent.EngineTiered:
+	case nascent.EngineVM, nascent.EngineVMOpt, nascent.EngineVMRCE,
+		nascent.EngineVMJit, nascent.EngineTiered:
 		return true
 	}
 	return false
@@ -378,8 +379,9 @@ func bytecodeEngine(eng nascent.Engine) bool {
 // pipeline is deterministic, so every job with the same (source,
 // filename, options, engine) lowers to equivalent IR, and one
 // immutable vm.Program serves them all — EngineVMOpt entries
-// additionally run the superinstruction optimizer once and share the
-// rewritten program, while EngineVMJit and EngineTiered entries hold
+// additionally run the superinstruction optimizer once, EngineVMRCE
+// entries the guard/deopt range-check-elimination pipeline, and both
+// share the rewritten program, while EngineVMJit and EngineTiered entries hold
 // a mutable tier handle whose hotness state persists across jobs (the
 // second job for the same source runs warmer than the first). A
 // Mutate hook (the oracle's miscompilation injector) changes the IR
@@ -431,8 +433,13 @@ func (p *Pool) execute(job *Job, key feKey, prog *nascent.Program) (nascent.RunR
 		}
 		if vp == nil {
 			switch eng {
-			case nascent.EngineVMOpt, nascent.EngineVMJit:
+			case nascent.EngineVMOpt:
 				vp, e.err = vm.CompileOptimized(prog.IR)
+			case nascent.EngineVMRCE, nascent.EngineVMJit:
+				// The guard/deopt rewrite plus the optimizer: vmrce runs
+				// it on the switch VM, vmjit closure-compiles the same
+				// stream (vmrce is the jit's input tier).
+				vp, e.err = vm.CompileRCE(prog.IR)
 			default:
 				vp, e.err = vm.Compile(prog.IR)
 			}

@@ -130,13 +130,25 @@ type encEntry struct {
 	err  error
 }
 
-// encKey addresses one encoding memo slot. The optimized flag is
+// encLevel is the rewrite pipeline a shipped program went through:
+// the base lowering, the optimized stream, or the guard/deopt
+// range-check-eliminated stream (which vmrce runs and vmjit
+// closure-compiles).
+type encLevel uint8
+
+const (
+	encBase encLevel = iota
+	encOpt
+	encRce
+)
+
+// encKey addresses one encoding memo slot. The rewrite level is
 // separate from the content key because the tiered engine ships the
-// same (source, options, engine) at different optimization levels as
-// its programs heat up.
+// same (source, options, engine) at different levels as its programs
+// heat up.
 type encKey struct {
-	key progcache.Key
-	opt bool
+	key   progcache.Key
+	level encLevel
 }
 
 // New starts a fleet: Workers processes are spawned lazily on first
@@ -333,12 +345,12 @@ func filenameOr(name string) string {
 }
 
 // encoded returns the progio stream for a bytecode job, compiling and
-// encoding once per (source, filename, options, engine, optimization
+// encoding once per (source, filename, options, engine, rewrite
 // level).
-func (f *Fleet) encoded(job *evalpool.Job, prog *nascent.Program, optimized bool) ([]byte, error) {
+func (f *Fleet) encoded(job *evalpool.Job, prog *nascent.Program, level encLevel) ([]byte, error) {
 	opts := job.Opts
 	opts.Filename = ""
-	key := encKey{progcache.KeyOf(job.Source, filenameOr(job.Filename), opts, job.Run.Engine), optimized}
+	key := encKey{progcache.KeyOf(job.Source, filenameOr(job.Filename), opts, job.Run.Engine), level}
 	f.mu.Lock()
 	e := f.encMemo[key]
 	if e == nil {
@@ -349,9 +361,12 @@ func (f *Fleet) encoded(job *evalpool.Job, prog *nascent.Program, optimized bool
 	e.once.Do(func() {
 		var vp *vm.Program
 		var err error
-		if optimized {
+		switch level {
+		case encRce:
+			vp, err = vm.CompileRCE(prog.IR)
+		case encOpt:
 			vp, err = vm.CompileOptimized(prog.IR)
-		} else {
+		default:
 			vp, err = vm.Compile(prog.IR)
 		}
 		if err != nil {
@@ -389,13 +404,27 @@ func (f *Fleet) buildShipment(job *evalpool.Job, res *evalpool.Result, tierName 
 		},
 	}
 	switch job.Run.Engine {
-	case nascent.EngineVM, nascent.EngineVMOpt, nascent.EngineVMJit, nascent.EngineTiered:
-		// vmopt, vmjit, and warm tiered jobs ship optimized bytes; vm
-		// and cold tiered jobs ship the base lowering.
-		optimized := job.Run.Engine == nascent.EngineVMOpt ||
-			job.Run.Engine == nascent.EngineVMJit ||
-			(job.Run.Engine == nascent.EngineTiered && tierName != tier.TierVM)
-		data, err := f.encoded(job, res.Prog, optimized)
+	case nascent.EngineVM, nascent.EngineVMOpt, nascent.EngineVMRCE,
+		nascent.EngineVMJit, nascent.EngineTiered:
+		// vmopt jobs ship optimized bytes; vmrce and vmjit (whose input
+		// tier is the guard/deopt rewrite) ship rce bytes; vm and cold
+		// tiered jobs ship the base lowering; warm tiered jobs ship the
+		// bytes of the tier they resolved to.
+		level := encBase
+		switch job.Run.Engine {
+		case nascent.EngineVMOpt:
+			level = encOpt
+		case nascent.EngineVMRCE, nascent.EngineVMJit:
+			level = encRce
+		case nascent.EngineTiered:
+			switch tierName {
+			case tier.TierVMOpt:
+				level = encOpt
+			case tier.TierVMRCE, tier.TierVMJit:
+				level = encRce
+			}
+		}
+		data, err := f.encoded(job, res.Prog, level)
 		if err != nil {
 			return nil, err
 		}

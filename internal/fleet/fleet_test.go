@@ -93,6 +93,11 @@ func TestIdentityTables(t *testing.T) {
 		// byte for byte even though promotion state never leaves the
 		// coordinator.
 		{"table2/vmjit", nascent.EngineVMJit, (*report.Runner).Table2},
+		// The guard/deopt engine ships at the rce encoding level: the
+		// preheader guards and bulk-counted checks cross the wire baked
+		// into the bytecode, so workers replay the exact elimination the
+		// coordinator compiled.
+		{"table2/vmrce", nascent.EngineVMRCE, (*report.Runner).Table2},
 		{"table3/tiered", nascent.EngineTiered, (*report.Runner).Table3},
 	}
 	for _, tc := range cases {

@@ -31,11 +31,21 @@ const (
 	// byte-identical to the other engines; only dispatch count and
 	// wall-clock change. Linked together with EngineVM.
 	EngineVMOpt
+	// EngineVMRCE is the bytecode VM running guard/deopt bytecode: after
+	// vm.Compile, the range-check elimination pass (internal/vm rce.go)
+	// synthesizes one preheader range guard per eligible loop, clones the
+	// loop's function with the proven-redundant checks replaced by bulk
+	// counter adds, and keeps the original fully-checked code as the
+	// deopt target; the result then runs through the vmopt pipeline.
+	// Observables are byte-identical to the other engines — eliminated
+	// checks are still counted — only executed check instructions and
+	// wall-clock change. Linked together with EngineVM.
+	EngineVMRCE
 	// EngineVMJit is the closure-compiled top tier: every basic block of
-	// the optimized bytecode is compiled into a chain of Go closures
-	// (computed-goto-style dispatch, no central switch) with
-	// profile-guided superinstruction selection. Same observables as the
-	// other engines. Linked together with EngineVM.
+	// the guard/deopt-rewritten, optimized bytecode is compiled into a
+	// chain of Go closures (computed-goto-style dispatch, no central
+	// switch) with profile-guided superinstruction selection. Same
+	// observables as the other engines. Linked together with EngineVM.
 	EngineVMJit
 	// EngineTiered is the profile-guided tiering controller
 	// (internal/vm/tier): a program starts on EngineVM and is promoted in
@@ -49,7 +59,7 @@ const (
 	numEngines = iota
 )
 
-var engineNames = [numEngines]string{"tree", "vm", "vmopt", "vmjit", "tiered"}
+var engineNames = [numEngines]string{"tree", "vm", "vmopt", "vmrce", "vmjit", "tiered"}
 
 func (e Engine) String() string {
 	if int(e) < len(engineNames) {
@@ -58,15 +68,15 @@ func (e Engine) String() string {
 	return fmt.Sprintf("Engine(%d)", uint8(e))
 }
 
-// ParseEngine maps a flag value ("tree", "vm", "vmopt", "vmjit", or
-// "tiered") to an Engine.
+// ParseEngine maps a flag value ("tree", "vm", "vmopt", "vmrce",
+// "vmjit", or "tiered") to an Engine.
 func ParseEngine(s string) (Engine, error) {
 	for i, n := range engineNames {
 		if s == n {
 			return Engine(i), nil
 		}
 	}
-	return EngineTree, fmt.Errorf("interp: unknown engine %q (want tree, vm, vmopt, vmjit, or tiered)", s)
+	return EngineTree, fmt.Errorf("interp: unknown engine %q (want tree, vm, vmopt, vmrce, vmjit, or tiered)", s)
 }
 
 // EngineNames lists every engine's flag spelling in Engine order. The

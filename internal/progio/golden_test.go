@@ -3,6 +3,7 @@ package progio_test
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
@@ -11,23 +12,54 @@ import (
 	"nascent"
 	"nascent/internal/progio"
 	"nascent/internal/suite"
+	"nascent/internal/vm"
 )
 
 var update = flag.Bool("update", false, "rewrite the golden .bin fixtures")
 
 // goldenConfigs are the pinned (program, options, pipeline) triples
-// behind testdata/*.bin. Three suite programs across the optimizer
-// range: the naive tree baseline, a scheme-optimized build, and the
-// superinstruction-fused pipeline.
+// behind testdata/*.bin. Four suite programs across the optimizer
+// range: the naive tree baseline, a scheme-optimized build, the
+// superinstruction-fused pipeline, and the guard/deopt (vmrce)
+// pipeline whose opRangeGuard/opCkAdd instructions motivated the
+// format-version 2 rev.
 var goldenConfigs = []struct {
-	fixture   string
-	program   string
-	opts      nascent.Options
-	optimized bool
+	fixture  string
+	program  string
+	opts     nascent.Options
+	pipeline string // "vm", "vmopt", or "vmrce"
 }{
-	{"vortex_naive_vm.bin", "vortex", nascent.Options{BoundsChecks: true, Scheme: nascent.Naive}, false},
-	{"mdg_lls_vm.bin", "mdg", nascent.Options{BoundsChecks: true, Scheme: nascent.LLS}, false},
-	{"linpackd_lls_vmopt.bin", "linpackd", nascent.Options{BoundsChecks: true, Scheme: nascent.LLS}, true},
+	{"vortex_naive_vm.bin", "vortex", nascent.Options{BoundsChecks: true, Scheme: nascent.Naive}, "vm"},
+	{"mdg_lls_vm.bin", "mdg", nascent.Options{BoundsChecks: true, Scheme: nascent.LLS}, "vm"},
+	{"linpackd_lls_vmopt.bin", "linpackd", nascent.Options{BoundsChecks: true, Scheme: nascent.LLS}, "vmopt"},
+	{"trfd_lls_vmrce.bin", "trfd", nascent.Options{BoundsChecks: true, Scheme: nascent.LLS}, "vmrce"},
+}
+
+// compileGolden builds one golden config through its pinned pipeline.
+func compileGolden(t testing.TB, program string, opts nascent.Options, pipeline string) *vm.Program {
+	t.Helper()
+	p, err := suite.Get(program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Filename = program + ".mf"
+	prog, err := nascent.Compile(p.Source, opts)
+	if err != nil {
+		t.Fatalf("compile %s: %v", program, err)
+	}
+	var vp *vm.Program
+	switch pipeline {
+	case "vmopt":
+		vp, err = vm.CompileOptimized(prog.IR)
+	case "vmrce":
+		vp, err = vm.CompileRCE(prog.IR)
+	default:
+		vp, err = vm.Compile(prog.IR)
+	}
+	if err != nil {
+		t.Fatalf("vm compile %s (%s): %v", program, pipeline, err)
+	}
+	return vp
 }
 
 // TestGoldenFixtures pins the exact byte stream of the current format
@@ -41,11 +73,7 @@ var goldenConfigs = []struct {
 func TestGoldenFixtures(t *testing.T) {
 	for _, gc := range goldenConfigs {
 		t.Run(gc.fixture, func(t *testing.T) {
-			p, err := suite.Get(gc.program)
-			if err != nil {
-				t.Fatal(err)
-			}
-			enc := progio.Encode(compileVM(t, p.Source, gc.program+".mf", gc.opts, gc.optimized))
+			enc := progio.Encode(compileGolden(t, gc.program, gc.opts, gc.pipeline))
 			path := filepath.Join("testdata", gc.fixture)
 
 			if *update {
@@ -95,6 +123,53 @@ func TestGoldenVersionGuard(t *testing.T) {
 	}
 }
 
+// TestOldVersionFixtures pins the reader's behavior on streams from a
+// previous format generation. testdata/v1/ holds fixtures frozen at
+// format version 1, exactly as they shipped before the guard/deopt
+// metadata rev; the current reader must reject each with a typed
+// *VersionError naming the old version — never a generic corruption
+// error, and never a successful decode. This is the contract a cache
+// or fleet node relies on to know "re-encode" rather than "discard as
+// damaged" when it meets its own stale artifacts after an upgrade.
+func TestOldVersionFixtures(t *testing.T) {
+	old, err := filepath.Glob(filepath.Join("testdata", "v1", "*.bin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(old) == 0 {
+		t.Fatal("no frozen v1 fixtures under testdata/v1")
+	}
+	for _, path := range old {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = progio.Decode(data)
+			if err == nil {
+				t.Fatal("v1 fixture decoded under a v2 reader")
+			}
+			var ve *progio.VersionError
+			if !errors.As(err, &ve) {
+				t.Fatalf("want *VersionError, got %T: %v", err, err)
+			}
+			if ve.Got != 1 {
+				t.Fatalf("VersionError.Got = %d, want 1", ve.Got)
+			}
+			if ve.OpSkew {
+				t.Fatalf("version mismatch misreported as opcode skew: %v", ve)
+			}
+			if !errors.Is(err, progio.ErrVersion) {
+				t.Fatalf("errors.Is(err, ErrVersion) is false for %v", err)
+			}
+			var ce *progio.CorruptError
+			if errors.As(err, &ce) {
+				t.Fatalf("version mismatch surfaced as corruption: %v", err)
+			}
+		})
+	}
+}
+
 // TestGoldenFixturesRun executes each fixture as decoded from disk
 // and requires bit-identical observables to the freshly compiled
 // program — the disk path cannot drift from the compile path.
@@ -109,11 +184,7 @@ func TestGoldenFixturesRun(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			p, err := suite.Get(gc.program)
-			if err != nil {
-				t.Fatal(err)
-			}
-			fresh := compileVM(t, p.Source, gc.program+".mf", gc.opts, gc.optimized)
+			fresh := compileGolden(t, gc.program, gc.opts, gc.pipeline)
 
 			want, err1 := fresh.Run(nascent.RunConfig{})
 			got, err2 := decoded.Run(nascent.RunConfig{})

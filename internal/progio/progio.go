@@ -35,7 +35,17 @@ import (
 // to the encoding — field order, widths, sections, semantics. The
 // golden-fixture tests pin the byte stream of the current version;
 // changing the encoding without bumping trips them.
-const Version uint16 = 1
+//
+// History:
+//
+//	1 — initial format.
+//	2 — guard/deopt metadata: programs may carry opRangeGuard /
+//	    opCkAdd instructions and their pool tuples (the vmrce
+//	    rewrite), and header flags bit 1 records whether the
+//	    elimination pass ran. A v1 reader would run such a program as
+//	    corrupt-opcode garbage, so the rev makes old readers reject
+//	    new streams with a typed *VersionError instead.
+const Version uint16 = 2
 
 // magic identifies a progio stream ("nascent program").
 var magic = [4]byte{'N', 'P', 'R', 'G'}
@@ -277,6 +287,9 @@ func EncodeImage(im *vm.Image) []byte {
 	if im.Optimized {
 		flags |= 1
 	}
+	if im.RCE {
+		flags |= 2
+	}
 	b = AppendUint8(b, flags)
 	b = AppendInt32(b, im.NIntRegs)
 	b = AppendInt32(b, im.NFloatRegs)
@@ -387,10 +400,11 @@ func DecodeImage(data []byte) (*vm.Image, error) {
 	if flags, rest, ok = ReadUint8(rest); !ok {
 		return nil, corrupt("truncated header")
 	}
-	if flags&^1 != 0 {
+	if flags&^3 != 0 {
 		return nil, corrupt("unknown flag bits %02x", flags)
 	}
 	im.Optimized = flags&1 != 0
+	im.RCE = flags&2 != 0
 	if im.NIntRegs, rest, ok = ReadInt32(rest); !ok {
 		return nil, corrupt("truncated header")
 	}

@@ -151,6 +151,40 @@ func TestGoldenTablesVMJit(t *testing.T) {
 	}
 }
 
+// TestGoldenTablesVMRCE regenerates Tables 1–3 under the guard/deopt
+// range-check-eliminated engine at two worker counts and diffs them
+// against the same engine-independent golden files. vmrce removes
+// check dispatch from proven loop families behind preheader guards and
+// bulk-counts what it removed, so every counter — including the check
+// columns the tables are built from — must land exactly where the
+// tree-walker puts it, at any parallelism.
+func TestGoldenTablesVMRCE(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full tables in short mode")
+	}
+	for _, jobs := range []int{1, 8} {
+		jobs := jobs
+		t.Run(fmt.Sprintf("jobs=%d", jobs), func(t *testing.T) {
+			funcs := tableFuncs(report.New(report.Config{Jobs: jobs, Engine: nascent.EngineVMRCE}))
+			for n := 1; n <= 3; n++ {
+				got, err := funcs[n]()
+				if err != nil {
+					t.Fatalf("table %d at jobs=%d: %v", n, jobs, err)
+				}
+				path := filepath.Join("testdata", "golden", fmt.Sprintf("table%d.txt", n))
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("%v (run TestGoldenTables with -update to create)", err)
+				}
+				if got != string(want) {
+					t.Errorf("table %d under the vmrce engine at jobs=%d drifted from golden %s\n--- vmrce ---\n%s\n--- golden ---\n%s",
+						n, jobs, path, got, want)
+				}
+			}
+		})
+	}
+}
+
 // TestGoldenTablesTiered regenerates Tables 1–3 under the tiering
 // controller at several worker counts and diffs each against the same
 // golden files. This is the determinism half of the tiering claim:

@@ -139,14 +139,20 @@ func (s *Server) resolve(req *RunRequest) (*resolved, *Error) {
 	degraded, probe := s.breaker.allow(opts.Scheme, engine)
 	r.probe = probe
 	if degraded {
-		// A tripped top tier degrades one tier down, not to the floor:
-		// vmjit and tiered fall to the optimized switch VM under the
-		// same scheme (identical observables, a tier's worth of speed) —
-		// unless that pair's circuit is open too, in which case the
-		// reference configuration serves.
+		// A tripped top tier degrades down the ladder, not to the floor:
+		// vmjit and tiered fall to the guard/deopt switch VM (vmrce),
+		// vmrce to the optimized switch VM (vmopt) — identical
+		// observables, a tier's worth of speed each step — skipping any
+		// rung whose own circuit is open; when the whole ladder is open
+		// the reference configuration serves.
 		toScheme, toEngine := nascent.Naive, nascent.EngineTree
-		if (engine == nascent.EngineVMJit || engine == nascent.EngineTiered) &&
-			!s.breaker.isOpen(opts.Scheme, nascent.EngineVMOpt) {
+		switch {
+		case (engine == nascent.EngineVMJit || engine == nascent.EngineTiered) &&
+			!s.breaker.isOpen(opts.Scheme, nascent.EngineVMRCE):
+			toScheme, toEngine = opts.Scheme, nascent.EngineVMRCE
+		case (engine == nascent.EngineVMJit || engine == nascent.EngineTiered ||
+			engine == nascent.EngineVMRCE) &&
+			!s.breaker.isOpen(opts.Scheme, nascent.EngineVMOpt):
 			toScheme, toEngine = opts.Scheme, nascent.EngineVMOpt
 		}
 		r.degraded = &Degraded{

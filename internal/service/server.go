@@ -442,8 +442,12 @@ func (s *Server) compile(source, filename string, opts nascent.Options, engine n
 		switch engine {
 		case nascent.EngineVM, nascent.EngineTiered:
 			out.vmProg, err = vm.Compile(prog.IR)
-		case nascent.EngineVMOpt, nascent.EngineVMJit:
+		case nascent.EngineVMOpt:
 			out.vmProg, err = vm.CompileOptimized(prog.IR)
+		case nascent.EngineVMRCE, nascent.EngineVMJit:
+			// Guard/deopt range-check elimination plus the optimizer;
+			// vmjit closure-compiles the same stream.
+			out.vmProg, err = vm.CompileRCE(prog.IR)
 		}
 		if err != nil {
 			return nil, err

@@ -177,6 +177,10 @@ func (m *mach) run() (interp.Result, error) {
 
 		maxInstr       = m.cfg.MaxInstructions
 		instrs, checks uint64
+		// elim tracks the checks counted in bulk without being evaluated
+		// (opCkAdd, opCheckBlock implied pairs); a diagnostic, not an
+		// observable — flushed to DispatchStats at exit for CheckStats.
+		elim uint64
 
 		err       error
 		trapped   bool
@@ -489,6 +493,42 @@ loop:
 				trapped = true
 				break loop
 			}
+
+		case opRangeGuard:
+			// Preheader range guard (rce.go): cost-invisible, writes
+			// nothing. Pass → fast guard-free copy (a); fail → deopt to
+			// the original fully-checked code (imm) with the register
+			// state untouched. A chaos-forced spurious failure exercises
+			// the deopt path; observables are identical either way
+			// because deopt is the original semantics. A bulk-counting
+			// guard (c > 0, see bulkPerIter) commits the whole loop's
+			// eliminated-check count here — trip × perIter — instead of
+			// per-iteration opCkAdds; if that product would overflow it
+			// deopts, keeping the count exact the slow way.
+			pass, trip := rangeGuardPass(pool, in.b, ireg)
+			if pass && chaos.Active() && chaos.Fire(chaos.SiteRCEGuardFail, funcs[m.fn].name) {
+				pass = false
+			}
+			if pass && in.c > 0 {
+				var bulk int64
+				if bulk, pass = mulOvf(trip, int64(in.c)); pass {
+					checks += uint64(bulk)
+					elim += uint64(bulk)
+				}
+			}
+			if pass {
+				pc = in.a
+			} else {
+				pc = int32(in.imm)
+			}
+
+		case opCkAdd:
+			// Stand-in for an eliminated check instruction: count its
+			// checks (a) without evaluating them. Its cost field was
+			// already charged centrally above, so counters and poll
+			// cadence match the checked original exactly.
+			checks += uint64(in.a)
+			elim += uint64(in.a)
 
 		case opTrapStmt:
 			ts := p.traps[in.a]
@@ -1062,6 +1102,7 @@ loop:
 					}
 				}
 				checks += uint64(t[1])
+				elim += uint64(t[1])
 				r := t[2]
 				if r < 0 {
 					if r == -1 {
@@ -1517,6 +1558,9 @@ loop:
 		}
 	}
 
+	if disp != nil {
+		disp.ChecksEliminated += elim
+	}
 	res := interp.Result{Instructions: instrs, Checks: checks, Output: string(m.out)}
 	if trapped {
 		res.Trapped = true

@@ -80,6 +80,7 @@ type TrapImage struct {
 // Image is the complete serializable state of a compiled Program.
 type Image struct {
 	Optimized bool
+	RCE       bool
 	Code      []Instr
 	Funcs     []FuncImage
 	Arrays    []ArrayImage
@@ -105,6 +106,7 @@ type Image struct {
 func (p *Program) Image() *Image {
 	im := &Image{
 		Optimized:  p.optimized,
+		RCE:        p.rce,
 		Code:       make([]Instr, len(p.code)),
 		Funcs:      make([]FuncImage, len(p.funcs)),
 		Arrays:     make([]ArrayImage, len(p.arrays)),
@@ -297,6 +299,7 @@ func FromImage(im *Image) (*Program, error) {
 		mainIdx:    im.MainIdx,
 		mpool:      new(sync.Pool),
 		optimized:  im.Optimized,
+		rce:        im.RCE,
 	}
 	for i, in := range im.Code {
 		p.code[i] = instr{imm: in.Imm, a: in.A, b: in.B, c: in.C, cost: in.Cost, op: in.Op}

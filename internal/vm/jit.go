@@ -39,14 +39,18 @@ import (
 
 func init() {
 	interp.RegisterEngine(interp.EngineVMJit, func(p *ir.Program, cfg interp.Config) (interp.Result, error) {
-		vp, err := CompileOptimized(p)
+		// The jit compiles the guard/deopt-rewritten, optimized bytecode:
+		// vmrce is the jit's input tier, so closure chains inherit the
+		// guard-free fast loop bodies (see DESIGN.md, "Check elimination
+		// in the VM").
+		vp, err := CompileRCE(p)
 		if err != nil {
 			return interp.Result{}, err
 		}
 		jp, err := JITCompile(vp, nil)
 		if err != nil {
 			// Contained jit-compile failure: degrade to the optimized
-			// switch VM (the vmopt tier), never to the tree.
+			// switch VM (the vmrce tier), never to the tree.
 			return vp.Run(cfg)
 		}
 		return jp.Run(cfg)
@@ -812,6 +816,42 @@ func (b *jitBuilder) build1(pc int32) jop {
 			if !o.exec(j) {
 				return nil
 			}
+			return next
+		}
+
+	case opRangeGuard:
+		// Preheader range guard (rce.go): cost-invisible, same
+		// semantics and chaos site as the switch VM's case, including
+		// the bulk trip × perIter check commit (c > 0) with
+		// deopt-on-overflow.
+		phFast, phDeopt := b.target(a), b.target(int32(in.imm))
+		perIter := int64(in.c)
+		return func(j *jmach) jop {
+			pass, trip := rangeGuardPass(pool, bb, j.ireg)
+			if pass && chaos.Active() && chaos.Fire(chaos.SiteRCEGuardFail, j.p.vp.funcs[j.fn].name) {
+				pass = false
+			}
+			if pass && perIter > 0 {
+				var bulk int64
+				if bulk, pass = mulOvf(trip, perIter); pass {
+					j.checks += uint64(bulk)
+				}
+			}
+			if pass {
+				return *phFast
+			}
+			return *phDeopt
+		}
+
+	case opCkAdd:
+		// Eliminated-check stand-in: bulk-count a checks, charge the
+		// replaced instruction's cost, evaluate nothing.
+		n := uint64(a)
+		return func(j *jmach) jop {
+			if cost != 0 && !j.charge(cost) {
+				return nil
+			}
+			j.checks += n
 			return next
 		}
 

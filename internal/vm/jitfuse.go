@@ -1022,6 +1022,12 @@ func (b *jitBuilder) stepExec(in *instr) (func(*jmach) bool, uint64) {
 	case opCheckBlock:
 		o := b.newCheckBlock(in)
 		return o.exec, o.totDC
+	case opCkAdd:
+		// Eliminated-check stand-in (rce.go): counter add only, so fused
+		// runs through a fast loop body stay fused. opRangeGuard is a
+		// branch and deliberately has no step — it can never be fused.
+		n := uint64(in.a)
+		return func(j *jmach) bool { j.checks += n; return true }, 0
 	case opC1LoadI1, opC1LoadF1, opC1StoreI1, opC1StoreF1,
 		opCPLoadI1, opCPLoadF1, opCPStoreI1, opCPStoreF1,
 		opCP2LoadI1, opCP2LoadF1, opCP2StoreI1, opCP2StoreF1:

@@ -53,6 +53,14 @@ type DispatchStats struct {
 	// pattern table.
 	Pairs [numOps][numOps]uint64
 
+	// ChecksEliminated counts dynamic checks that were counted in bulk
+	// without being evaluated (opCkAdd stand-ins from the rce pass,
+	// opCheckBlock implied pairs). Like Dispatched it is a
+	// deterministic diagnostic, not an observable: Result.Checks is
+	// identical across engines regardless. CheckStats (rce.go) derives
+	// the executed-check count from it.
+	ChecksEliminated uint64
+
 	last uint8 // previous dispatched opcode (valid when Dispatched > 0)
 }
 
@@ -84,6 +92,7 @@ func (s *DispatchStats) Merge(o *DispatchStats) {
 			}
 		}
 	}
+	s.ChecksEliminated += o.ChecksEliminated
 	s.last = o.last
 }
 
@@ -223,6 +232,7 @@ func newOptimizer(vp *Program) *optimizer {
 	}
 	cp := *vp
 	cp.optimized = true
+	cp.loops = nil            // pc-based loop metadata is stale after compaction
 	cp.mpool = new(sync.Pool) // fresh machine pool for the rewritten program
 	o.out = &cp
 	return o
@@ -254,6 +264,9 @@ func (o *optimizer) analyze() {
 			mark(in.a)
 			mark(in.b)
 		case in.op >= opBrEqI && in.op <= opBrGeF:
+			mark(in.a)
+			mark(int32(in.imm))
+		case in.op == opRangeGuard:
 			mark(in.a)
 			mark(int32(in.imm))
 		}
@@ -369,6 +382,24 @@ func (o *optimizer) instrUses(in *instr, f func(bit int32)) (useAll bool) {
 		}
 	case opCheck1, opCheckPair:
 		f(o.ibit(in.a))
+	case opRangeGuard:
+		// Guard tuple (rce.go): [vReg, limReg, step, n, then per
+		// sub-check K, cv, nInv, (coef, reg) × nInv]. Reads the
+		// induction start, the limit, and every invariant term.
+		t := o.pool
+		p := in.b
+		f(o.ibit(int32(t[p])))
+		f(o.ibit(int32(t[p+1])))
+		n := t[p+3]
+		p += 4
+		for k := int64(0); k < n; k++ {
+			nInv := t[p+2]
+			p += 3
+			for j := int64(0); j < nInv; j++ {
+				f(o.ibit(int32(t[p+1])))
+				p += 2
+			}
+		}
 	case opCheck2:
 		f(o.ibit(int32(o.pool[in.a+1])))
 		f(o.ibit(int32(o.pool[in.a+3])))
@@ -443,6 +474,11 @@ func (o *optimizer) succs(i int, f func(pc int32)) {
 		f(in.a)
 		f(in.b)
 	case in.op >= opBrEqI && in.op <= opBrGeF:
+		f(in.a)
+		f(int32(in.imm))
+	case in.op == opRangeGuard:
+		// The deopt edge (imm) keeps the original checked code — and
+		// every value it reads — live even when only the fast copy runs.
 		f(in.a)
 		f(int32(in.imm))
 	case in.op == opRet, in.op == opFail, in.op == opTrapStmt:
@@ -852,6 +888,9 @@ func (o *optimizer) compact() {
 			in.a = newIdx[in.a]
 			in.b = newIdx[in.b]
 		case in.op >= opBrEqI && in.op <= opBrGeF:
+			in.a = newIdx[in.a]
+			in.imm = int64(newIdx[in.imm])
+		case in.op == opRangeGuard:
 			in.a = newIdx[in.a]
 			in.imm = int64(newIdx[in.imm])
 		case in.op >= opIncBrEqI && in.op <= opIncBrGeI:

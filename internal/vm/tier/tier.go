@@ -1,7 +1,8 @@
 // Package tier implements the profile-guided tiering controller
 // (engine "tiered"): a program starts on the baseline bytecode VM and
-// is promoted in the background to optimized bytecode and then to the
-// closure-compiled top tier as its hotness counters cross the
+// is promoted in the background to optimized bytecode, then to
+// guard/deopt range-check-eliminated bytecode (vmrce), and finally to
+// the closure-compiled top tier as its hotness counters cross the
 // promotion thresholds. Promotion never changes an observable — every
 // tier implements the same contract — so tiering only moves
 // wall-clock.
@@ -13,8 +14,8 @@
 //     background goroutine; the run that triggered it still executes
 //     on the current tier.
 //   - Promotion is profile-guided. While a program serves runs on the
-//     vmopt tier, the foreground accumulates a dispatch-digram profile
-//     (vm.DispatchStats) that the eventual JITCompile uses for
+//     vmopt or vmrce tier, the foreground accumulates a dispatch-digram
+//     profile (vm.DispatchStats) that the eventual JITCompile uses for
 //     superinstruction selection — the jit fuses what this program
 //     actually executed, not a static table.
 //   - Failure degrades, it never surfaces. A promotion that panics
@@ -23,7 +24,7 @@
 //     tier; the program keeps serving runs where it is. A jit-tier run
 //     that dies with a contained internal error demotes the program —
 //     the jit is tombstoned and the run transparently re-executes on
-//     the vmopt tier (never the tree).
+//     the best switch-VM tier (vmrce, else vmopt — never the tree).
 package tier
 
 import (
@@ -57,19 +58,30 @@ type Thresholds struct {
 	// OptRuns / OptInstrs gate promotion vm → vmopt.
 	OptRuns   uint64
 	OptInstrs uint64
-	// JitRuns / JitInstrs gate promotion vmopt → vmjit. The jit
-	// additionally waits for at least one profiled vmopt-tier run, so
+	// RceRuns / RceInstrs gate promotion vmopt → vmrce (the guard/deopt
+	// range-check-eliminated tier, vm.OptimizeRCE over the base
+	// bytecode). The rce promotion waits for the vmopt promotion to
+	// resolve so the ladder order is deterministic.
+	RceRuns   uint64
+	RceInstrs uint64
+	// JitRuns / JitInstrs gate promotion vmrce → vmjit. The jit
+	// additionally waits for the rce promotion to resolve (it compiles
+	// the guard-rewritten program when one exists, the optimized one
+	// when rce failed) and for at least one profiled switch-VM run, so
 	// superinstruction selection always has a real profile.
 	JitRuns   uint64
 	JitInstrs uint64
 }
 
 // Default promotion thresholds: the second run of a program promotes
-// it off the naive tier, and a handful of warm runs (or any serious
-// instruction volume) sends it to the closure tier.
+// it off the naive tier, the third arms the guard/deopt rewrite, and a
+// handful of warm runs (or any serious instruction volume) sends it to
+// the closure tier.
 const (
 	DefaultOptRuns   = 2
 	DefaultOptInstrs = 1 << 18
+	DefaultRceRuns   = 3
+	DefaultRceInstrs = 1 << 20
 	DefaultJitRuns   = 4
 	DefaultJitInstrs = 1 << 21
 )
@@ -80,6 +92,12 @@ func (t Thresholds) withDefaults() Thresholds {
 	}
 	if t.OptInstrs == 0 {
 		t.OptInstrs = DefaultOptInstrs
+	}
+	if t.RceRuns == 0 {
+		t.RceRuns = DefaultRceRuns
+	}
+	if t.RceInstrs == 0 {
+		t.RceInstrs = DefaultRceInstrs
 	}
 	if t.JitRuns == 0 {
 		t.JitRuns = DefaultJitRuns
@@ -101,6 +119,8 @@ func (t Thresholds) TierForRuns(runs uint64) string {
 	switch {
 	case runs >= t.JitRuns:
 		return TierVMJit
+	case runs >= t.RceRuns:
+		return TierVMRCE
 	case runs >= t.OptRuns:
 		return TierVMOpt
 	}
@@ -125,13 +145,15 @@ type Program struct {
 	base *vm.Program
 
 	opt atomic.Pointer[vm.Program]
+	rce atomic.Pointer[vm.Program]
 	jit atomic.Pointer[vm.JITProgram]
 
 	runs    atomic.Uint64 // completed runs
 	instrs  atomic.Uint64 // cumulative instructions of completed runs
-	profied atomic.Uint64 // vmopt-tier runs folded into the profile
+	profied atomic.Uint64 // vmopt/vmrce-tier runs folded into the profile
 
 	optState atomic.Uint32
+	rceState atomic.Uint32
 	jitState atomic.Uint32
 	jitDead  atomic.Bool // demotion tombstone
 
@@ -166,6 +188,7 @@ func FromBytecode(base *vm.Program, th Thresholds) *Program {
 const (
 	TierVM    = "vm"
 	TierVMOpt = "vmopt"
+	TierVMRCE = "vmrce"
 	TierVMJit = "vmjit"
 )
 
@@ -178,11 +201,12 @@ type Snapshot struct {
 	// their cumulative instruction count.
 	Runs   uint64
 	Instrs uint64
-	// ProfiledRuns counts the vmopt-tier runs folded into the
+	// ProfiledRuns counts the vmopt/vmrce-tier runs folded into the
 	// promotion profile.
 	ProfiledRuns uint64
-	// Promotions counts tier transitions that completed (vm→vmopt and
-	// vmopt→vmjit each count one); Demotions counts jit tombstones.
+	// Promotions counts tier transitions that completed (vm→vmopt,
+	// vmopt→vmrce, and vmrce→vmjit each count one); Demotions counts
+	// jit tombstones.
 	Promotions uint64
 	Demotions  uint64
 }
@@ -202,6 +226,9 @@ func (tp *Program) Snapshot() Snapshot {
 func (tp *Program) tierName() string {
 	if tp.jit.Load() != nil && !tp.jitDead.Load() {
 		return TierVMJit
+	}
+	if tp.rce.Load() != nil {
+		return TierVMRCE
 	}
 	if tp.opt.Load() != nil {
 		return TierVMOpt
@@ -237,20 +264,19 @@ func (tp *Program) Run(cfg interp.Config) (interp.Result, error) {
 		}
 	}
 
+	// Serve on the best ready switch-VM tier: vmrce when the guard
+	// rewrite landed, else vmopt. While the jit tier hasn't been
+	// requested yet, these runs collect the dispatch digrams that will
+	// drive superinstruction selection — preferentially over the
+	// guard-rewritten stream, since that is the stream the jit will
+	// compile.
+	if sp := tp.rce.Load(); sp != nil {
+		res, err := tp.runProfiled(sp, cfg)
+		tp.record(res)
+		return res, err
+	}
 	if op := tp.opt.Load(); op != nil {
-		// Foreground profile accumulation: while the jit tier hasn't
-		// been requested yet, vmopt-tier runs collect the dispatch
-		// digrams that will drive superinstruction selection.
-		if tp.jitState.Load() == stateIdle {
-			res, ds, err := op.RunDispatch(cfg)
-			tp.profMu.Lock()
-			tp.prof.Merge(&ds)
-			tp.profMu.Unlock()
-			tp.profied.Add(1)
-			tp.record(res)
-			return res, err
-		}
-		res, err := op.Run(cfg)
+		res, err := tp.runProfiled(op, cfg)
 		tp.record(res)
 		return res, err
 	}
@@ -258,6 +284,21 @@ func (tp *Program) Run(cfg interp.Config) (interp.Result, error) {
 	res, err := tp.base.Run(cfg)
 	tp.record(res)
 	return res, err
+}
+
+// runProfiled runs one switch-VM tier request, folding its dispatch
+// profile into the promotion profile while the jit hasn't been
+// requested yet.
+func (tp *Program) runProfiled(sp *vm.Program, cfg interp.Config) (interp.Result, error) {
+	if tp.jitState.Load() == stateIdle {
+		res, ds, err := sp.RunDispatch(cfg)
+		tp.profMu.Lock()
+		tp.prof.Merge(&ds)
+		tp.profMu.Unlock()
+		tp.profied.Add(1)
+		return res, err
+	}
+	return sp.Run(cfg)
 }
 
 func (tp *Program) record(res interp.Result) {
@@ -277,12 +318,35 @@ func (tp *Program) maybePromote() {
 		go tp.promoteOpt()
 	}
 
-	if tp.optState.Load() == stateDone && tp.profied.Load() >= 1 &&
+	// The rce promotion waits for the vmopt one to resolve (done or
+	// tombstoned) so the ladder order — and thus the tier every run
+	// count maps to — is deterministic.
+	if optSt := tp.optState.Load(); (optSt == stateDone || optSt == stateFailed) &&
+		(runs >= tp.th.RceRuns || instrs >= tp.th.RceInstrs) &&
+		tp.rceState.CompareAndSwap(stateIdle, stateInFlight) {
+		tp.wg.Add(1)
+		go tp.promoteRce()
+	}
+
+	// The jit waits for the rce attempt to resolve: it compiles the
+	// guard-rewritten program when one exists, the plain optimized one
+	// when the rce promotion was tombstoned.
+	if rceSt := tp.rceState.Load(); (rceSt == stateDone || rceSt == stateFailed) &&
+		tp.bestSwitch() != nil && tp.profied.Load() >= 1 &&
 		(runs >= tp.th.JitRuns || instrs >= tp.th.JitInstrs) &&
 		tp.jitState.CompareAndSwap(stateIdle, stateInFlight) {
 		tp.wg.Add(1)
 		go tp.promoteJit()
 	}
+}
+
+// bestSwitch returns the highest switch-VM tier compiled so far (the
+// jit's input program): vmrce, else vmopt, else nil.
+func (tp *Program) bestSwitch() *vm.Program {
+	if sp := tp.rce.Load(); sp != nil {
+		return sp
+	}
+	return tp.opt.Load()
 }
 
 func (tp *Program) promoteOpt() {
@@ -299,6 +363,26 @@ func (tp *Program) promoteOpt() {
 	}
 	tp.opt.Store(op)
 	tp.optState.Store(stateDone)
+	tp.promotions.Add(1)
+}
+
+func (tp *Program) promoteRce() {
+	defer tp.wg.Done()
+	if chaos.Active() && chaos.Fire(chaos.SiteTierPromote, TierVMRCE) {
+		tp.rceState.Store(stateFailed)
+		return
+	}
+	// The guard rewrite runs over the BASE bytecode (it needs the
+	// compiler's loop metadata and opcode shapes), then through the
+	// regular optimizer — vm.OptimizeRCE. A contained failure
+	// tombstones the tier; the program keeps serving on vmopt.
+	sp, err := vm.OptimizeRCE(tp.base)
+	if err != nil {
+		tp.rceState.Store(stateFailed)
+		return
+	}
+	tp.rce.Store(sp)
+	tp.rceState.Store(stateDone)
 	tp.promotions.Add(1)
 }
 
@@ -327,10 +411,11 @@ type JitHandle struct {
 	wg sync.WaitGroup
 }
 
-// NewJitHandle wraps an optimized bytecode program. The caller is
-// responsible for vp being the OPTIMIZED program (vm.CompileOptimized)
-// — the closure compiler accepts unoptimized bytecode too, but the
-// vmjit tier is defined over the optimized stream.
+// NewJitHandle wraps a rewritten bytecode program. The caller is
+// responsible for vp being the jit's defined input — the guard/deopt-
+// rewritten, optimized stream (vm.CompileRCE). The closure compiler
+// accepts plain optimized (or even naive) bytecode too, but then the
+// handle serves that lower tier while warming.
 func NewJitHandle(vp *vm.Program) *JitHandle { return &JitHandle{vp: vp} }
 
 // Run executes one request: on the closure tier once it exists, else
@@ -385,10 +470,13 @@ func (h *JitHandle) record(res interp.Result) {
 func (h *JitHandle) Settle() { h.wg.Wait() }
 
 // Snapshot returns the handle's tier and counters in the same shape as
-// a tiering controller's (the handle starts at vmopt — its base is
-// already optimized).
+// a tiering controller's (the handle starts at the tier of its wrapped
+// program — vmrce for the usual CompileRCE input, vmopt otherwise).
 func (h *JitHandle) Snapshot() Snapshot {
 	t := TierVMOpt
+	if h.vp.RCEApplied() {
+		t = TierVMRCE
+	}
 	if h.jit.Load() != nil && !h.dead.Load() {
 		t = TierVMJit
 	}
@@ -411,7 +499,7 @@ func (tp *Program) promoteJit() {
 	tp.profMu.Lock()
 	prof := tp.prof
 	tp.profMu.Unlock()
-	jp, err := vm.JITCompile(tp.opt.Load(), &prof)
+	jp, err := vm.JITCompile(tp.bestSwitch(), &prof)
 	if err != nil {
 		// Contained closure-compile panic: stay on vmopt forever.
 		tp.jitState.Store(stateFailed)

@@ -14,8 +14,12 @@ import (
 )
 
 // hair-trigger thresholds: second run promotes to vmopt, third to
-// vmjit (after one profiled vmopt run).
-var fastTh = tier.Thresholds{OptRuns: 1, OptInstrs: ^uint64(0), JitRuns: 2, JitInstrs: ^uint64(0)}
+// vmrce, fourth to vmjit (after one profiled switch-VM run).
+var fastTh = tier.Thresholds{
+	OptRuns: 1, OptInstrs: ^uint64(0),
+	RceRuns: 2, RceInstrs: ^uint64(0),
+	JitRuns: 3, JitInstrs: ^uint64(0),
+}
 
 func compileTiered(tb testing.TB, src string, th tier.Thresholds) *tier.Program {
 	tb.Helper()
@@ -33,8 +37,8 @@ func compileTiered(tb testing.TB, src string, th tier.Thresholds) *tier.Program 
 // TestTieredSuiteIdentity pins the controller's core contract: every
 // run of a program returns bit-identical observables no matter which
 // tier serves it. Each suite program is run through the full
-// vm → vmopt → vmjit lifecycle and every result is compared to the
-// first.
+// vm → vmopt → vmrce → vmjit lifecycle and every result is compared to
+// the first.
 func TestTieredSuiteIdentity(t *testing.T) {
 	for _, p := range suite.Programs {
 		tp := compileTiered(t, p.Source, fastTh)
@@ -80,13 +84,13 @@ func TestPromotionLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	tp.Settle()
-	if got := tp.Snapshot().Tier; got != tier.TierVMOpt && got != tier.TierVMJit {
+	if got := tp.Snapshot().Tier; got == tier.TierVM {
 		t.Fatalf("after settle, tier = %q, want vmopt (or later)", got)
 	}
 
-	// Keep running until the profiled vmopt run lands and the jit
-	// promotion completes.
-	for i := 0; i < 4; i++ {
+	// Keep running until the profiled switch-VM run lands and the rce
+	// and jit promotions complete.
+	for i := 0; i < 5; i++ {
 		if _, err := tp.Run(interp.Config{}); err != nil {
 			t.Fatal(err)
 		}
@@ -96,13 +100,13 @@ func TestPromotionLifecycle(t *testing.T) {
 	if snap.Tier != tier.TierVMJit {
 		t.Fatalf("never reached vmjit: %+v", snap)
 	}
-	if snap.Promotions != 2 {
-		t.Fatalf("promotions = %d, want 2 (vm→vmopt, vmopt→vmjit): %+v", snap.Promotions, snap)
+	if snap.Promotions != 3 {
+		t.Fatalf("promotions = %d, want 3 (vm→vmopt, vmopt→vmrce, vmrce→vmjit): %+v", snap.Promotions, snap)
 	}
 	if snap.ProfiledRuns < 1 {
 		t.Fatalf("jit promoted without a profile: %+v", snap)
 	}
-	if snap.Runs != 6 || snap.Demotions != 0 {
+	if snap.Runs != 7 || snap.Demotions != 0 {
 		t.Fatalf("counter mismatch: %+v", snap)
 	}
 }
@@ -155,8 +159,9 @@ func TestPromoteChaosFail(t *testing.T) {
 
 // TestJitDemotion pins the degrade path: when a vmjit-tier run dies
 // with a contained internal error, the controller tombstones the jit
-// and transparently re-executes on vmopt — and the error the caller
-// sees is exactly what vmopt reports for the same run.
+// and transparently re-executes on the best switch-VM tier (vmrce) —
+// and the error the caller sees is exactly what that tier reports for
+// the same run.
 func TestJitDemotion(t *testing.T) {
 	tp := compileTiered(t, suite.Programs[0].Source, fastTh)
 	// Warm to the top tier first, without chaos.
@@ -184,8 +189,8 @@ func TestJitDemotion(t *testing.T) {
 	if snap.Demotions != 1 {
 		t.Fatalf("demotions = %d, want 1: %+v", snap.Demotions, snap)
 	}
-	if snap.Tier != tier.TierVMOpt {
-		t.Fatalf("after demotion tier = %q, want vmopt: %+v", snap.Tier, snap)
+	if snap.Tier != tier.TierVMRCE {
+		t.Fatalf("after demotion tier = %q, want vmrce: %+v", snap.Tier, snap)
 	}
 
 	// With chaos off the program keeps serving correct results at the
@@ -203,7 +208,7 @@ func TestJitDemotion(t *testing.T) {
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("post-demotion runs diverged:\n got %+v\nwant %+v", got, want)
 	}
-	if s := tp.Snapshot(); s.Tier != tier.TierVMOpt {
+	if s := tp.Snapshot(); s.Tier != tier.TierVMRCE {
 		t.Fatalf("tombstoned jit came back: %+v", s)
 	}
 }

@@ -220,19 +220,26 @@ const (
 	// superinstruction fusion, frame reuse). Same observables as the
 	// other engines, fewer dispatches.
 	EngineVMOpt = interp.EngineVMOpt
-	// EngineVMJit is the closure-compiled top tier: optimized bytecode
-	// compiled into chained Go closures with profile-guided
-	// superinstruction selection. Same observables, no dispatch switch.
+	// EngineVMRCE is the bytecode VM running guard/deopt bytecode:
+	// preheader range guards cover whole families of proven-redundant
+	// checks, guarded loops run a check-free fast copy, and a failed
+	// guard deopts to the original fully-checked code. Same observables
+	// as the other engines — eliminated checks are still counted.
+	EngineVMRCE = interp.EngineVMRCE
+	// EngineVMJit is the closure-compiled top tier: guard/deopt-rewritten,
+	// optimized bytecode compiled into chained Go closures with
+	// profile-guided superinstruction selection. Same observables, no
+	// dispatch switch.
 	EngineVMJit = interp.EngineVMJit
 	// EngineTiered is the profile-guided tiering controller: runs start
-	// on EngineVM and are promoted in the background to EngineVMOpt and
-	// EngineVMJit as hotness thresholds are crossed. Promotion never
-	// changes an observable.
+	// on EngineVM and are promoted in the background through EngineVMOpt
+	// and EngineVMRCE to EngineVMJit as hotness thresholds are crossed.
+	// Promotion never changes an observable.
 	EngineTiered = interp.EngineTiered
 )
 
-// ParseEngine maps a flag spelling ("tree", "vm", "vmopt", "vmjit", or
-// "tiered") to an Engine.
+// ParseEngine maps a flag spelling ("tree", "vm", "vmopt", "vmrce",
+// "vmjit", or "tiered") to an Engine.
 func ParseEngine(s string) (Engine, error) { return interp.ParseEngine(s) }
 
 // EngineNames lists every engine's flag spelling in Engine order.
